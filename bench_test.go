@@ -1,0 +1,284 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 5). Each benchmark runs the corresponding experiment and
+// reports the headline quantity as a custom metric (speedups, minutes), so
+// `go test -bench=. -benchmem` doubles as the reproduction harness.
+// cmd/nautilus-bench prints the full row sets.
+//
+// Paper-scale benchmarks drive the real optimizer over BERT-base /
+// ResNet-50 profiles and replay plans on the cost-clock simulator
+// (seconds each); BenchmarkFig7_LearningCurves runs real mini-scale
+// training (tens of seconds).
+package nautilus_test
+
+import (
+	"testing"
+
+	"nautilus/internal/core"
+	"nautilus/internal/experiments"
+	"nautilus/internal/opt"
+	"nautilus/internal/workloads"
+)
+
+func BenchmarkTable3_WorkloadCatalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.TheoreticalSpeedup, "eq11_"+r.Workload)
+			}
+		}
+	}
+}
+
+func BenchmarkFig6A_EndToEndRuntimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6A()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.NautilusSpeedup, "speedup_"+r.Workload)
+			}
+		}
+	}
+}
+
+func BenchmarkFig6B_CycleBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6B()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.InitNautilusMin, "init_nautilus_min")
+			b.ReportMetric(r.InitCurrentPracticeMin, "init_current_min")
+			b.ReportMetric(r.CycleSpeedups[len(r.CycleSpeedups)-1], "cycle10_speedup")
+		}
+	}
+}
+
+func BenchmarkFig6C_LabelingCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6C()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[0].Speedup, "speedup_0.5s_per_label")
+			b.ReportMetric(rows[len(rows)-1].Speedup, "speedup_8s_per_label")
+		}
+	}
+}
+
+func BenchmarkFig7_LearningCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(experiments.DefaultFig7Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.Speedup, "real_speedup")
+			last := len(r.Nautilus) - 1
+			b.ReportMetric(r.Nautilus[last].BestAcc, "nautilus_final_acc")
+			b.ReportMetric(r.CurrentPractice[last].BestAcc, "current_final_acc")
+		}
+	}
+}
+
+func BenchmarkFig8_Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.NoFuseSlowdownPct, "noFUSE_pct_"+r.Workload)
+				b.ReportMetric(r.NoMatSlowdownPct, "noMAT_pct_"+r.Workload)
+			}
+		}
+	}
+}
+
+func BenchmarkFig9_NumModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			first, last := rows[0], rows[len(rows)-1]
+			b.ReportMetric(first.CurrentPractice/first.Nautilus, "speedup_1model")
+			b.ReportMetric(last.CurrentPractice/last.Nautilus, "speedup_8models")
+		}
+	}
+}
+
+func BenchmarkFig10A_StorageBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10A()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[len(rows)-1].Speedup, "plateau_speedup")
+		}
+	}
+}
+
+func BenchmarkFig10B_MemoryBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10B()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[len(rows)-1].Speedup, "plateau_speedup")
+		}
+	}
+}
+
+func BenchmarkFig11_ResourceUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.ReadRatio, "read_reduction")
+			b.ReportMetric(r.WriteRatio, "write_reduction")
+			b.ReportMetric(100*r.UtilizationNautilus, "util_nautilus_pct")
+			b.ReportMetric(100*r.UtilizationCP, "util_current_pct")
+		}
+	}
+}
+
+func BenchmarkOptimizer_SolveTime(b *testing.B) {
+	// §5.3: optimizer solve time at practical workload sizes. The B&B
+	// solver is benchmarked on the largest workload; the MILP on FTR-3.
+	inst, err := experiments.PaperInstance(workloads.FTR1())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.PaperConfig(core.Nautilus)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := opt.OptimizeMaterialization(inst.MM, inst.Items, opt.MatConfig{
+			DiskBudgetBytes: cfg.DiskBudgetBytes, MaxRecords: cfg.MaxRecords,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.NodesExplored), "bnb_nodes")
+		}
+	}
+}
+
+func BenchmarkTheoreticalSpeedup(b *testing.B) {
+	var insts []*workloads.Instance
+	for _, s := range workloads.All() {
+		inst, err := experiments.PaperInstance(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts = append(insts, inst)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, inst := range insts {
+			s := experiments.TheoreticalSpeedup(inst)
+			if i == 0 {
+				b.ReportMetric(s, "eq11_"+inst.Spec.Name)
+			}
+		}
+	}
+}
+
+func BenchmarkAblation_MincutVsMILP(b *testing.B) {
+	// The scalable B&B+min-cut solver against the faithful joint MILP on
+	// the same instance: identical optima, different solve times.
+	inst, err := experiments.PaperInstance(workloads.FTR3())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.PaperConfig(core.Nautilus)
+	for _, solver := range []string{"bnb", "milp"} {
+		solver := solver
+		b.Run(solver, func(b *testing.B) {
+			var cost int64
+			for i := 0; i < b.N; i++ {
+				res, err := opt.OptimizeMaterialization(inst.MM, inst.Items, opt.MatConfig{
+					DiskBudgetBytes: cfg.DiskBudgetBytes, MaxRecords: cfg.MaxRecords, Solver: solver,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = res.TotalCostFLOPs
+			}
+			b.ReportMetric(float64(cost)/1e12, "plan_TFLOPs")
+		})
+	}
+}
+
+func BenchmarkAblation_BackoffFactor(b *testing.B) {
+	// Section 4.2.3's exponential backoff of the max-records estimate r:
+	// how plan cost and storage respond as r doubles.
+	inst, err := experiments.PaperInstance(workloads.FTR2())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.PaperConfig(core.Nautilus)
+	for i := 0; i < b.N; i++ {
+		for _, r := range []int{1000, 2000, 4000, 8000} {
+			res, err := opt.OptimizeMaterialization(inst.MM, inst.Items, opt.MatConfig{
+				DiskBudgetBytes: cfg.DiskBudgetBytes, MaxRecords: r,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(res.StorageBytes)/float64(1<<30), "storageGB_r"+itoa(r))
+			}
+		}
+	}
+}
+
+func BenchmarkAblation_MemoryEstimator(b *testing.B) {
+	// Estimator cost: one fused-pair peak-memory analysis at paper scale.
+	inst, err := experiments.PaperInstance(workloads.FTR2())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.PaperConfig(core.Nautilus)
+	wp, err := core.PlanWorkload(inst.Items, inst.MM, cfg, cfg.MaxRecords)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := wp.Groups[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est := opt.EstimatePeakMemory(g.Plan, g.BatchSize(), 2)
+		if i == 0 {
+			b.ReportMetric(float64(est.Total())/float64(1<<30), "peakGB")
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

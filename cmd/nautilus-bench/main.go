@@ -1,0 +1,150 @@
+// Command nautilus-bench regenerates the paper's tables and figures
+// (Section 5). Paper-scale experiments replay real optimizer decisions on
+// the cost-clock simulator; fig7 runs real mini-scale training.
+//
+// Usage:
+//
+//	nautilus-bench -exp all
+//	nautilus-bench -exp fig6a
+//	nautilus-bench -exp fig7 -fig7lrs 3 -fig7cycles 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nautilus/internal/experiments"
+	"nautilus/internal/workloads"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table3 fig6a fig6b fig6c fig7 fig7b fig8 fig9 fig10a fig10b fig11 hwsweep solver all")
+	fig7LRs := flag.Int("fig7lrs", 2, "learning rates per strategy in fig7's real-training run")
+	fig7Cycles := flag.Int("fig7cycles", 4, "labeling cycles in fig7's real-training run")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("==== %s ====\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table3", func() error {
+		rows, err := experiments.Table3()
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable3(os.Stdout, rows)
+		return nil
+	})
+	run("fig6a", func() error {
+		rows, err := experiments.Fig6A()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig6A(os.Stdout, rows)
+		return nil
+	})
+	run("fig6b", func() error {
+		r, err := experiments.Fig6B()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig6B(os.Stdout, r)
+		return nil
+	})
+	run("fig6c", func() error {
+		rows, err := experiments.Fig6C()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig6C(os.Stdout, rows)
+		return nil
+	})
+	run("fig7", func() error {
+		cfg := experiments.DefaultFig7Config()
+		cfg.LRs = *fig7LRs
+		cfg.Cycles = *fig7Cycles
+		r, err := experiments.Fig7(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig7(os.Stdout, r, "(A)")
+		return nil
+	})
+	run("fig7b", func() error {
+		cfg := experiments.DefaultFig7Config()
+		cfg.LRs = *fig7LRs
+		cfg.Cycles = *fig7Cycles
+		cfg.SecPerLabel = 0.2 // mini-scale analogue of 4 s/label
+		r, err := experiments.Fig7(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig7(os.Stdout, r, "(B)")
+		return nil
+	})
+	run("fig8", func() error {
+		rows, err := experiments.Fig8()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig8(os.Stdout, rows)
+		return nil
+	})
+	run("fig9", func() error {
+		rows, err := experiments.Fig9()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig9(os.Stdout, rows)
+		return nil
+	})
+	run("fig10a", func() error {
+		rows, err := experiments.Fig10A()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig10A(os.Stdout, rows)
+		return nil
+	})
+	run("fig10b", func() error {
+		rows, err := experiments.Fig10B()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig10B(os.Stdout, rows)
+		return nil
+	})
+	run("fig11", func() error {
+		r, err := experiments.Fig11()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig11(os.Stdout, r)
+		return nil
+	})
+	run("hwsweep", func() error {
+		rows, err := experiments.HardwareSweep()
+		if err != nil {
+			return err
+		}
+		experiments.PrintHardwareSweep(os.Stdout, rows)
+		return nil
+	})
+	run("solver", func() error {
+		st, err := experiments.CompareSolvers(workloads.FTR3())
+		if err != nil {
+			return err
+		}
+		experiments.PrintSolverStats(os.Stdout, st)
+		return nil
+	})
+}

@@ -1,0 +1,110 @@
+// Command nautilus-run executes a workload end to end with real training
+// at mini scale: the simulated labeler releases batches cycle by cycle and
+// the chosen approach performs model selection over all labeled data.
+//
+// Usage:
+//
+//	nautilus-run -workload FTR-3 -approach nautilus
+//	nautilus-run -workload FTU -approach current_practice -cycles 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nautilus/internal/core"
+	"nautilus/internal/experiments"
+	"nautilus/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "FTR-3", "workload name (FTR-1, FTR-2, FTR-3, ATR, FTU)")
+	approach := flag.String("approach", string(core.Nautilus), "approach: nautilus, current_practice, mat_all, nautilus_no_fuse, nautilus_no_mat")
+	cycles := flag.Int("cycles", 0, "limit labeling cycles (0 = workload default)")
+	seed := flag.Int64("seed", 1, "random seed for data and shuffling")
+	workDir := flag.String("workdir", "", "working directory (default: temp dir)")
+	compare := flag.Bool("compare", false, "run current_practice AND nautilus, reporting speedup and accuracy parity")
+	flag.Parse()
+
+	if *compare {
+		runCompare(*workload, *seed, *cycles)
+		return
+	}
+
+	spec, err := workloads.ByName(*workload)
+	fatalIf(err)
+	fmt.Printf("building %s at mini scale (%d candidate models)...\n", spec.Name, spec.NumModels())
+	inst, err := spec.Build(workloads.Mini, experiments.MiniHardware())
+	fatalIf(err)
+
+	dir := *workDir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "nautilus-run-")
+		fatalIf(err)
+		defer os.RemoveAll(dir)
+	}
+	cfg := core.DefaultConfig(dir)
+	cfg.Approach = core.Approach(*approach)
+	cfg.HW = experiments.MiniHardware()
+	cfg.Seed = *seed
+	cfg.MaxRecords = 600
+
+	report, err := core.Run(inst, cfg, *seed, *cycles)
+	fatalIf(err)
+
+	fmt.Printf("\n%s on %s (mini scale, real training)\n", report.Approach, report.Workload)
+	if report.Init != nil {
+		fmt.Printf("optimizer: %d materialized expressions, %d groups, solve %v\n",
+			report.Init.Materialized, report.Init.Groups, report.Init.OptimizeTime)
+	}
+	fmt.Printf("%-6s %10s %12s %9s  %s\n", "cycle", "train-size", "duration", "best-acc", "best model")
+	for _, c := range report.Cycles {
+		fmt.Printf("%-6d %10d %12v %9.4f  %s\n", c.Cycle, c.TrainSize, c.Duration.Round(1e6), c.BestAcc, c.BestModel)
+	}
+	fmt.Printf("\ntotal: %v | compute %.1f GFLOPs | disk read %.1f MB written %.1f MB\n",
+		report.Total.Round(1e6),
+		float64(report.Metrics.ComputeFLOPs)/1e9,
+		float64(report.Metrics.Disk.BytesRead())/1e6,
+		float64(report.Metrics.Disk.BytesWritten())/1e6)
+	fmt.Printf("final best: %s (accuracy %.4f)\n", report.FinalBest.Model, report.FinalBest.ValAcc)
+}
+
+// runCompare executes the workload under both Current Practice and
+// Nautilus with identical seeds, printing the wall-clock speedup and the
+// per-cycle accuracy parity (Section 5.2 in miniature).
+func runCompare(workload string, seed int64, cycles int) {
+	spec, err := workloads.ByName(workload)
+	fatalIf(err)
+	fmt.Printf("comparing approaches on %s at mini scale (%d models)...\n\n", spec.Name, spec.NumModels())
+	reports := map[core.Approach]*core.RunReport{}
+	for _, approach := range []core.Approach{core.CurrentPractice, core.Nautilus} {
+		inst, err := spec.Build(workloads.Mini, experiments.MiniHardware())
+		fatalIf(err)
+		dir, err := os.MkdirTemp("", "nautilus-compare-")
+		fatalIf(err)
+		cfg := core.DefaultConfig(dir)
+		cfg.Approach = approach
+		cfg.HW = experiments.MiniHardware()
+		cfg.Seed = seed
+		cfg.MaxRecords = 600
+		report, err := core.Run(inst, cfg, seed, cycles)
+		os.RemoveAll(dir)
+		fatalIf(err)
+		reports[approach] = report
+		fmt.Printf("%-18s total %v\n", approach, report.Total.Round(1e6))
+	}
+	cp, nt := reports[core.CurrentPractice], reports[core.Nautilus]
+	fmt.Printf("\nspeedup: %.2fX\n", cp.Total.Seconds()/nt.Total.Seconds())
+	fmt.Printf("%-6s %18s %12s\n", "cycle", "current-best-acc", "nautilus")
+	for i := range cp.Cycles {
+		fmt.Printf("%-6d %18.4f %12.4f\n", i+1, cp.Cycles[i].BestAcc, nt.Cycles[i].BestAcc)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nautilus-run:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,13 @@
+// Package nautilus is a from-scratch Go reproduction of "Nautilus: An
+// Optimized System for Deep Transfer Learning over Evolving Training
+// Datasets" (Nakandala & Kumar, SIGMOD 2022).
+//
+// The public entry points live in internal/core (the model-selection API),
+// internal/workloads (the paper's five evaluation workloads), and
+// internal/experiments (every table/figure regenerated). See README.md for
+// a tour, DESIGN.md for the system inventory, and EXPERIMENTS.md for
+// paper-vs-measured results. The root-level bench_test.go exposes one
+// benchmark per table and figure:
+//
+//	go test -bench=. -benchmem
+package nautilus

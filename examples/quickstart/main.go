@@ -1,0 +1,90 @@
+// Quickstart: the smallest end-to-end Nautilus session.
+//
+// It "downloads" a pre-trained mini BERT, declares a 4-candidate model
+// selection workload (2 feature-transfer strategies × 2 learning rates),
+// and runs three labeling cycles with Nautilus's materialization + fusion
+// optimizations, printing the best candidate after each cycle.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"nautilus/internal/core"
+	"nautilus/internal/data"
+	"nautilus/internal/graph"
+	"nautilus/internal/mmg"
+	"nautilus/internal/models"
+	"nautilus/internal/opt"
+	"nautilus/internal/profile"
+)
+
+func main() {
+	// 1. Load the pre-trained hub and describe the hardware.
+	hub := models.NewBERTHub(models.BERTMini())
+	hw := profile.Hardware{FLOPSThroughput: 5e9, DiskThroughput: 500e6, WorkspaceBytes: 256 << 20}
+
+	// 2. Build the candidate set Q = {(M_i, ϕ_i)}.
+	numClasses := 9 // BIO tags over 4 entity types
+	var items []opt.WorkItem
+	var candidates []*graph.Model
+	id := 0
+	for _, strat := range []models.FeatureStrategy{models.FeatLastHidden, models.FeatConcatLast4} {
+		for _, lr := range []float64{5e-3, 2e-3} {
+			m, err := hub.FeatureTransferModel(
+				fmt.Sprintf("%s-lr%g", strat, lr), strat, numClasses, int64(100+id))
+			if err != nil {
+				log.Fatal(err)
+			}
+			prof, err := profile.Profile(m, hw)
+			if err != nil {
+				log.Fatal(err)
+			}
+			items = append(items, opt.WorkItem{Model: m, Prof: prof, Epochs: 3, BatchSize: 8, LR: lr})
+			candidates = append(candidates, m)
+			id++
+		}
+	}
+	multi, err := mmg.Build(candidates...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Create the model-selection object (API → Profiler → Optimizer →
+	// Materializer → Trainer, paper Figure 3).
+	workDir, err := os.MkdirTemp("", "nautilus-quickstart-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(workDir)
+	cfg := core.DefaultConfig(workDir)
+	cfg.HW = hw
+	cfg.MaxRecords = 500
+	ms, err := core.New(items, multi, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ms.Close()
+
+	// 4. Simulated human labeler: 50 new records per cycle (40 train /
+	// 10 validation).
+	pool := data.SynthNER(data.NERConfig{Records: 400, Seq: 12, Vocab: 1024, Types: 4, Seed: 7})
+	labeler := data.NewLabeler(pool, 50, 40)
+
+	for cycle := 1; cycle <= 3; cycle++ {
+		snap, _, _ := labeler.NextCycle()
+		fit, err := ms.Fit(snap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cycle %d (%d train records): best %s with %.4f validation accuracy (%.2fs)\n",
+			fit.Cycle, snap.TrainSize(), fit.Best.Model, fit.Best.ValAcc, fit.Duration.Seconds())
+	}
+	if st := ms.InitStats(); st != nil {
+		fmt.Printf("\noptimizer: materialized %d shared expressions, trained %d fused groups instead of %d models\n",
+			st.Materialized, st.Groups, len(items))
+	}
+}

@@ -1,0 +1,390 @@
+// Package core is Nautilus's public-facing system layer (paper Figure 3):
+// a model-selection object over a candidate set Q = {(M_i, ϕ_i)} that, per
+// data-labeling cycle, (re-)optimizes the workload with the
+// materialization and model fusion optimizations, incrementally
+// materializes chosen intermediates, trains the optimized plans with one
+// optimizer per branch, and reports the best candidate by validation
+// accuracy.
+//
+// The Approach knob also exposes every baseline the paper evaluates
+// (Current Practice, MAT-ALL, Nautilus without either optimization), so
+// the experiment harness drives all approaches through one code path.
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"nautilus/internal/data"
+	"nautilus/internal/exec"
+	"nautilus/internal/graph"
+	"nautilus/internal/mmg"
+	"nautilus/internal/opt"
+	"nautilus/internal/profile"
+	"nautilus/internal/storage"
+	"nautilus/internal/train"
+)
+
+// Approach selects the execution strategy for a workload.
+type Approach string
+
+// Approaches evaluated in the paper (Sections 5.1 and 5.3).
+const (
+	// Nautilus applies both MAT OPT and FUSE OPT.
+	Nautilus Approach = "nautilus"
+	// CurrentPractice trains unmodified models independently, writing
+	// full checkpoints — the naive baseline.
+	CurrentPractice Approach = "current_practice"
+	// MatAll materializes every materializable layer and always loads at
+	// the frontier, regardless of cost.
+	MatAll Approach = "mat_all"
+	// NautilusNoFuse disables model fusion (Figure 8 ablation).
+	NautilusNoFuse Approach = "nautilus_no_fuse"
+	// NautilusNoMat disables materialization (Figure 8 ablation).
+	NautilusNoMat Approach = "nautilus_no_mat"
+)
+
+// Approaches lists every runnable approach.
+func Approaches() []Approach {
+	return []Approach{CurrentPractice, MatAll, Nautilus, NautilusNoFuse, NautilusNoMat}
+}
+
+// Config holds the system configuration (Section 3, API component).
+type Config struct {
+	Approach Approach
+	HW       profile.Hardware
+	// DiskBudgetBytes is B_disk (paper default 25 GB).
+	DiskBudgetBytes int64
+	// MemBudgetBytes is B_mem (paper default 10 GB).
+	MemBudgetBytes int64
+	// MaxRecords is the initial expected maximum training records r; it
+	// grows by exponential backoff (factor 2) when exceeded.
+	MaxRecords int
+	// Solver is the materialization solver ("bnb" or "milp").
+	Solver string
+	// WorkDir hosts the tensor store and checkpoints.
+	WorkDir string
+	// Seed drives mini-batch shuffling.
+	Seed int64
+	// Loss defaults to softmax cross-entropy.
+	Loss train.Loss
+	// PageCacheBytes sizes the tensor store's DRAM row cache (the OS
+	// page-cache stand-in, Section 3). 0 disables it.
+	PageCacheBytes int64
+	// Prefetch overlaps feed assembly with compute during training.
+	Prefetch bool
+}
+
+// DefaultConfig returns the paper's experimental configuration.
+func DefaultConfig(workDir string) Config {
+	return Config{
+		Approach:        Nautilus,
+		HW:              profile.DefaultHardware(),
+		DiskBudgetBytes: 25 << 30,
+		MemBudgetBytes:  10 << 30,
+		MaxRecords:      1000,
+		WorkDir:         workDir,
+		Seed:            1,
+		Loss:            train.SoftmaxCrossEntropy{},
+		PageCacheBytes:  2 << 30,
+		Prefetch:        true,
+	}
+}
+
+// InitStats breaks down workload initialization time (Figure 6B's
+// "workload initialization" bar).
+type InitStats struct {
+	OptimizeTime  time.Duration
+	MatSolveNodes int
+	// Materialized is the chosen |V| and its storage footprint.
+	Materialized int
+	StorageBytes int64
+	// Groups is the number of training groups after fusion.
+	Groups int
+}
+
+// CandidateResult reports one candidate model's outcome for a cycle.
+type CandidateResult struct {
+	Model   string
+	ValAcc  float64
+	ValLoss float64
+	Item    opt.WorkItem
+}
+
+// FitResult reports one model-selection cycle.
+type FitResult struct {
+	Cycle   int
+	Best    CandidateResult
+	Results []CandidateResult
+	// Duration is the cycle's wall time (training + materialization).
+	Duration time.Duration
+	// ReOptimized reports whether exponential backoff re-ran the
+	// optimizer this cycle.
+	ReOptimized bool
+}
+
+// ModelSelection is the Nautilus model-selection object. Create one per
+// workload, then call Fit once per labeling cycle with the accumulated
+// snapshot.
+type ModelSelection struct {
+	cfg   Config
+	items []opt.WorkItem
+	mm    *mmg.MultiModel
+
+	metrics *exec.Metrics
+	store   *storage.TensorStore
+	trainer *exec.Trainer
+
+	r            int
+	groups       []*opt.FusedGroup
+	matSigs      map[graph.Signature]bool
+	materializer *exec.Materializer
+	init         *InitStats
+	cycle        int
+}
+
+// New creates a model-selection object for the candidate set.
+func New(items []opt.WorkItem, mm *mmg.MultiModel, cfg Config) (*ModelSelection, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("core: empty candidate set")
+	}
+	if cfg.Loss == nil {
+		cfg.Loss = train.SoftmaxCrossEntropy{}
+	}
+	if cfg.Approach == "" {
+		cfg.Approach = Nautilus
+	}
+	if cfg.MaxRecords <= 0 {
+		cfg.MaxRecords = 1000
+	}
+	metrics := exec.NewMetrics()
+	store, err := storage.NewTensorStore(filepath.Join(cfg.WorkDir, "store"), metrics.Disk)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.PageCacheBytes > 0 {
+		store.EnableCache(cfg.PageCacheBytes)
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.WorkDir, "checkpoints"), 0o755); err != nil {
+		return nil, err
+	}
+	return &ModelSelection{
+		cfg:     cfg,
+		items:   items,
+		mm:      mm,
+		metrics: metrics,
+		store:   store,
+		trainer: &exec.Trainer{Store: store, Loss: cfg.Loss, Seed: cfg.Seed, Metrics: metrics, Prefetch: cfg.Prefetch},
+	}, nil
+}
+
+// Close releases the tensor store.
+func (ms *ModelSelection) Close() error { return ms.store.Close() }
+
+// Metrics exposes accumulated execution accounting.
+func (ms *ModelSelection) Metrics() *exec.Metrics { return ms.metrics }
+
+// InitStats returns the optimizer statistics of the last (re-)optimization.
+func (ms *ModelSelection) InitStats() *InitStats { return ms.init }
+
+// Groups exposes the optimized training plan for inspection.
+func (ms *ModelSelection) Groups() []*opt.FusedGroup { return ms.groups }
+
+// MaterializedSignatures returns the chosen set V.
+func (ms *ModelSelection) MaterializedSignatures() map[graph.Signature]bool { return ms.matSigs }
+
+// Fit runs one model-selection cycle on the snapshot: it (re-)optimizes if
+// needed (first call, or the exponential backoff limit was crossed),
+// incrementally materializes, trains every group, and returns per-candidate
+// validation results.
+func (ms *ModelSelection) Fit(snap data.Snapshot) (*FitResult, error) {
+	started := time.Now()
+	ms.cycle++
+	reopt := false
+	if ms.groups == nil || snap.TrainSize() > ms.r {
+		if err := ms.optimize(snap.TrainSize()); err != nil {
+			return nil, err
+		}
+		reopt = true
+	}
+	if ms.materializer != nil {
+		if err := ms.materializer.SyncSplit(exec.Train, snap.TrainX); err != nil {
+			return nil, err
+		}
+		if err := ms.materializer.SyncSplit(exec.Valid, snap.ValidX); err != nil {
+			return nil, err
+		}
+	}
+
+	// Model selection restarts every candidate from its initial weights.
+	for _, it := range ms.items {
+		for _, p := range it.Model.TrainableParams() {
+			p.Reset()
+		}
+	}
+
+	res := &FitResult{Cycle: ms.cycle, ReOptimized: reopt}
+	for gi, g := range ms.groups {
+		branches, err := ms.trainer.TrainGroup(g, snap)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range branches {
+			res.Results = append(res.Results, CandidateResult{
+				Model: b.Item.Model.Name, ValAcc: b.ValAcc, ValLoss: b.ValLoss, Item: b.Item,
+			})
+		}
+		ckpt := filepath.Join(ms.cfg.WorkDir, "checkpoints", fmt.Sprintf("cycle%d_group%d.nckp", ms.cycle, gi))
+		full := ms.cfg.Approach == CurrentPractice
+		if err := ms.trainer.Checkpoint(g, ckpt, full); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(res.Results, func(i, j int) bool { return res.Results[i].Model < res.Results[j].Model })
+	for _, r := range res.Results {
+		if r.ValAcc > res.Best.ValAcc {
+			res.Best = r
+		}
+	}
+	res.Duration = time.Since(started)
+	return res, nil
+}
+
+// WorkloadPlan is the output of PlanWorkload: the optimized (or baseline)
+// training plan for a candidate set.
+type WorkloadPlan struct {
+	Groups  []*opt.FusedGroup
+	MatSigs map[graph.Signature]bool
+	Stats   InitStats
+}
+
+// PlanWorkload produces the training plan for the given approach: the
+// materialized set V and the grouped reuse plans. Both the live system
+// (ModelSelection) and the paper-scale simulator consume it, so simulated
+// experiments replay exactly the decisions the real system makes.
+func PlanWorkload(items []opt.WorkItem, mm *mmg.MultiModel, cfg Config, maxRecords int) (*WorkloadPlan, error) {
+	start := time.Now()
+	wp := &WorkloadPlan{MatSigs: map[graph.Signature]bool{}}
+
+	switch cfg.Approach {
+	case CurrentPractice:
+		groups, err := singletonGroups(items, opt.CurrentPracticePlan)
+		if err != nil {
+			return nil, err
+		}
+		wp.Groups = groups
+	case MatAll:
+		for _, n := range mm.MaterializableNodes() {
+			wp.MatSigs[mm.Sig[n]] = true
+		}
+		groups, err := singletonGroups(items, opt.ForcedLoadPlan)
+		if err != nil {
+			return nil, err
+		}
+		wp.Groups = groups
+	case Nautilus, NautilusNoFuse, NautilusNoMat:
+		if cfg.Approach != NautilusNoMat {
+			matRes, err := opt.OptimizeMaterialization(mm, items, opt.MatConfig{
+				DiskBudgetBytes: cfg.DiskBudgetBytes,
+				MaxRecords:      maxRecords,
+				Solver:          cfg.Solver,
+			})
+			if err != nil {
+				return nil, err
+			}
+			wp.MatSigs = matRes.Sigs
+			wp.Stats.Materialized = len(matRes.Materialized)
+			wp.Stats.StorageBytes = matRes.StorageBytes
+			wp.Stats.MatSolveNodes = matRes.NodesExplored
+		}
+		if cfg.Approach == NautilusNoFuse {
+			sigs := wp.MatSigs
+			groups, err := singletonGroups(items, func(prof *profile.ModelProfile) *opt.Plan {
+				plan, err := opt.SolveReusePlan(prof, sigs)
+				if err != nil {
+					panic(err) // profile is valid by construction
+				}
+				return plan
+			})
+			if err != nil {
+				return nil, err
+			}
+			wp.Groups = groups
+		} else {
+			groups, err := opt.FuseModels(items, wp.MatSigs, opt.FuseConfig{
+				MemBudgetBytes:     cfg.MemBudgetBytes,
+				OptimizerSlotBytes: 2, // Adam
+			})
+			if err != nil {
+				return nil, err
+			}
+			wp.Groups = groups
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown approach %q", cfg.Approach)
+	}
+	wp.Stats.OptimizeTime = time.Since(start)
+	wp.Stats.Groups = len(wp.Groups)
+	return wp, nil
+}
+
+// optimize (re-)runs the workload optimization for the configured
+// approach, growing r by exponential backoff until it covers trainSize
+// (Section 4.2.3).
+func (ms *ModelSelection) optimize(trainSize int) error {
+	if ms.r == 0 {
+		ms.r = ms.cfg.MaxRecords
+	}
+	for ms.r < trainSize {
+		ms.r *= 2
+	}
+	wp, err := PlanWorkload(ms.items, ms.mm, ms.cfg, ms.r)
+	if err != nil {
+		return err
+	}
+	ms.groups = wp.Groups
+	ms.matSigs = wp.MatSigs
+
+	// Rebuild the materializer for the (possibly changed) set V.
+	if ms.materializer != nil {
+		if err := ms.materializer.Reset(); err != nil {
+			return err
+		}
+		ms.materializer = nil
+	}
+	if len(ms.matSigs) > 0 {
+		mz, err := exec.NewMaterializer(ms.store, ms.mm, ms.matSigs)
+		if err != nil {
+			return err
+		}
+		ms.materializer = mz
+	}
+	stats := wp.Stats
+	ms.init = &stats
+	return nil
+}
+
+// singletonGroups wraps every item as its own group with the given plan
+// builder applied to the item's (single-model) merged graph.
+func singletonGroups(items []opt.WorkItem, planFor func(*profile.ModelProfile) *opt.Plan) ([]*opt.FusedGroup, error) {
+	var groups []*opt.FusedGroup
+	for _, it := range items {
+		m, err := mmg.Build(it.Model)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := profile.Profile(m.Graph, it.Prof.HW)
+		if err != nil {
+			return nil, err
+		}
+		groups = append(groups, &opt.FusedGroup{
+			Items: []opt.WorkItem{it},
+			MM:    m,
+			Plan:  planFor(prof),
+		})
+	}
+	return groups, nil
+}

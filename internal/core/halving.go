@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nautilus/internal/data"
+	"nautilus/internal/exec"
+	"nautilus/internal/opt"
+)
+
+// HalvingConfig parameterizes successive halving, one of the "more complex
+// model selection procedures" the paper defers to future work (Section 6).
+// Rung r trains every surviving candidate for RungEpochs[r] epochs from its
+// initial weights, then keeps the top half by validation accuracy.
+type HalvingConfig struct {
+	// RungEpochs lists the per-rung epoch budgets, e.g. {1, 2, 5}. The
+	// final rung's survivors are ranked for the cycle's result.
+	RungEpochs []int
+	// Keep is the survival fraction per rung (default 0.5).
+	Keep float64
+}
+
+// HalvingResult reports one successive-halving cycle.
+type HalvingResult struct {
+	FitResult
+	// RungSurvivors records how many candidates entered each rung.
+	RungSurvivors []int
+	// TotalEpochsTrained sums candidate×epoch across rungs, the budget
+	// halving saves relative to full-epoch training of every candidate.
+	TotalEpochsTrained int
+}
+
+// FitHalving runs one model-selection cycle under successive halving: each
+// rung re-plans (and re-fuses) just the surviving candidates, so fusion
+// groups shrink with the field. Materialized artifacts are shared across
+// rungs.
+func (ms *ModelSelection) FitHalving(snap data.Snapshot, cfg HalvingConfig) (*HalvingResult, error) {
+	if len(cfg.RungEpochs) == 0 {
+		return nil, fmt.Errorf("core: halving needs at least one rung")
+	}
+	keep := cfg.Keep
+	if keep <= 0 || keep >= 1 {
+		keep = 0.5
+	}
+	ms.cycle++
+	// Ensure materialization is in place (same path as Fit).
+	if ms.groups == nil || snap.TrainSize() > ms.r {
+		if err := ms.optimize(snap.TrainSize()); err != nil {
+			return nil, err
+		}
+	}
+	if ms.materializer != nil {
+		if err := ms.materializer.SyncSplit(exec.Train, snap.TrainX); err != nil {
+			return nil, err
+		}
+		if err := ms.materializer.SyncSplit(exec.Valid, snap.ValidX); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &HalvingResult{}
+	res.Cycle = ms.cycle
+	survivors := append([]opt.WorkItem(nil), ms.items...)
+
+	for rung, epochs := range cfg.RungEpochs {
+		res.RungSurvivors = append(res.RungSurvivors, len(survivors))
+		res.TotalEpochsTrained += epochs * len(survivors)
+
+		// Fresh start per rung: reset weights, override the epoch budget.
+		rungItems := make([]opt.WorkItem, len(survivors))
+		for i, it := range survivors {
+			for _, p := range it.Model.TrainableParams() {
+				p.Reset()
+			}
+			it.Epochs = epochs
+			rungItems[i] = it
+		}
+		groups, err := opt.FuseModels(rungItems, ms.matSigs, opt.FuseConfig{
+			MemBudgetBytes:     ms.cfg.MemBudgetBytes,
+			OptimizerSlotBytes: 2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var rungResults []CandidateResult
+		for _, g := range groups {
+			branches, err := ms.trainer.TrainGroup(g, snap)
+			if err != nil {
+				return nil, err
+			}
+			for _, b := range branches {
+				rungResults = append(rungResults, CandidateResult{
+					Model: b.Item.Model.Name, ValAcc: b.ValAcc, ValLoss: b.ValLoss, Item: b.Item,
+				})
+			}
+		}
+		sort.Slice(rungResults, func(i, j int) bool { return rungResults[i].ValAcc > rungResults[j].ValAcc })
+
+		if rung == len(cfg.RungEpochs)-1 {
+			res.Results = rungResults
+			res.Best = rungResults[0]
+			break
+		}
+		n := int(float64(len(rungResults)) * keep)
+		if n < 1 {
+			n = 1
+		}
+		kept := map[string]bool{}
+		for _, r := range rungResults[:n] {
+			kept[r.Model] = true
+		}
+		var next []opt.WorkItem
+		for _, it := range survivors {
+			if kept[it.Model.Name] {
+				next = append(next, it)
+			}
+		}
+		survivors = next
+	}
+	return res, nil
+}

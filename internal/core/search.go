@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"nautilus/internal/graph"
+	"nautilus/internal/mmg"
+	"nautilus/internal/opt"
+	"nautilus/internal/profile"
+)
+
+// SearchSpace maps parameter names to their candidate values, as in the
+// paper's Scikit-Learn-inspired API (Section 3): both architectural tuning
+// parameters (which layers to add, prune, or freeze) and training
+// hyperparameters live in one space, interpreted by the user's model
+// initialization function.
+type SearchSpace map[string][]any
+
+// Hyper carries the training hyperparameters ϕ_i of one candidate.
+type Hyper struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+}
+
+// ModelInitFunc is the user-defined model initialization function: it
+// receives one assignment of search-space values and returns the candidate
+// model (with its freezing scheme applied) plus its training
+// hyperparameters.
+type ModelInitFunc func(params map[string]any) (*graph.Model, Hyper, error)
+
+// GridSearch enumerates the full cross product of the search space,
+// initializes and profiles every candidate, and returns the workload ready
+// for New.
+func GridSearch(space SearchSpace, init ModelInitFunc, hw profile.Hardware) ([]opt.WorkItem, *mmg.MultiModel, error) {
+	assignments := enumerate(space)
+	return buildItems(assignments, init, hw)
+}
+
+// RandomSearch samples n distinct assignments from the search space with
+// the given seed. If the space holds fewer than n assignments, all of them
+// are used (random search degrades to grid search, as in practice).
+func RandomSearch(space SearchSpace, n int, seed int64, init ModelInitFunc, hw profile.Hardware) ([]opt.WorkItem, *mmg.MultiModel, error) {
+	assignments := enumerate(space)
+	if n < len(assignments) {
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(assignments), func(i, j int) {
+			assignments[i], assignments[j] = assignments[j], assignments[i]
+		})
+		assignments = assignments[:n]
+	}
+	return buildItems(assignments, init, hw)
+}
+
+// enumerate expands the cross product in deterministic (sorted-key) order.
+func enumerate(space SearchSpace) []map[string]any {
+	keys := make([]string, 0, len(space))
+	for k := range space {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	assignments := []map[string]any{{}}
+	for _, k := range keys {
+		var next []map[string]any
+		for _, a := range assignments {
+			for _, v := range space[k] {
+				na := make(map[string]any, len(a)+1)
+				for kk, vv := range a {
+					na[kk] = vv
+				}
+				na[k] = v
+				next = append(next, na)
+			}
+		}
+		assignments = next
+	}
+	return assignments
+}
+
+func buildItems(assignments []map[string]any, init ModelInitFunc, hw profile.Hardware) ([]opt.WorkItem, *mmg.MultiModel, error) {
+	if len(assignments) == 0 {
+		return nil, nil, fmt.Errorf("core: empty search space")
+	}
+	var items []opt.WorkItem
+	var ms []*graph.Model
+	for i, a := range assignments {
+		m, hyper, err := init(a)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: init candidate %d (%v): %w", i, a, err)
+		}
+		prof, err := profile.Profile(m, hw)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: profile candidate %q: %w", m.Name, err)
+		}
+		items = append(items, opt.WorkItem{
+			Model: m, Prof: prof,
+			Epochs: hyper.Epochs, BatchSize: hyper.BatchSize, LR: hyper.LR,
+		})
+		ms = append(ms, m)
+	}
+	multi, err := mmg.Build(ms...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return items, multi, nil
+}
+
+// AddCandidates grows the workload with new candidates mid-run (the
+// "evolving model selection workloads" extension of Section 7): the
+// multi-model graph is rebuilt and the next Fit re-runs the optimization,
+// keeping existing materialized artifacts that the new plan still uses.
+func (ms *ModelSelection) AddCandidates(items ...opt.WorkItem) error {
+	if len(items) == 0 {
+		return nil
+	}
+	next := append(append([]opt.WorkItem(nil), ms.items...), items...)
+	return ms.resetWorkload(next)
+}
+
+// RemoveCandidate drops a candidate by model name; the next Fit
+// re-optimizes the remaining workload.
+func (ms *ModelSelection) RemoveCandidate(name string) error {
+	var next []opt.WorkItem
+	found := false
+	for _, it := range ms.items {
+		if it.Model.Name == name {
+			found = true
+			continue
+		}
+		next = append(next, it)
+	}
+	if !found {
+		return fmt.Errorf("core: no candidate named %q", name)
+	}
+	if len(next) == 0 {
+		return fmt.Errorf("core: removing %q would empty the workload", name)
+	}
+	return ms.resetWorkload(next)
+}
+
+// Candidates returns the current candidate model names.
+func (ms *ModelSelection) Candidates() []string {
+	names := make([]string, len(ms.items))
+	for i, it := range ms.items {
+		names[i] = it.Model.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// resetWorkload swaps the candidate set and invalidates the optimized
+// plan; the materialized store is reconciled on the next optimize pass.
+func (ms *ModelSelection) resetWorkload(items []opt.WorkItem) error {
+	models := make([]*graph.Model, len(items))
+	for i, it := range items {
+		models[i] = it.Model
+	}
+	multi, err := mmg.Build(models...)
+	if err != nil {
+		return err
+	}
+	ms.items = items
+	ms.mm = multi
+	ms.groups = nil // force re-optimization on next Fit
+	return nil
+}

@@ -1,0 +1,138 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+
+	"nautilus/internal/tensor"
+)
+
+// UnlabeledIndices returns the pool indices not yet labeled, in order.
+func (p *Pool) UnlabeledIndices() []int {
+	p.ensureLabeled()
+	var idx []int
+	for i := 0; i < p.Size(); i++ {
+		if !p.labeled[i] {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// GatherX copies the given records' inputs into a [len(idx), ...] tensor,
+// e.g. to score unlabeled candidates with the current best model.
+func (p *Pool) GatherX(idx []int) *tensor.Tensor {
+	shape := append([]int(nil), p.X.Shape()...)
+	rec := p.X.Len() / shape[0]
+	shape[0] = len(idx)
+	out := tensor.New(shape...)
+	for i, r := range idx {
+		copy(out.Data()[i*rec:(i+1)*rec], p.X.Data()[r*rec:(r+1)*rec])
+	}
+	return out
+}
+
+// LabelIndices releases the labels of specific records (active learning's
+// "label the most informative batch", Figure 1A). Already-labeled indices
+// are rejected.
+func (p *Pool) LabelIndices(idx []int) (x, y *tensor.Tensor, err error) {
+	p.ensureLabeled()
+	for _, r := range idx {
+		if r < 0 || r >= p.Size() {
+			return nil, nil, fmt.Errorf("data: index %d out of pool size %d", r, p.Size())
+		}
+		if p.labeled[r] {
+			return nil, nil, fmt.Errorf("data: record %d already labeled", r)
+		}
+	}
+	for _, r := range idx {
+		p.labeled[r] = true
+	}
+	xs := p.GatherX(idx)
+	yShape := append([]int(nil), p.Y.Shape()...)
+	lrec := p.Y.Len() / yShape[0]
+	yShape[0] = len(idx)
+	ys := tensor.New(yShape...)
+	for i, r := range idx {
+		copy(ys.Data()[i*lrec:(i+1)*lrec], p.Y.Data()[r*lrec:(r+1)*lrec])
+	}
+	return xs, ys, nil
+}
+
+// ensureLabeled lazily allocates the labeled bitmap.
+func (p *Pool) ensureLabeled() {
+	if p.labeled == nil {
+		p.labeled = make([]bool, p.Size())
+	}
+}
+
+// ActiveLabeler drives active-learning cycles (Figure 1A): each cycle the
+// caller scores the unlabeled pool with the current best model and the
+// labeler releases the top-scoring batch, growing the snapshot exactly as
+// the sequential Labeler does.
+type ActiveLabeler struct {
+	Pool          *Pool
+	PerCycle      int
+	TrainPerCycle int
+
+	cycle int
+	cur   Snapshot
+}
+
+// NewActiveLabeler returns an active labeler with the given cycle shape.
+func NewActiveLabeler(pool *Pool, perCycle, trainPerCycle int) *ActiveLabeler {
+	if trainPerCycle <= 0 || trainPerCycle >= perCycle {
+		panic(fmt.Sprintf("data: trainPerCycle %d must be in (0, %d)", trainPerCycle, perCycle))
+	}
+	pool.ensureLabeled()
+	return &ActiveLabeler{Pool: pool, PerCycle: perCycle, TrainPerCycle: trainPerCycle}
+}
+
+// HasMore reports whether a full cycle's worth of unlabeled data remains.
+func (l *ActiveLabeler) HasMore() bool {
+	return len(l.Pool.UnlabeledIndices()) >= l.PerCycle
+}
+
+// Snapshot returns the accumulated snapshot.
+func (l *ActiveLabeler) Snapshot() Snapshot { return l.cur }
+
+// NextCycle labels the next batch and returns the grown snapshot. scores,
+// when non-nil, must align with the current UnlabeledIndices(); the
+// highest-scoring records are labeled first (uncertainty sampling). A nil
+// scores falls back to pool order, reproducing the sequential Labeler.
+func (l *ActiveLabeler) NextCycle(scores []float64) (Snapshot, error) {
+	unlabeled := l.Pool.UnlabeledIndices()
+	if len(unlabeled) < l.PerCycle {
+		return l.cur, fmt.Errorf("data: only %d unlabeled records left, need %d", len(unlabeled), l.PerCycle)
+	}
+	pick := make([]int, len(unlabeled))
+	copy(pick, unlabeled)
+	if scores != nil {
+		if len(scores) != len(unlabeled) {
+			return l.cur, fmt.Errorf("data: %d scores for %d unlabeled records", len(scores), len(unlabeled))
+		}
+		order := make([]int, len(unlabeled))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+		for i, o := range order {
+			pick[i] = unlabeled[o]
+		}
+	}
+	batch := pick[:l.PerCycle]
+	x, y, err := l.Pool.LabelIndices(batch)
+	if err != nil {
+		return l.cur, err
+	}
+	tn := l.TrainPerCycle
+	l.cycle++
+	l.cur = Snapshot{
+		Cycle:  l.cycle,
+		TrainX: append0(l.cur.TrainX, slice0(x, 0, tn)),
+		TrainY: append0(l.cur.TrainY, slice0(y, 0, tn)),
+		ValidX: append0(l.cur.ValidX, slice0(x, tn, l.PerCycle)),
+		ValidY: append0(l.cur.ValidY, slice0(y, tn, l.PerCycle)),
+	}
+	return l.cur, nil
+}

@@ -1,0 +1,151 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+
+	"nautilus/internal/tensor"
+)
+
+// NERConfig parameterizes the synthetic CoNLL-like corpus.
+type NERConfig struct {
+	Records int
+	Seq     int // tokens per record (CoNLL averages ~20 words/record)
+	Vocab   int
+	Types   int // entity types (CoNLL-2003 has PER/LOC/ORG/MISC = 4)
+	Seed    int64
+}
+
+// NumClasses returns the BIO tag count: O plus B-t/I-t per type.
+func (c NERConfig) NumClasses() int { return 1 + 2*c.Types }
+
+// ConNLLLike returns the paper-scale synthetic NER configuration: a
+// 10,000-record pool (the CoNLL-2003 pool size used in the paper) of
+// ~20-word sentences padded to BERTBase's 128-token fine-tuning bucket.
+func ConNLLLike() NERConfig {
+	return NERConfig{Records: 10000, Seq: 128, Vocab: 30522, Types: 4, Seed: 1301}
+}
+
+// SynthNER generates a synthetic NER pool with planted token→entity
+// structure: the vocabulary is partitioned into per-type "name" bands and a
+// common band, entities span 1–3 tokens, and BIO labels follow the bands.
+// The mapping is learnable from token identity plus context, so accuracy
+// rises with more labeled data, which is what the learning-curve
+// experiments exercise.
+func SynthNER(cfg NERConfig) *Pool {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	x := tensor.New(cfg.Records, cfg.Seq)
+	y := tensor.New(cfg.Records, cfg.Seq)
+
+	// Vocabulary bands: [0, common) ordinary words, then one band per
+	// entity type.
+	common := cfg.Vocab / 2
+	bandWidth := (cfg.Vocab - common) / cfg.Types
+
+	for r := 0; r < cfg.Records; r++ {
+		xr := x.Data()[r*cfg.Seq : (r+1)*cfg.Seq]
+		yr := y.Data()[r*cfg.Seq : (r+1)*cfg.Seq]
+		s := 0
+		for s < cfg.Seq {
+			if rng.Float64() < 0.18 {
+				typ := rng.Intn(cfg.Types)
+				length := 1 + rng.Intn(3)
+				for j := 0; j < length && s < cfg.Seq; j++ {
+					// Entity-start tokens draw from the lower half of the
+					// type's band, continuations from the upper half, so
+					// the token→tag mapping is learnable from identity
+					// alone (context only sharpens it).
+					band := common + typ*bandWidth
+					half := bandWidth / 2
+					if j == 0 {
+						xr[s] = float32(band + rng.Intn(half))
+						yr[s] = float32(1 + 2*typ) // B-typ
+					} else {
+						xr[s] = float32(band + half + rng.Intn(bandWidth-half))
+						yr[s] = float32(2 + 2*typ) // I-typ
+					}
+					s++
+				}
+			} else {
+				xr[s] = float32(rng.Intn(common))
+				yr[s] = 0 // O
+				s++
+			}
+		}
+	}
+	return &Pool{Name: "synth-conll", X: x, Y: y}
+}
+
+// ImageConfig parameterizes the synthetic Malaria-like image pool.
+type ImageConfig struct {
+	Records int
+	H, W, C int
+	Seed    int64
+}
+
+// MalariaLike returns the paper-scale configuration: an 8,000-record pool
+// of 128×128 RGB cell images, matching the Malaria pool size in the paper.
+func MalariaLike() ImageConfig {
+	return ImageConfig{Records: 8000, H: 128, W: 128, C: 3, Seed: 1302}
+}
+
+// SynthImages generates a binary-classification image pool mimicking
+// parasitized vs uninfected blood-cell images: every image is a noisy cell
+// disc; positive images additionally contain a small bright parasite blob
+// at a random position. A CNN can learn the blob detector, so accuracy
+// rises with labeled data.
+func SynthImages(cfg ImageConfig) *Pool {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	x := tensor.New(cfg.Records, cfg.H, cfg.W, cfg.C)
+	y := tensor.New(cfg.Records)
+	rec := cfg.H * cfg.W * cfg.C
+
+	for r := 0; r < cfg.Records; r++ {
+		img := x.Data()[r*rec : (r+1)*rec]
+		// Cell body: radial disc with noise.
+		cx, cy := float64(cfg.W)/2, float64(cfg.H)/2
+		radius := 0.4 * float64(cfg.H)
+		for i := 0; i < cfg.H; i++ {
+			for j := 0; j < cfg.W; j++ {
+				d := dist(float64(i), float64(j), cy, cx)
+				base := float32(0.1)
+				if d < radius {
+					base = 0.6
+				}
+				for c := 0; c < cfg.C; c++ {
+					img[(i*cfg.W+j)*cfg.C+c] = base + float32(rng.NormFloat64()*0.08)
+				}
+			}
+		}
+		if r%2 == 0 {
+			// Parasite blob: a bright magenta spot inside the cell, sized
+			// proportionally to the image so it survives pooling.
+			y.Data()[r] = 1
+			bi := cfg.H/2 + rng.Intn(cfg.H/4) - cfg.H/8
+			bj := cfg.W/2 + rng.Intn(cfg.W/4) - cfg.W/8
+			size := cfg.H/4 + rng.Intn(2)
+			for di := 0; di < size; di++ {
+				for dj := 0; dj < size; dj++ {
+					i, j := bi+di, bj+dj
+					if i < 0 || i >= cfg.H || j < 0 || j >= cfg.W {
+						continue
+					}
+					px := img[(i*cfg.W+j)*cfg.C:]
+					px[0] = 1.0
+					if cfg.C > 1 {
+						px[1] = 0.2
+					}
+					if cfg.C > 2 {
+						px[2] = 0.9
+					}
+				}
+			}
+		}
+	}
+	return &Pool{Name: "synth-malaria", X: x, Y: y}
+}
+
+func dist(i, j, ci, cj float64) float64 {
+	di, dj := i-ci, j-cj
+	return math.Sqrt(di*di + dj*dj)
+}

@@ -1,0 +1,152 @@
+package exec
+
+import (
+	"fmt"
+
+	"nautilus/internal/graph"
+	"nautilus/internal/mmg"
+	"nautilus/internal/storage"
+	"nautilus/internal/tensor"
+)
+
+// Split names the dataset split a materialized artifact belongs to.
+type Split string
+
+// Dataset splits.
+const (
+	Train Split = "train"
+	Valid Split = "valid"
+)
+
+// storeKey builds the tensor-store key of one materialized expression on
+// one split.
+func storeKey(sig graph.Signature, split Split) string {
+	return sig.String() + "." + string(split)
+}
+
+// Materializer computes the chosen intermediate outputs for newly labeled
+// records and appends them to the tensor store — the incremental feature
+// materialization of Section 4.2.3.
+type Materializer struct {
+	store *storage.TensorStore
+
+	// matModel is the multi-model graph restricted to the chosen nodes.
+	matModel *graph.Model
+	// outputs maps each chosen node to its signature.
+	outputs map[*graph.Node]graph.Signature
+	// inputName is the dataset input node's name in the merged graph.
+	inputName string
+	// ChunkSize bounds how many records are forwarded at once.
+	ChunkSize int
+}
+
+// NewMaterializer builds a materializer for the chosen signatures over the
+// workload's multi-model graph. It returns nil (and no error) when nothing
+// is materialized.
+func NewMaterializer(store *storage.TensorStore, mm *mmg.MultiModel, sigs map[graph.Signature]bool) (*Materializer, error) {
+	var outs []*graph.Node
+	outputs := map[*graph.Node]graph.Signature{}
+	for _, n := range mm.Graph.Nodes() {
+		if sig, ok := mm.Sig[n]; ok && sigs[sig] {
+			outs = append(outs, n)
+			outputs[n] = sig
+		}
+	}
+	if len(outs) == 0 {
+		return nil, nil
+	}
+	inputs := mm.Graph.Inputs()
+	if len(inputs) != 1 {
+		return nil, fmt.Errorf("exec: materializer expects one dataset input, found %d", len(inputs))
+	}
+	return &Materializer{
+		store:     store,
+		matModel:  mm.Graph.WithOutputs(outs...),
+		outputs:   outputs,
+		inputName: inputs[0].Name,
+		ChunkSize: 64,
+	}, nil
+}
+
+// MaterializedSigs returns the signatures this materializer maintains.
+func (mz *Materializer) MaterializedSigs() []graph.Signature {
+	var out []graph.Signature
+	for _, sig := range mz.outputs {
+		out = append(out, sig)
+	}
+	return out
+}
+
+// AppendDelta computes the chosen outputs for the newly labeled records ΔD⁺
+// of one split and appends them to the store. Records must arrive in the
+// same order as the snapshot accumulates them.
+func (mz *Materializer) AppendDelta(split Split, deltaX *tensor.Tensor) error {
+	n := deltaX.Dim(0)
+	for lo := 0; lo < n; lo += mz.ChunkSize {
+		hi := lo + mz.ChunkSize
+		if hi > n {
+			hi = n
+		}
+		chunk := sliceRecords(deltaX, lo, hi)
+		tape, err := mz.matModel.Forward(map[string]*tensor.Tensor{mz.inputName: chunk}, false)
+		if err != nil {
+			return fmt.Errorf("exec: materialize: %w", err)
+		}
+		for node, sig := range mz.outputs {
+			if err := mz.store.Append(storeKey(sig, split), tape.Output(node)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SyncSplit brings the store up to date with a full split tensor: it
+// counts what is already materialized and appends only the missing tail.
+// Called once per model-selection cycle, it realizes incremental feature
+// materialization without explicit delta plumbing.
+func (mz *Materializer) SyncSplit(split Split, fullX *tensor.Tensor) error {
+	have := -1
+	for _, sig := range mz.outputs {
+		n, err := mz.store.Count(storeKey(sig, split))
+		if err != nil {
+			return err
+		}
+		if have < 0 || n < have {
+			have = n
+		}
+	}
+	total := fullX.Dim(0)
+	if have >= total {
+		return nil
+	}
+	return mz.AppendDelta(split, sliceRecords(fullX, have, total))
+}
+
+// Count returns how many records of a split are materialized for sig.
+func (mz *Materializer) Count(sig graph.Signature, split Split) (int, error) {
+	return mz.store.Count(storeKey(sig, split))
+}
+
+// Reset drops all artifacts of this materializer (used when the
+// exponential-backoff re-optimization changes the materialized set).
+func (mz *Materializer) Reset() error {
+	for _, sig := range mz.outputs {
+		for _, split := range []Split{Train, Valid} {
+			if err := mz.store.Delete(storeKey(sig, split)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sliceRecords copies records [lo,hi) along dim 0.
+func sliceRecords(t *tensor.Tensor, lo, hi int) *tensor.Tensor {
+	shape := append([]int(nil), t.Shape()...)
+	rec := t.Len() / shape[0]
+	shape[0] = hi - lo
+	out := tensor.New(shape...)
+	copy(out.Data(), t.Data()[lo*rec:hi*rec])
+	return out
+}

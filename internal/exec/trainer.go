@@ -1,0 +1,252 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"nautilus/internal/data"
+	"nautilus/internal/graph"
+	"nautilus/internal/opt"
+	"nautilus/internal/storage"
+	"nautilus/internal/tensor"
+	"nautilus/internal/train"
+)
+
+// Trainer trains fused (or singleton) reuse-plan models on dataset
+// snapshots, reading materialized intermediates from the tensor store. One
+// optimizer instance runs per trainable branch, each branch belonging to
+// one source model of the group (the multi-optimizer training of
+// Section 3).
+type Trainer struct {
+	Store *storage.TensorStore
+	Loss  train.Loss
+	// NewOptimizer builds a branch optimizer from its work item; defaults
+	// to Adam at the item's learning rate.
+	NewOptimizer func(opt.WorkItem) train.Optimizer
+	// Seed drives mini-batch shuffling.
+	Seed int64
+	// Metrics, when set, accumulates execution accounting.
+	Metrics *Metrics
+	// Prefetch overlaps the next mini-batch's feed assembly (store reads
+	// + gathers) with the current batch's compute — the pipelining the
+	// paper notes can hide load costs (Section 4.2.1). Results are
+	// bit-identical with or without it.
+	Prefetch bool
+}
+
+// BranchResult reports one source model's training outcome.
+type BranchResult struct {
+	Item      opt.WorkItem
+	ValAcc    float64
+	ValLoss   float64
+	FinalLoss float64
+}
+
+// TrainGroup trains one fused group for its epoch count on the snapshot
+// and evaluates every branch on the validation split. Training a group is
+// logically equivalent to training each member separately (Section 5.2);
+// the equivalence tests in this package verify it.
+func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchResult, error) {
+	started := time.Now()
+	planModel, feeds, err := opt.BuildPlanModel(g.Plan)
+	if err != nil {
+		return nil, err
+	}
+	if len(planModel.Outputs) != len(g.Items) {
+		return nil, fmt.Errorf("exec: %d outputs for %d branches", len(planModel.Outputs), len(g.Items))
+	}
+	newOpt := t.NewOptimizer
+	if newOpt == nil {
+		newOpt = func(it opt.WorkItem) train.Optimizer { return train.NewAdam(it.LR) }
+	}
+
+	// Branch optimizers over each source model's trainable params (layer
+	// instances are shared between source models and the plan model).
+	type branch struct {
+		out    *graph.Node
+		opt    train.Optimizer
+		params map[*graph.Param]bool
+	}
+	branches := make([]branch, len(g.Items))
+	for i, it := range g.Items {
+		params := map[*graph.Param]bool{}
+		for _, p := range it.Model.TrainableParams() {
+			params[p] = true
+		}
+		branches[i] = branch{out: planModel.Outputs[i], opt: newOpt(it), params: params}
+	}
+
+	computePerRecord := g.Plan.ComputeFLOPsPerRecord()
+	loadPerRecord := g.Plan.LoadBytesPerRecord()
+	rng := rand.New(rand.NewSource(t.Seed))
+	n := snap.TrainSize()
+	var lastLoss float64
+
+	for epoch := 0; epoch < g.Epochs(); epoch++ {
+		batches := train.Batches(n, g.BatchSize(), rng)
+		nextFeeds := t.feedPipeline(planModel, feeds, snap, batches)
+		for _, idx := range batches {
+			fed := <-nextFeeds
+			if fed.err != nil {
+				return nil, fed.err
+			}
+			feedsMap := fed.feeds
+			tape, err := planModel.Forward(feedsMap, true)
+			if err != nil {
+				return nil, err
+			}
+			yb := train.Gather(snap.TrainY, idx)
+			outGrads := map[string]*tensor.Tensor{}
+			for _, b := range branches {
+				loss, grad := t.Loss.Compute(tape.Output(b.out), yb)
+				lastLoss = loss
+				outGrads[b.out.Name] = grad
+			}
+			if err := tape.Backward(outGrads); err != nil {
+				return nil, err
+			}
+			all := tape.ParamGrads()
+			for _, b := range branches {
+				mine := map[*graph.Param]*tensor.Tensor{}
+				for p, gr := range all {
+					if b.params[p] {
+						mine[p] = gr
+					}
+				}
+				b.opt.Step(mine)
+			}
+			if t.Metrics != nil {
+				t.Metrics.ComputeFLOPs += computePerRecord * int64(len(idx))
+				t.Metrics.LoadBytes += loadPerRecord * int64(len(idx))
+				t.Metrics.TrainSteps++
+			}
+		}
+	}
+
+	// Validation per branch.
+	results := make([]BranchResult, len(g.Items))
+	for i := range results {
+		results[i] = BranchResult{Item: g.Items[i], FinalLoss: lastLoss}
+	}
+	vn := snap.ValidSize()
+	if vn > 0 {
+		correctW := make([]float64, len(branches))
+		lossW := make([]float64, len(branches))
+		idxAll := make([]int, vn)
+		for i := range idxAll {
+			idxAll[i] = i
+		}
+		bs := g.BatchSize()
+		for lo := 0; lo < vn; lo += bs {
+			hi := lo + bs
+			if hi > vn {
+				hi = vn
+			}
+			idx := idxAll[lo:hi]
+			feedsMap, err := t.batchFeeds(planModel, feeds, Valid, snap.ValidX, idx)
+			if err != nil {
+				return nil, err
+			}
+			tape, err := planModel.Forward(feedsMap, false)
+			if err != nil {
+				return nil, err
+			}
+			yb := train.Gather(snap.ValidY, idx)
+			w := float64(len(idx)) / float64(vn)
+			for bi, b := range branches {
+				out := tape.Output(b.out)
+				correctW[bi] += t.Loss.Accuracy(out, yb) * w
+				l, _ := t.Loss.Compute(out, yb)
+				lossW[bi] += l * w
+			}
+			if t.Metrics != nil {
+				// Validation pays the forward-only share of the plan.
+				t.Metrics.ComputeFLOPs += g.Plan.ForwardFLOPsPerRecord() * int64(len(idx))
+				t.Metrics.LoadBytes += loadPerRecord * int64(len(idx))
+			}
+		}
+		for i := range results {
+			results[i].ValAcc = correctW[i]
+			results[i].ValLoss = lossW[i]
+		}
+	}
+	if t.Metrics != nil {
+		t.Metrics.Wall += time.Since(started)
+	}
+	return results, nil
+}
+
+// batchFeeds assembles the feed map for one mini-batch: dataset inputs
+// gather from the in-memory snapshot, materialized feeds read from the
+// store.
+func (t *Trainer) batchFeeds(planModel *graph.Model, feedSigs map[string]graph.Signature, split Split, x *tensor.Tensor, idx []int) (map[string]*tensor.Tensor, error) {
+	feeds := map[string]*tensor.Tensor{}
+	for _, in := range planModel.Inputs() {
+		if sig, ok := feedSigs[in.Name]; ok {
+			rows, err := t.Store.ReadRows(storeKey(sig, split), idx)
+			if err != nil {
+				return nil, fmt.Errorf("exec: read materialized %v: %w", sig, err)
+			}
+			feeds[in.Name] = rows
+			continue
+		}
+		feeds[in.Name] = train.Gather(x, idx)
+	}
+	return feeds, nil
+}
+
+// Checkpoint writes the group's trained weights. Nautilus plans persist
+// only trainable parameters (frozen weights reproduce from the hub), which
+// is the disk-write reduction of Figure 11; pass full=true for the
+// Current Practice behaviour of checkpointing entire models.
+func (t *Trainer) Checkpoint(g *opt.FusedGroup, path string, full bool) error {
+	planModel, _, err := opt.BuildPlanModel(g.Plan)
+	if err != nil {
+		return err
+	}
+	var counters *storage.Counters
+	if t.Metrics != nil {
+		counters = t.Metrics.Disk
+	}
+	return storage.SaveModel(path, planModel, storage.CheckpointOptions{TrainableOnly: !full}, counters)
+}
+
+// fedBatch is one prefetched mini-batch's feeds.
+type fedBatch struct {
+	feeds map[string]*tensor.Tensor
+	err   error
+}
+
+// feedPipeline produces each batch's feeds in order. With Prefetch set, a
+// goroutine assembles feeds one batch ahead (buffered channel of 1) so
+// store reads overlap the previous batch's compute; otherwise feeds are
+// assembled lazily on receive.
+func (t *Trainer) feedPipeline(planModel *graph.Model, feedSigs map[string]graph.Signature, snap data.Snapshot, batches [][]int) <-chan fedBatch {
+	if t.Prefetch {
+		ch := make(chan fedBatch, 1)
+		go func() {
+			defer close(ch)
+			for _, idx := range batches {
+				feeds, err := t.batchFeeds(planModel, feedSigs, Train, snap.TrainX, idx)
+				ch <- fedBatch{feeds: feeds, err: err}
+				if err != nil {
+					return
+				}
+			}
+		}()
+		return ch
+	}
+	ch := make(chan fedBatch)
+	go func() {
+		defer close(ch)
+		for _, idx := range batches {
+			feeds, err := t.batchFeeds(planModel, feedSigs, Train, snap.TrainX, idx)
+			ch <- fedBatch{feeds: feeds, err: err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return ch
+}

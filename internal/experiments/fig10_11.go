@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"nautilus/internal/core"
+	"nautilus/internal/workloads"
+)
+
+// Fig10ARow is one storage-budget point of Figure 10(A): FTR-2 using only
+// MAT OPT.
+type Fig10ARow struct {
+	BudgetGB float64
+	Minutes  float64
+	Speedup  float64 // over the 0-budget (≈ Current Practice) point
+	// Materialized is |V| at this budget.
+	Materialized int
+	StorageGB    float64
+}
+
+// Fig10A reproduces Figure 10(A): MAT OPT only (fusion disabled) under a
+// sweep of disk storage budgets. Budget 0 is equivalent to Current
+// Practice.
+func Fig10A() ([]Fig10ARow, error) {
+	inst, err := PaperInstance(workloads.FTR2())
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig10ARow
+	var base float64
+	for _, gb := range []float64{0, 1, 2.5, 5, 7.5, 10, 15, 25} {
+		cfg := PaperConfig(core.NautilusNoFuse)
+		cfg.DiskBudgetBytes = int64(gb * float64(1<<30))
+		wp, err := core.PlanWorkload(inst.Items, inst.MM, cfg, cfg.MaxRecords)
+		if err != nil {
+			return nil, err
+		}
+		res, err := simulatePlanned(inst, cfg, wp)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig10ARow{
+			BudgetGB:     gb,
+			Minutes:      Minutes(res.TotalSec()),
+			Materialized: wp.Stats.Materialized,
+			StorageGB:    float64(wp.Stats.StorageBytes) / float64(1<<30),
+		}
+		if gb == 0 {
+			base = row.Minutes
+		}
+		row.Speedup = base / row.Minutes
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFig10A renders Figure 10(A) rows.
+func PrintFig10A(w io.Writer, rows []Fig10ARow) {
+	fmt.Fprintf(w, "Figure 10(A): FTR-2 with MAT OPT only vs disk storage budget\n")
+	fmt.Fprintf(w, "%-10s %10s %9s %6s %10s\n", "Bdisk(GB)", "min", "speedup", "|V|", "used(GB)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10.1f %10.1f %8.1fX %6d %10.2f\n", r.BudgetGB, r.Minutes, r.Speedup, r.Materialized, r.StorageGB)
+	}
+}
+
+// Fig10BRow is one memory-budget point of Figure 10(B): FTR-2 using only
+// FUSE OPT.
+type Fig10BRow struct {
+	BudgetGB float64
+	Minutes  float64
+	Speedup  float64
+	Groups   int
+}
+
+// Fig10B reproduces Figure 10(B): FUSE OPT only (materialization disabled)
+// under a sweep of runtime memory budgets. At 2 GB no models fit together,
+// which is equivalent to Current Practice.
+func Fig10B() ([]Fig10BRow, error) {
+	inst, err := PaperInstance(workloads.FTR2())
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig10BRow
+	var base float64
+	for _, gb := range []float64{2, 4, 6, 8, 10, 12} {
+		cfg := PaperConfig(core.NautilusNoMat)
+		cfg.MemBudgetBytes = int64(gb * float64(1<<30))
+		wp, err := core.PlanWorkload(inst.Items, inst.MM, cfg, cfg.MaxRecords)
+		if err != nil {
+			return nil, err
+		}
+		res, err := simulatePlanned(inst, cfg, wp)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig10BRow{
+			BudgetGB: gb,
+			Minutes:  Minutes(res.TotalSec()),
+			Groups:   len(wp.Groups),
+		}
+		if base == 0 {
+			base = row.Minutes
+		}
+		row.Speedup = base / row.Minutes
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFig10B renders Figure 10(B) rows.
+func PrintFig10B(w io.Writer, rows []Fig10BRow) {
+	fmt.Fprintf(w, "Figure 10(B): FTR-2 with FUSE OPT only vs runtime memory budget\n")
+	fmt.Fprintf(w, "%-10s %10s %9s %8s\n", "Bmem(GB)", "min", "speedup", "groups")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10.1f %10.1f %8.1fX %8d\n", r.BudgetGB, r.Minutes, r.Speedup, r.Groups)
+	}
+}
+
+// Fig11Result reproduces Figure 11: resource utilization of FTR-2 under
+// Current Practice vs Nautilus.
+type Fig11Result struct {
+	// Utilization is the compute-busy fraction (the simulator's analogue
+	// of average GPU utilization).
+	UtilizationCP       float64
+	UtilizationNautilus float64
+	// Cumulative simulated disk traffic in GB.
+	ReadsCPGB        float64
+	ReadsNautilusGB  float64
+	WritesCPGB       float64
+	WritesNautilusGB float64
+	// Ratios (Current Practice / Nautilus).
+	ReadRatio  float64
+	WriteRatio float64
+}
+
+// Fig11 reproduces Figure 11 on FTR-2.
+func Fig11() (*Fig11Result, error) {
+	inst, err := PaperInstance(workloads.FTR2())
+	if err != nil {
+		return nil, err
+	}
+	cp, _, err := SimulateApproach(inst, PaperConfig(core.CurrentPractice))
+	if err != nil {
+		return nil, err
+	}
+	nt, _, err := SimulateApproach(inst, PaperConfig(core.Nautilus))
+	if err != nil {
+		return nil, err
+	}
+	gb := func(b int64) float64 { return float64(b) / float64(1<<30) }
+	out := &Fig11Result{
+		UtilizationCP:       cp.Utilization(),
+		UtilizationNautilus: nt.Utilization(),
+		ReadsCPGB:           gb(cp.DiskReadBytes),
+		ReadsNautilusGB:     gb(nt.DiskReadBytes),
+		WritesCPGB:          gb(cp.DiskWriteBytes),
+		WritesNautilusGB:    gb(nt.DiskWriteBytes),
+	}
+	out.ReadRatio = out.ReadsCPGB / out.ReadsNautilusGB
+	out.WriteRatio = out.WritesCPGB / out.WritesNautilusGB
+	return out, nil
+}
+
+// PrintFig11 renders Figure 11.
+func PrintFig11(w io.Writer, r *Fig11Result) {
+	fmt.Fprintf(w, "Figure 11: FTR-2 resource utilization\n")
+	fmt.Fprintf(w, "%-22s %16s %12s\n", "", "current practice", "nautilus")
+	fmt.Fprintf(w, "%-22s %15.0f%% %11.0f%%\n", "device utilization", 100*r.UtilizationCP, 100*r.UtilizationNautilus)
+	fmt.Fprintf(w, "%-22s %16.1f %12.1f   (%.1fX fewer)\n", "disk reads (GB)", r.ReadsCPGB, r.ReadsNautilusGB, r.ReadRatio)
+	fmt.Fprintf(w, "%-22s %16.1f %12.1f   (%.1fX fewer)\n", "disk writes (GB)", r.WritesCPGB, r.WritesNautilusGB, r.WriteRatio)
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"nautilus/internal/core"
+	"nautilus/internal/data"
+	"nautilus/internal/profile"
+	"nautilus/internal/workloads"
+)
+
+// workDirOr returns base/sub, or a fresh temp dir when base is empty.
+func workDirOr(base, sub string) string {
+	if base == "" {
+		dir, err := os.MkdirTemp("", "nautilus-fig7-")
+		if err != nil {
+			panic(err)
+		}
+		return dir
+	}
+	dir := filepath.Join(base, sub)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// MiniHardware returns a cost-model profile proportioned for real CPU
+// execution of mini-scale models: a few GFLOP/s of effective compute
+// against SSD-class storage, i.e. ~10 FLOPs of compute per byte of disk
+// bandwidth. The optimizer's load-vs-recompute decisions at mini scale
+// then mirror the regime paper-scale models occupy on a GPU.
+func MiniHardware() profile.Hardware {
+	return profile.Hardware{FLOPSThroughput: 5e9, DiskThroughput: 500e6, WorkspaceBytes: 256 << 20}
+}
+
+// Fig7Config sizes the real-training learning-curve experiment. The
+// default (zero value → DefaultFig7Config) trims the FTR-2 grid so the
+// experiment runs in about a minute on a laptop CPU; pass larger values to
+// approach the full 24-model workload.
+type Fig7Config struct {
+	// LRs per strategy (2 strategies are always used).
+	LRs int
+	// Cycles of labeling + model selection.
+	Cycles int
+	// SecPerLabel adds simulated human labeling time per record
+	// (Figure 7B); 0 reproduces Figure 7A.
+	SecPerLabel float64
+	// WorkDir hosts stores and checkpoints (a temp dir if empty).
+	WorkDir string
+	Seed    int64
+}
+
+// DefaultFig7Config returns the trimmed default.
+func DefaultFig7Config() Fig7Config {
+	return Fig7Config{LRs: 2, Cycles: 4, Seed: 11}
+}
+
+// Fig7Point is one learning-curve sample: the best validation accuracy
+// available after the given elapsed workload time.
+type Fig7Point struct {
+	Cycle      int
+	ElapsedSec float64
+	BestAcc    float64
+}
+
+// Fig7Result holds both curves.
+type Fig7Result struct {
+	CurrentPractice []Fig7Point
+	Nautilus        []Fig7Point
+	// Speedup is total CP time / total Nautilus time.
+	Speedup float64
+}
+
+// Fig7 reproduces Figure 7 in miniature with *real* training: the same
+// evolving-data loop runs under Current Practice and Nautilus, recording
+// best-so-far validation accuracy against elapsed time. Both curves reach
+// the same accuracies (logically equivalent SGD); Nautilus reaches them
+// faster.
+func Fig7(cfg Fig7Config) (*Fig7Result, error) {
+	if cfg.LRs == 0 {
+		cfg = DefaultFig7Config()
+	}
+	lrs := make([]float64, cfg.LRs)
+	for i := range lrs {
+		lrs[i] = 5e-5 / float64(i+1)
+	}
+	base := workloads.FTR2()
+	base.Name = "FTR-2-mini"
+	base.Strategies = base.Strategies[:2]
+	base.BatchSizes = []int{8}
+	base.LRs = lrs
+	base.Epochs = []int{3}
+
+	out := &Fig7Result{}
+	var totals [2]float64
+	for ai, approach := range []core.Approach{core.CurrentPractice, core.Nautilus} {
+		inst, err := base.Build(workloads.Mini, MiniHardware())
+		if err != nil {
+			return nil, err
+		}
+		ccfg := core.DefaultConfig(workDirOr(cfg.WorkDir, string(approach)))
+		ccfg.Approach = approach
+		ccfg.HW = MiniHardware()
+		ccfg.Seed = cfg.Seed
+		ccfg.MaxRecords = 600
+
+		pool := inst.NewPool(cfg.Seed)
+		perCycle, trainPer, _ := inst.CycleSchedule()
+		labeler := data.NewLabeler(pool, perCycle, trainPer)
+
+		ms, err := core.New(inst.Items, inst.MM, ccfg)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := 0.0
+		var pts []Fig7Point
+		for k := 0; k < cfg.Cycles && labeler.HasMore(); k++ {
+			snap, _, _ := labeler.NextCycle()
+			elapsed += cfg.SecPerLabel * float64(perCycle)
+			fit, err := ms.Fit(snap)
+			if err != nil {
+				ms.Close()
+				return nil, err
+			}
+			elapsed += fit.Duration.Seconds()
+			pts = append(pts, Fig7Point{Cycle: fit.Cycle, ElapsedSec: elapsed, BestAcc: fit.Best.ValAcc})
+		}
+		ms.Close()
+		totals[ai] = elapsed
+		if approach == core.CurrentPractice {
+			out.CurrentPractice = pts
+		} else {
+			out.Nautilus = pts
+		}
+	}
+	out.Speedup = totals[0] / totals[1]
+	return out, nil
+}
+
+// PrintFig7 renders both learning curves.
+func PrintFig7(w io.Writer, r *Fig7Result, label string) {
+	fmt.Fprintf(w, "Figure 7%s: best validation accuracy vs elapsed time (real mini-scale training)\n", label)
+	fmt.Fprintf(w, "%-6s %22s %22s\n", "cycle", "current (s → acc)", "nautilus (s → acc)")
+	for i := range r.CurrentPractice {
+		cp, nt := r.CurrentPractice[i], r.Nautilus[i]
+		fmt.Fprintf(w, "%-6d %12.1f → %6.4f %12.1f → %6.4f\n", cp.Cycle, cp.ElapsedSec, cp.BestAcc, nt.ElapsedSec, nt.BestAcc)
+	}
+	fmt.Fprintf(w, "overall speedup: %.1fX\n", r.Speedup)
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"nautilus/internal/core"
+	"nautilus/internal/profile"
+	"nautilus/internal/workloads"
+)
+
+// Fig8Row is one workload's group in Figure 8: Nautilus with one
+// optimization disabled, against full Nautilus.
+type Fig8Row struct {
+	Workload string
+	// Minutes per configuration.
+	Nautilus float64
+	NoMat    float64
+	NoFuse   float64
+	// Slowdowns relative to full Nautilus (the paper reports these as
+	// percentages).
+	NoMatSlowdownPct  float64
+	NoFuseSlowdownPct float64
+}
+
+// Fig8 reproduces Figure 8: per-workload model-selection time with the
+// materialization or the fusion optimization disabled.
+func Fig8() ([]Fig8Row, error) {
+	var rows []Fig8Row
+	for _, spec := range workloads.All() {
+		inst, err := PaperInstance(spec)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig8Row{Workload: spec.Name}
+		for _, approach := range []core.Approach{core.Nautilus, core.NautilusNoMat, core.NautilusNoFuse} {
+			res, _, err := SimulateApproach(inst, PaperConfig(approach))
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", spec.Name, approach, err)
+			}
+			min := Minutes(res.TotalSec())
+			switch approach {
+			case core.Nautilus:
+				row.Nautilus = min
+			case core.NautilusNoMat:
+				row.NoMat = min
+			case core.NautilusNoFuse:
+				row.NoFuse = min
+			}
+		}
+		row.NoMatSlowdownPct = 100 * (row.NoMat - row.Nautilus) / row.Nautilus
+		row.NoFuseSlowdownPct = 100 * (row.NoFuse - row.Nautilus) / row.Nautilus
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFig8 renders Figure 8 rows.
+func PrintFig8(w io.Writer, rows []Fig8Row) {
+	fmt.Fprintf(w, "Figure 8: ablation — model selection time (minutes) with optimizations disabled\n")
+	fmt.Fprintf(w, "%-8s %12s %16s %16s\n", "workload", "nautilus", "w/o MAT OPT", "w/o FUSE OPT")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %12.1f %9.1f (+%3.0f%%) %9.1f (+%3.0f%%)\n",
+			r.Workload, r.Nautilus, r.NoMat, r.NoMatSlowdownPct, r.NoFuse, r.NoFuseSlowdownPct)
+	}
+}
+
+// Fig9Row is one model-count point of Figure 9.
+type Fig9Row struct {
+	NumModels       int
+	CurrentPractice float64 // minutes
+	NoMat           float64
+	NoFuse          float64
+	Nautilus        float64
+}
+
+// Fig9 reproduces Figure 9: FTR-2 restricted to the concat-last-4 strategy
+// at batch size 16 while the number of explored learning rates (hence
+// models) varies.
+func Fig9() ([]Fig9Row, error) {
+	var rows []Fig9Row
+	for _, n := range []int{1, 2, 3, 4, 6, 8} {
+		lrs := make([]float64, n)
+		for i := range lrs {
+			lrs[i] = 5e-5 / float64(i+1) // n distinct learning rates
+		}
+		spec := workloads.Spec{
+			Name:       fmt.Sprintf("FTR-2-n%d", n),
+			Approach:   workloads.FeatureTransfer,
+			Strategies: workloads.FTR3().Strategies, // concat_last_4
+			BatchSizes: []int{16},
+			LRs:        lrs,
+			Epochs:     []int{5},
+		}
+		inst, err := spec.Build(workloads.Paper, profile.DefaultHardware())
+		if err != nil {
+			return nil, err
+		}
+		row := Fig9Row{NumModels: n}
+		for _, approach := range []core.Approach{core.CurrentPractice, core.NautilusNoMat, core.NautilusNoFuse, core.Nautilus} {
+			cfg := PaperConfig(approach)
+			wp, err := core.PlanWorkload(inst.Items, inst.MM, cfg, cfg.MaxRecords)
+			if err != nil {
+				return nil, err
+			}
+			res, err := simulatePlanned(inst, cfg, wp)
+			if err != nil {
+				return nil, err
+			}
+			min := Minutes(res.TotalSec())
+			switch approach {
+			case core.CurrentPractice:
+				row.CurrentPractice = min
+			case core.NautilusNoMat:
+				row.NoMat = min
+			case core.NautilusNoFuse:
+				row.NoFuse = min
+			case core.Nautilus:
+				row.Nautilus = min
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFig9 renders Figure 9 rows.
+func PrintFig9(w io.Writer, rows []Fig9Row) {
+	fmt.Fprintf(w, "Figure 9: model selection time (minutes) vs number of models (FTR-2, concat-last-4, batch 16)\n")
+	fmt.Fprintf(w, "%-8s %10s %10s %10s %10s\n", "#models", "current", "w/o MAT", "w/o FUSE", "nautilus")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8d %10.1f %10.1f %10.1f %10.1f\n",
+			r.NumModels, r.CurrentPractice, r.NoMat, r.NoFuse, r.Nautilus)
+	}
+}

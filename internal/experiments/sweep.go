@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"nautilus/internal/core"
+	"nautilus/internal/profile"
+	"nautilus/internal/workloads"
+)
+
+// HWRow is one disk-throughput point of the hardware-sensitivity sweep (an
+// ablation beyond the paper): the same FTR-2 workload planned under
+// different c_load scales.
+type HWRow struct {
+	DiskMBps float64
+	// Materialized is |V| and Loads the number of layers plans load.
+	Materialized int
+	Loads        int
+	// PlanCostTFLOPs is the per-record workload cost (×r×epochs) in
+	// TFLOP-equivalents.
+	PlanCostTFLOPs float64
+}
+
+// HardwareSweep re-plans FTR-2 (materialization only) across disk
+// throughputs. Slower disks raise c_load, so the optimizer materializes
+// and loads less — the load-vs-recompute tradeoff of Figure 1(D) made
+// explicit.
+func HardwareSweep() ([]HWRow, error) {
+	var rows []HWRow
+	for _, mbps := range []float64{50, 125, 250, 500, 1000, 2000, 8000} {
+		hw := profile.DefaultHardware()
+		hw.DiskThroughput = mbps * 1e6
+		inst, err := workloads.FTR2().Build(workloads.Paper, hw)
+		if err != nil {
+			return nil, err
+		}
+		cfg := PaperConfig(core.NautilusNoFuse)
+		cfg.HW = hw
+		wp, err := core.PlanWorkload(inst.Items, inst.MM, cfg, cfg.MaxRecords)
+		if err != nil {
+			return nil, err
+		}
+		row := HWRow{DiskMBps: mbps, Materialized: wp.Stats.Materialized}
+		var cost int64
+		for _, g := range wp.Groups {
+			row.Loads += len(g.Plan.LoadedNodes()) // materialized loads only
+			cost += g.Plan.CostPerRecord * int64(g.Epochs())
+		}
+		row.PlanCostTFLOPs = float64(cost) / 1e12
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintHardwareSweep renders the sweep.
+func PrintHardwareSweep(w io.Writer, rows []HWRow) {
+	fmt.Fprintf(w, "Hardware sensitivity: FTR-2 MAT OPT plans vs disk throughput (ablation beyond the paper)\n")
+	fmt.Fprintf(w, "%-12s %6s %8s %16s\n", "disk(MB/s)", "|V|", "loads", "cost(TFLOPs/rec)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12.0f %6d %8d %16.2f\n", r.DiskMBps, r.Materialized, r.Loads, r.PlanCostTFLOPs)
+	}
+}

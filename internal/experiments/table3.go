@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"nautilus/internal/core"
+	"nautilus/internal/opt"
+	"nautilus/internal/workloads"
+)
+
+// Table3Row summarizes one workload's configuration (the reproduction of
+// Table 3) plus its theoretical speedup (Equation 11).
+type Table3Row struct {
+	Workload   string
+	Approach   workloads.Approach
+	Variants   int
+	BatchSizes []int
+	LRs        []float64
+	Epochs     []int
+	NumModels  int
+	// TheoreticalSpeedup is Equation 11 at paper scale.
+	TheoreticalSpeedup float64
+}
+
+// Table3 reproduces Table 3 with the Equation 11 column appended.
+func Table3() ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, s := range workloads.All() {
+		inst, err := PaperInstance(s)
+		if err != nil {
+			return nil, err
+		}
+		variants := len(s.Strategies)
+		if variants == 0 {
+			variants = len(s.Depths)
+		}
+		rows = append(rows, Table3Row{
+			Workload:           s.Name,
+			Approach:           s.Approach,
+			Variants:           variants,
+			BatchSizes:         s.BatchSizes,
+			LRs:                s.LRs,
+			Epochs:             s.Epochs,
+			NumModels:          s.NumModels(),
+			TheoreticalSpeedup: TheoreticalSpeedup(inst),
+		})
+	}
+	return rows, nil
+}
+
+// PrintTable3 renders Table 3 rows.
+func PrintTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintf(w, "Table 3: model selection configurations (+ Equation 11 theoretical speedup)\n")
+	fmt.Fprintf(w, "%-8s %-18s %9s %12s %22s %9s %8s %10s\n",
+		"workload", "approach", "variants", "batch sizes", "learning rates", "epochs", "#models", "eq11")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-18s %9d %12v %22v %9v %8d %9.1fX\n",
+			r.Workload, r.Approach, r.Variants, r.BatchSizes, r.LRs, r.Epochs, r.NumModels, r.TheoreticalSpeedup)
+	}
+}
+
+// SolverStats compares the two materialization solvers on one paper-scale
+// workload (the Section 5.3 claim that the MILP solves in a few tens of
+// seconds at practical workload sizes).
+type SolverStats struct {
+	Workload   string
+	BnBTime    time.Duration
+	BnBNodes   int
+	BnBCost    int64
+	MILPTime   time.Duration
+	MILPCost   int64
+	CostsAgree bool
+}
+
+// CompareSolvers runs both materialization solvers on the workload.
+// FTR-3's 12 models keep the dense-simplex MILP tractable; the B&B solver
+// handles every workload size.
+func CompareSolvers(spec workloads.Spec) (*SolverStats, error) {
+	inst, err := PaperInstance(spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg := PaperConfig(core.Nautilus)
+	st := &SolverStats{Workload: spec.Name}
+
+	bnb, err := opt.OptimizeMaterialization(inst.MM, inst.Items, opt.MatConfig{
+		DiskBudgetBytes: cfg.DiskBudgetBytes, MaxRecords: cfg.MaxRecords, Solver: "bnb",
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.BnBTime = bnb.SolveTime
+	st.BnBNodes = bnb.NodesExplored
+	st.BnBCost = bnb.TotalCostFLOPs
+
+	ml, err := opt.OptimizeMaterialization(inst.MM, inst.Items, opt.MatConfig{
+		DiskBudgetBytes: cfg.DiskBudgetBytes, MaxRecords: cfg.MaxRecords, Solver: "milp",
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.MILPTime = ml.SolveTime
+	st.MILPCost = ml.TotalCostFLOPs
+	st.CostsAgree = st.BnBCost == st.MILPCost
+	return st, nil
+}
+
+// PrintSolverStats renders solver comparison results.
+func PrintSolverStats(w io.Writer, st *SolverStats) {
+	fmt.Fprintf(w, "Optimizer solve time (%s, paper scale)\n", st.Workload)
+	fmt.Fprintf(w, "branch&bound + min-cut: %v (%d nodes), plan cost %d\n", st.BnBTime, st.BnBNodes, st.BnBCost)
+	fmt.Fprintf(w, "joint MILP (simplex):   %v, plan cost %d\n", st.MILPTime, st.MILPCost)
+	fmt.Fprintf(w, "solvers agree on optimal cost: %v\n", st.CostsAgree)
+}

@@ -1,0 +1,55 @@
+package graph_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"nautilus/internal/models"
+	"nautilus/internal/tensor"
+)
+
+// BenchmarkMiniBERTForwardBackward measures one training step's engine
+// cost on the mini BERT feature-transfer model (batch 8).
+func BenchmarkMiniBERTForwardBackward(b *testing.B) {
+	hub := models.NewBERTHub(models.BERTMini())
+	m, err := hub.FeatureTransferModel("bench", models.FeatLastHidden, 9, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	ids := tensor.New(8, hub.Cfg.Seq)
+	for i := range ids.Data() {
+		ids.Data()[i] = float32(rng.Intn(hub.Cfg.Vocab))
+	}
+	grad := tensor.RandNormal(rng, 0.1, 8, hub.Cfg.Seq, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tape, err := m.Forward(map[string]*tensor.Tensor{"ids": ids}, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tape.Backward(map[string]*tensor.Tensor{"classifier": grad}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMiniBERTForwardOnly isolates the inference path.
+func BenchmarkMiniBERTForwardOnly(b *testing.B) {
+	hub := models.NewBERTHub(models.BERTMini())
+	m, err := hub.FeatureTransferModel("bench", models.FeatLastHidden, 9, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	ids := tensor.New(8, hub.Cfg.Seq)
+	for i := range ids.Data() {
+		ids.Data()[i] = float32(rng.Intn(hub.Cfg.Vocab))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Forward(map[string]*tensor.Tensor{"ids": ids}, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"nautilus/internal/tensor"
+)
+
+// Layer is a pure tensor function (paper Definition 2.1). Implementations
+// hold parameters but never activations: Forward returns an opaque cache
+// that Backward consumes, so a single layer instance can appear in many
+// models and plans simultaneously — the property multi-model merging and
+// model fusion rely on.
+//
+// All shapes exchanged through OutShape and FLOPsPerRecord are per-record
+// shapes (batch dimension excluded); tensors passed to Forward/Backward
+// carry the batch as their leading dimension.
+type Layer interface {
+	// Type returns the registered layer type name, e.g. "dense".
+	Type() string
+	// Config returns the serializable hyperparameter configuration. Two
+	// layers of the same type with equal configs compute the same function
+	// given equal parameters.
+	Config() map[string]any
+	// Params returns the layer's parameters in a stable order. Layers with
+	// no parameters return nil.
+	Params() []*Param
+	// OutShape infers the per-record output shape from per-record input
+	// shapes. It panics if the inputs are not shape-compatible
+	// (Definition 2.1).
+	OutShape(in [][]int) []int
+	// FLOPsPerRecord estimates the forward-pass floating point operations
+	// for one record with the given per-record input shapes.
+	FLOPsPerRecord(in [][]int) int64
+	// Forward computes the layer output for a batch. train toggles
+	// training-only behaviour such as dropout.
+	Forward(inputs []*tensor.Tensor, train bool) (out *tensor.Tensor, cache any)
+	// Backward propagates gradOut to input gradients and parameter
+	// gradients (aligned with Params()). Implementations may return nil
+	// entries for inputs that need no gradient, and should honour need to
+	// skip avoidable work: a frozen layer on the gradient path costs 2×
+	// its forward FLOPs (need.Params false), a trainable one 3×.
+	Backward(cache any, inputs []*tensor.Tensor, out, gradOut *tensor.Tensor, need BackwardNeed) (gradIn []*tensor.Tensor, gradParams []*tensor.Tensor)
+}
+
+// BackwardNeed tells a layer which gradients its Backward call must
+// produce.
+type BackwardNeed struct {
+	// Inputs requests input gradients (the layer has trainable ancestors).
+	Inputs bool
+	// Params requests parameter gradients (the node is trainable).
+	Params bool
+}
+
+// PartialTrainer is implemented by layers whose trainable parameters are a
+// strict subset of Params() — composite blocks that train only their
+// adapters. Model.TrainableParams consults it.
+type PartialTrainer interface {
+	TrainableSubset() []*Param
+}
+
+// PartialFLOPs is implemented by partially trainable layers to report the
+// forward FLOPs of just their trainable sub-layers. The cost model charges
+// such a layer 2× its forward FLOPs (forward + input gradients through the
+// frozen base) plus 1× the trainable share (parameter gradients), instead
+// of the blanket 3× of a fully trainable layer.
+type PartialFLOPs interface {
+	TrainableFLOPsPerRecord(in [][]int) int64
+}
+
+// ActivationSizer optionally reports the total internal activation bytes a
+// layer produces per record during the forward pass. Composite layers
+// (transformer blocks, residual blocks) implement it so peak-memory
+// estimation accounts for every intermediate tensor the backward pass needs
+// (paper Section 4.3.3); plain layers default to their output size.
+type ActivationSizer interface {
+	ActivationBytesPerRecord(in [][]int) int64
+}
+
+// InputLayer marks a model input (paper notation I). Its config records the
+// per-record shape fed at run time. FeedKey distinguishes ordinary dataset
+// inputs ("") from materialized-intermediate feeds created by reuse plans.
+type InputLayer struct {
+	Shape   []int
+	FeedKey string
+}
+
+// NewInput returns an input layer with the given per-record shape.
+func NewInput(shape ...int) *InputLayer {
+	return &InputLayer{Shape: append([]int(nil), shape...)}
+}
+
+// NewFeed returns an input layer that stands for a materialized
+// intermediate output identified by key (the source expression signature).
+func NewFeed(key string, shape ...int) *InputLayer {
+	return &InputLayer{Shape: append([]int(nil), shape...), FeedKey: key}
+}
+
+func (l *InputLayer) Type() string { return "input" }
+
+func (l *InputLayer) Config() map[string]any {
+	cfg := map[string]any{"shape": l.Shape}
+	if l.FeedKey != "" {
+		cfg["feed_key"] = l.FeedKey
+	}
+	return cfg
+}
+
+func (l *InputLayer) Params() []*Param { return nil }
+
+func (l *InputLayer) OutShape(in [][]int) []int {
+	if len(in) != 0 {
+		panic("graph: input layer takes no inputs")
+	}
+	return l.Shape
+}
+
+func (l *InputLayer) FLOPsPerRecord(in [][]int) int64 { return 0 }
+
+func (l *InputLayer) Forward(inputs []*tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	panic("graph: input layer values must be fed, not computed")
+}
+
+func (l *InputLayer) Backward(cache any, inputs []*tensor.Tensor, out, gradOut *tensor.Tensor, need BackwardNeed) ([]*tensor.Tensor, []*tensor.Tensor) {
+	return nil, nil
+}
+
+// layerFactory builds a layer of a registered type from its config, used
+// when restoring model architectures from checkpoints.
+type layerFactory func(cfg map[string]any) (Layer, error)
+
+var layerRegistry = map[string]layerFactory{}
+
+// RegisterLayerType registers a factory for deserializing layers of the
+// given type. It panics on duplicate registration.
+func RegisterLayerType(typ string, f layerFactory) {
+	if _, dup := layerRegistry[typ]; dup {
+		panic(fmt.Sprintf("graph: duplicate layer type %q", typ))
+	}
+	layerRegistry[typ] = f
+}
+
+// NewLayerFromConfig instantiates a layer of a registered type.
+func NewLayerFromConfig(typ string, cfg map[string]any) (Layer, error) {
+	f, ok := layerRegistry[typ]
+	if !ok {
+		return nil, fmt.Errorf("graph: unknown layer type %q", typ)
+	}
+	return f(cfg)
+}
+
+// RegisteredLayerTypes returns the sorted names of all registered layer
+// types.
+func RegisteredLayerTypes() []string {
+	names := make([]string, 0, len(layerRegistry))
+	for n := range layerRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterLayerType("input", func(cfg map[string]any) (Layer, error) {
+		shape, err := IntSlice(cfg, "shape")
+		if err != nil {
+			return nil, err
+		}
+		key, _ := cfg["feed_key"].(string)
+		return &InputLayer{Shape: shape, FeedKey: key}, nil
+	})
+}
+
+// IntSlice extracts an int slice config value, tolerating the []any form
+// produced by JSON round-trips.
+func IntSlice(cfg map[string]any, key string) ([]int, error) {
+	switch v := cfg[key].(type) {
+	case []int:
+		return append([]int(nil), v...), nil
+	case []any:
+		out := make([]int, len(v))
+		for i, x := range v {
+			f, ok := x.(float64)
+			if !ok {
+				return nil, fmt.Errorf("graph: config %q element %d is %T, want number", key, i, x)
+			}
+			out[i] = int(f)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("graph: config %q is %T, want int slice", key, v)
+	}
+}
+
+// Int extracts an int config value, tolerating JSON float64.
+func Int(cfg map[string]any, key string) (int, error) {
+	switch v := cfg[key].(type) {
+	case int:
+		return v, nil
+	case int64:
+		return int(v), nil
+	case float64:
+		return int(v), nil
+	default:
+		return 0, fmt.Errorf("graph: config %q is %T, want int", key, v)
+	}
+}
+
+// Float extracts a float config value, tolerating ints.
+func Float(cfg map[string]any, key string) (float64, error) {
+	switch v := cfg[key].(type) {
+	case float64:
+		return v, nil
+	case int:
+		return float64(v), nil
+	default:
+		return 0, fmt.Errorf("graph: config %q is %T, want float", key, v)
+	}
+}

@@ -1,0 +1,190 @@
+// Package graph implements the DL model representation used throughout
+// Nautilus: a DAG of layers (paper Definition 2.2) with frozen flags
+// (Definition 2.3), a forward/backward execution engine, materializable-layer
+// analysis (Definition 2.4), and expression identity signatures
+// (Definition 4.3) that power multi-model merging.
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"nautilus/internal/tensor"
+)
+
+// Param is a (possibly lazily allocated) parameter tensor. Profiling and
+// plan optimization at paper scale only need shapes and identity, so the
+// backing data is materialized on first access rather than at model build
+// time; the deterministic seed guarantees that two Params with equal
+// (seed, shape, init kind) hold bit-identical values once materialized,
+// which is what makes seed-based identity (Definition 4.3) sound.
+type Param struct {
+	Name  string
+	Shape []int
+
+	seed int64
+	kind initKind
+	std  float64 // normal std or uniform limit, per kind
+
+	data *tensor.Tensor
+	// restored marks parameters whose data was replaced via SetData
+	// (checkpoint restore); their identity then derives from the actual
+	// values rather than the init spec.
+	restored bool
+
+	// Custom initializers carry a spec tag that joins the fingerprint in
+	// place of the builtin kind, plus the init function itself.
+	tag string
+	fn  InitFunc
+}
+
+// InitFunc deterministically fills a parameter of the given shape from rng.
+type InitFunc func(rng *rand.Rand, shape []int) *tensor.Tensor
+
+// NewParamCustom returns a parameter initialized by fn. specTag must
+// uniquely describe fn's behaviour (it substitutes for the function in the
+// identity fingerprint): two params with equal (specTag, seed, shape)
+// must initialize identically.
+func NewParamCustom(name, specTag string, seed int64, fn InitFunc, shape ...int) *Param {
+	return &Param{Name: name, Shape: append([]int(nil), shape...), seed: seed, kind: initCustom, tag: specTag, fn: fn}
+}
+
+type initKind uint8
+
+const (
+	initZero initKind = iota
+	initOne
+	initNormal
+	initGlorot
+	initHe
+	initCustom
+)
+
+// NewParam returns a zero-initialized parameter.
+func NewParam(name string, shape ...int) *Param {
+	return &Param{Name: name, Shape: append([]int(nil), shape...), kind: initZero}
+}
+
+// NewParamOnes returns a one-initialized parameter (layer-norm gains).
+func NewParamOnes(name string, shape ...int) *Param {
+	return &Param{Name: name, Shape: append([]int(nil), shape...), kind: initOne}
+}
+
+// NewParamNormal returns a parameter initialized from N(0, std²) with the
+// given seed.
+func NewParamNormal(name string, seed int64, std float64, shape ...int) *Param {
+	return &Param{Name: name, Shape: append([]int(nil), shape...), seed: seed, kind: initNormal, std: std}
+}
+
+// NewParamGlorot returns a Glorot-uniform initialized parameter where fan-in
+// and fan-out are taken from the first and last shape dimensions.
+func NewParamGlorot(name string, seed int64, shape ...int) *Param {
+	return &Param{Name: name, Shape: append([]int(nil), shape...), seed: seed, kind: initGlorot}
+}
+
+// NewParamHe returns a He-normal initialized parameter with fan-in taken
+// from the first shape dimension product.
+func NewParamHe(name string, seed int64, fanIn int, shape ...int) *Param {
+	return &Param{Name: name, Shape: append([]int(nil), shape...), seed: seed, kind: initHe, std: float64(fanIn)}
+}
+
+// NumElems returns the number of scalar values in the parameter.
+func (p *Param) NumElems() int { return tensor.NumElems(p.Shape) }
+
+// Bytes returns the parameter's size in bytes (float32 storage).
+func (p *Param) Bytes() int64 { return int64(p.NumElems()) * 4 }
+
+// Materialized reports whether the backing tensor has been allocated.
+func (p *Param) Materialized() bool { return p.data != nil }
+
+// Tensor returns the backing tensor, allocating and initializing it
+// deterministically on first use.
+func (p *Param) Tensor() *tensor.Tensor {
+	if p.data == nil {
+		rng := rand.New(rand.NewSource(p.seed))
+		switch p.kind {
+		case initZero:
+			p.data = tensor.New(p.Shape...)
+		case initOne:
+			p.data = tensor.New(p.Shape...)
+			p.data.Fill(1)
+		case initNormal:
+			p.data = tensor.RandNormal(rng, p.std, p.Shape...)
+		case initGlorot:
+			fanIn, fanOut := p.Shape[0], p.Shape[len(p.Shape)-1]
+			p.data = tensor.GlorotUniform(rng, fanIn, fanOut, p.Shape...)
+		case initHe:
+			p.data = tensor.HeNormal(rng, int(p.std), p.Shape...)
+		case initCustom:
+			p.data = p.fn(rng, p.Shape)
+			if !tensor.ShapeEq(p.data.Shape(), p.Shape) {
+				panic(fmt.Sprintf("graph: custom init for %q produced shape %v, want %v", p.Name, p.data.Shape(), p.Shape))
+			}
+		default:
+			panic(fmt.Sprintf("graph: unknown init kind %d", p.kind))
+		}
+	}
+	return p.data
+}
+
+// SetData replaces the backing tensor (checkpoint restore). The shape must
+// match the declared parameter shape.
+func (p *Param) SetData(t *tensor.Tensor) {
+	if !tensor.ShapeEq(t.Shape(), p.Shape) {
+		panic(fmt.Sprintf("graph: SetData shape %v does not match param %q shape %v", t.Shape(), p.Name, p.Shape))
+	}
+	p.data = t
+	p.restored = true
+}
+
+// Fingerprint returns a 64-bit identity hash. It hashes the init spec
+// (kind, seed, std, shape), which determines the tensor contents, so the
+// fingerprint is stable whether or not the lazy tensor has been
+// materialized — two frozen layers with equal specs stay identical across
+// forward passes (Definition 4.3 relies on this). Only a checkpoint
+// restore (SetData) switches identity to the actual values; in-place
+// optimizer updates do not, which is sound because trainable layers are
+// never merged.
+func (p *Param) Fingerprint() uint64 {
+	if p.restored {
+		return p.data.Fingerprint()
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	buf[0] = byte(p.kind)
+	h.Write(buf[:1])
+	h.Write([]byte(p.tag))
+	h.Write([]byte{0})
+	binary.LittleEndian.PutUint64(buf[:], uint64(p.seed))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(p.std*1e6)))
+	h.Write(buf[:])
+	for _, d := range p.Shape {
+		binary.LittleEndian.PutUint64(buf[:], uint64(d))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Reset discards the current values so the next Tensor() call re-runs the
+// deterministic initializer. Model selection re-initializes every candidate
+// at the start of each cycle this way. Restored (checkpoint-loaded) params
+// keep their data.
+func (p *Param) Reset() {
+	if !p.restored {
+		p.data = nil
+	}
+}
+
+// Clone returns an independent copy of the parameter. If the source has been
+// materialized the data is deep-copied; otherwise the lazy spec is copied,
+// so the clone will initialize to the same values.
+func (p *Param) Clone() *Param {
+	c := &Param{Name: p.Name, Shape: append([]int(nil), p.Shape...), seed: p.seed, kind: p.kind, std: p.std, restored: p.restored, tag: p.tag, fn: p.fn}
+	if p.data != nil {
+		c.data = p.data.Clone()
+	}
+	return c
+}

@@ -1,0 +1,206 @@
+// Package layers implements the neural-network layers used by the Nautilus
+// substrate: dense, embedding, normalization, attention, convolution,
+// pooling, merge layers, and composite blocks (transformer, residual,
+// adapter). Every layer follows the pure-function contract of graph.Layer:
+// parameters live in the layer, activations travel through the cache.
+package layers
+
+import (
+	"fmt"
+	"math"
+
+	"nautilus/internal/graph"
+	"nautilus/internal/tensor"
+)
+
+// Activation names accepted by layers with a fused nonlinearity.
+const (
+	ActNone    = "none"
+	ActReLU    = "relu"
+	ActGeLU    = "gelu"
+	ActTanh    = "tanh"
+	ActSigmoid = "sigmoid"
+)
+
+const geluC = 0.7978845608028654 // sqrt(2/pi)
+
+// applyActivation computes act(z) elementwise into a new tensor.
+func applyActivation(act string, z *tensor.Tensor) *tensor.Tensor {
+	if act == ActNone {
+		return z
+	}
+	out := tensor.New(z.Shape()...)
+	zd, od := z.Data(), out.Data()
+	switch act {
+	case ActReLU:
+		for i, v := range zd {
+			if v > 0 {
+				od[i] = v
+			}
+		}
+	case ActGeLU:
+		for i, v := range zd {
+			x := float64(v)
+			od[i] = float32(0.5 * x * (1 + math.Tanh(geluC*(x+0.044715*x*x*x))))
+		}
+	case ActTanh:
+		for i, v := range zd {
+			od[i] = float32(math.Tanh(float64(v)))
+		}
+	case ActSigmoid:
+		for i, v := range zd {
+			od[i] = float32(1 / (1 + math.Exp(-float64(v))))
+		}
+	default:
+		panic(fmt.Sprintf("layers: unknown activation %q", act))
+	}
+	return out
+}
+
+// activationBackward computes dL/dz = g ⊙ act'(z) given pre-activation z.
+func activationBackward(act string, z, g *tensor.Tensor) *tensor.Tensor {
+	if act == ActNone {
+		return g
+	}
+	out := tensor.New(z.Shape()...)
+	zd, gd, od := z.Data(), g.Data(), out.Data()
+	switch act {
+	case ActReLU:
+		for i, v := range zd {
+			if v > 0 {
+				od[i] = gd[i]
+			}
+		}
+	case ActGeLU:
+		for i, v := range zd {
+			x := float64(v)
+			u := geluC * (x + 0.044715*x*x*x)
+			th := math.Tanh(u)
+			du := geluC * (1 + 3*0.044715*x*x)
+			d := 0.5*(1+th) + 0.5*x*(1-th*th)*du
+			od[i] = gd[i] * float32(d)
+		}
+	case ActTanh:
+		for i, v := range zd {
+			th := math.Tanh(float64(v))
+			od[i] = gd[i] * float32(1-th*th)
+		}
+	case ActSigmoid:
+		for i, v := range zd {
+			s := 1 / (1 + math.Exp(-float64(v)))
+			od[i] = gd[i] * float32(s*(1-s))
+		}
+	default:
+		panic(fmt.Sprintf("layers: unknown activation %q", act))
+	}
+	return out
+}
+
+// activationFLOPsPerElem returns the approximate FLOPs one activation
+// application costs per element, used by the analytical cost model.
+func activationFLOPsPerElem(act string) int64 {
+	switch act {
+	case ActNone:
+		return 0
+	case ActReLU:
+		return 1
+	default:
+		return 8 // transcendental approximations
+	}
+}
+
+// Activation is a standalone elementwise nonlinearity layer.
+type Activation struct {
+	Act string
+}
+
+// NewActivation returns an activation layer of the given kind.
+func NewActivation(act string) *Activation { return &Activation{Act: act} }
+
+func (l *Activation) Type() string           { return "activation" }
+func (l *Activation) Config() map[string]any { return map[string]any{"act": l.Act} }
+func (l *Activation) Params() []*graph.Param { return nil }
+func (l *Activation) OutShape(in [][]int) []int {
+	requireInputs("activation", in, 1)
+	return append([]int(nil), in[0]...)
+}
+
+func (l *Activation) FLOPsPerRecord(in [][]int) int64 {
+	return int64(tensor.NumElems(in[0])) * activationFLOPsPerElem(l.Act)
+}
+
+func (l *Activation) Forward(inputs []*tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	return applyActivation(l.Act, inputs[0]), nil
+}
+
+func (l *Activation) Backward(cache any, inputs []*tensor.Tensor, out, gradOut *tensor.Tensor, need graph.BackwardNeed) ([]*tensor.Tensor, []*tensor.Tensor) {
+	return []*tensor.Tensor{activationBackward(l.Act, inputs[0], gradOut)}, nil
+}
+
+// Dropout zeroes a fraction of activations during training and rescales the
+// rest; it is the identity in evaluation mode. The mask is drawn from a
+// deterministic per-forward counter so runs are reproducible.
+type Dropout struct {
+	Rate float64
+
+	state uint64 // xorshift stream, advanced per forward call
+}
+
+// NewDropout returns a dropout layer with the given drop rate in [0,1).
+func NewDropout(rate float64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("layers: dropout rate %v out of [0,1)", rate))
+	}
+	return &Dropout{Rate: rate, state: 0x9e3779b97f4a7c15}
+}
+
+func (l *Dropout) Type() string           { return "dropout" }
+func (l *Dropout) Config() map[string]any { return map[string]any{"rate": l.Rate} }
+func (l *Dropout) Params() []*graph.Param { return nil }
+
+func (l *Dropout) OutShape(in [][]int) []int {
+	requireInputs("dropout", in, 1)
+	return append([]int(nil), in[0]...)
+}
+
+func (l *Dropout) FLOPsPerRecord(in [][]int) int64 {
+	return int64(tensor.NumElems(in[0]))
+}
+
+func (l *Dropout) Forward(inputs []*tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	x := inputs[0]
+	if !train || l.Rate == 0 {
+		return x, nil
+	}
+	mask := tensor.New(x.Shape()...)
+	out := tensor.New(x.Shape()...)
+	keep := float32(1 - l.Rate)
+	inv := 1 / keep
+	s := l.state
+	md, xd, od := mask.Data(), x.Data(), out.Data()
+	for i := range xd {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		if float32(s>>40)/float32(1<<24) < keep {
+			md[i] = inv
+			od[i] = xd[i] * inv
+		}
+	}
+	l.state = s
+	return out, mask
+}
+
+func (l *Dropout) Backward(cache any, inputs []*tensor.Tensor, out, gradOut *tensor.Tensor, need graph.BackwardNeed) ([]*tensor.Tensor, []*tensor.Tensor) {
+	if cache == nil {
+		return []*tensor.Tensor{gradOut}, nil
+	}
+	mask := cache.(*tensor.Tensor)
+	return []*tensor.Tensor{tensor.Mul(gradOut, mask)}, nil
+}
+
+func requireInputs(typ string, in [][]int, n int) {
+	if len(in) != n {
+		panic(fmt.Sprintf("layers: %s expects %d input(s), got %d", typ, n, len(in)))
+	}
+}

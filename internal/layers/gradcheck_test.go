@@ -1,0 +1,482 @@
+package layers
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nautilus/internal/graph"
+	"nautilus/internal/tensor"
+)
+
+// lossOf computes the probe loss Σ w·out used by gradient checks.
+func lossOf(l graph.Layer, inputs []*tensor.Tensor, w *tensor.Tensor) float64 {
+	out, _ := l.Forward(inputs, false)
+	return tensor.Sum(tensor.Mul(out, w))
+}
+
+// checkGrads verifies a layer's analytic gradients against central finite
+// differences on a sample of input and parameter coordinates.
+// skipInputs lists input indices that carry no gradient (e.g. token ids).
+func checkGrads(t *testing.T, l graph.Layer, inputs []*tensor.Tensor, skipInputs ...int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(123))
+	out, cache := l.Forward(inputs, false)
+	w := tensor.RandNormal(rng, 1, out.Shape()...)
+	gradIn, gradParams := l.Backward(cache, inputs, out, w, graph.BackwardNeed{Inputs: true, Params: true})
+
+	skip := map[int]bool{}
+	for _, i := range skipInputs {
+		skip[i] = true
+	}
+	// Shrinking steps: a mismatch at one step size may be a ReLU/max kink
+	// crossing; it passes if any step agrees (kinks are measure-zero, so
+	// smaller steps stop crossing them).
+	steps := []struct{ eps, tol float64 }{{1e-2, 2e-2}, {2e-3, 3e-2}, {5e-4, 8e-2}}
+
+	check := func(label string, data []float32, analytic *tensor.Tensor) {
+		t.Helper()
+		if analytic == nil {
+			t.Errorf("%s: analytic gradient is nil", label)
+			return
+		}
+		n := len(data)
+		samples := 12
+		if n < samples {
+			samples = n
+		}
+		for s := 0; s < samples; s++ {
+			i := rng.Intn(n)
+			got := float64(analytic.Data()[i])
+			ok := false
+			var lastNum float64
+			for _, st := range steps {
+				orig := data[i]
+				data[i] = orig + float32(st.eps)
+				lp := lossOf(l, inputs, w)
+				data[i] = orig - float32(st.eps)
+				lm := lossOf(l, inputs, w)
+				data[i] = orig
+				num := (lp - lm) / (2 * st.eps)
+				lastNum = num
+				scale := math.Max(1, math.Max(math.Abs(num), math.Abs(got)))
+				if math.Abs(num-got)/scale <= st.tol {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("%s[%d]: numeric %.5f vs analytic %.5f", label, i, lastNum, got)
+			}
+		}
+	}
+
+	for i, in := range inputs {
+		if skip[i] {
+			continue
+		}
+		check("input"+string(rune('0'+i)), in.Data(), gradIn[i])
+	}
+	for i, p := range l.Params() {
+		check("param:"+p.Name, p.Tensor().Data(), gradParams[i])
+	}
+}
+
+// checkOutShape verifies that the inferred shape matches the actual
+// forward output (with the batch dimension stripped).
+func checkOutShape(t *testing.T, l graph.Layer, inputs []*tensor.Tensor) {
+	t.Helper()
+	in := make([][]int, len(inputs))
+	for i, x := range inputs {
+		in[i] = x.Shape()[1:]
+	}
+	want := l.OutShape(in)
+	out, _ := l.Forward(inputs, false)
+	got := out.Shape()[1:]
+	if !tensor.ShapeEq(got, want) {
+		t.Errorf("OutShape = %v but forward produced %v", want, got)
+	}
+	if flops := l.FLOPsPerRecord(in); flops < 0 {
+		t.Errorf("negative FLOPs estimate %d", flops)
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, act := range []string{ActNone, ActReLU, ActGeLU, ActTanh, ActSigmoid} {
+		l := NewDense(5, 4, act, 7)
+		x := tensor.RandNormal(rng, 1, 3, 5)
+		checkOutShape(t, l, []*tensor.Tensor{x})
+		checkGrads(t, l, []*tensor.Tensor{x})
+	}
+}
+
+func TestDense3DInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewDense(6, 3, ActGeLU, 9)
+	x := tensor.RandNormal(rng, 1, 2, 4, 6) // [batch, seq, dim]
+	out, _ := l.Forward([]*tensor.Tensor{x}, false)
+	if !tensor.ShapeEq(out.Shape(), []int{2, 4, 3}) {
+		t.Fatalf("dense 3D output shape = %v", out.Shape())
+	}
+	checkGrads(t, l, []*tensor.Tensor{x})
+}
+
+func TestDenseBackwardHonoursNeedFlags(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewDense(4, 4, ActNone, 5)
+	x := tensor.RandNormal(rng, 1, 2, 4)
+	out, cache := l.Forward([]*tensor.Tensor{x}, false)
+	g := tensor.RandNormal(rng, 1, out.Shape()...)
+	gi, gp := l.Backward(cache, []*tensor.Tensor{x}, out, g, graph.BackwardNeed{Inputs: false, Params: true})
+	if gi[0] != nil {
+		t.Error("input grad should be nil when not needed")
+	}
+	if gp[0] == nil || gp[1] == nil {
+		t.Error("param grads should be present when needed")
+	}
+	gi, gp = l.Backward(cache, []*tensor.Tensor{x}, out, g, graph.BackwardNeed{Inputs: true, Params: false})
+	if gi[0] == nil {
+		t.Error("input grad should be present when needed")
+	}
+	if gp[0] != nil {
+		t.Error("param grads should be nil when not needed")
+	}
+}
+
+func TestEmbeddingGradients(t *testing.T) {
+	l := NewEmbedding(10, 4, 3)
+	ids := tensor.FromSlice([]float32{1, 3, 5, 3, 0, 9}, 2, 3)
+	checkOutShape(t, l, []*tensor.Tensor{ids})
+	checkGrads(t, l, []*tensor.Tensor{ids}, 0)
+	// Repeated id 3 must accumulate gradient from both positions.
+	out, cache := l.Forward([]*tensor.Tensor{ids}, false)
+	g := tensor.New(out.Shape()...)
+	g.Fill(1)
+	_, gp := l.Backward(cache, []*tensor.Tensor{ids}, out, g, graph.BackwardNeed{Inputs: false, Params: true})
+	row3 := gp[0].Row(3)
+	for _, v := range row3 {
+		if v != 2 {
+			t.Fatalf("embedding grad for repeated id = %v, want 2", v)
+		}
+	}
+}
+
+func TestEmbeddingOutOfVocabPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-vocab id")
+		}
+	}()
+	l := NewEmbedding(4, 2, 1)
+	l.Forward([]*tensor.Tensor{tensor.FromSlice([]float32{7}, 1, 1)}, false)
+}
+
+func TestPositionalEmbeddingGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l := NewPositionalEmbedding(3, 4, 11)
+	x := tensor.RandNormal(rng, 1, 2, 3, 4)
+	checkOutShape(t, l, []*tensor.Tensor{x})
+	checkGrads(t, l, []*tensor.Tensor{x})
+}
+
+func TestLayerNormGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l := NewLayerNorm(6)
+	x := tensor.RandNormal(rng, 2, 3, 6)
+	checkOutShape(t, l, []*tensor.Tensor{x})
+	checkGrads(t, l, []*tensor.Tensor{x})
+}
+
+func TestLayerNormNormalizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	l := NewLayerNorm(8)
+	x := tensor.RandNormal(rng, 5, 4, 8)
+	out, _ := l.Forward([]*tensor.Tensor{x}, false)
+	for r := 0; r < out.Rows(); r++ {
+		var mean float64
+		for _, v := range out.Row(r) {
+			mean += float64(v)
+		}
+		mean /= 8
+		if math.Abs(mean) > 1e-4 {
+			t.Fatalf("row %d mean = %v, want ~0", r, mean)
+		}
+	}
+}
+
+func TestChannelAffineGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l := NewChannelAffine(5, 13)
+	x := tensor.RandNormal(rng, 1, 4, 5)
+	checkOutShape(t, l, []*tensor.Tensor{x})
+	checkGrads(t, l, []*tensor.Tensor{x})
+}
+
+func TestActivationGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, act := range []string{ActReLU, ActGeLU, ActTanh, ActSigmoid} {
+		l := NewActivation(act)
+		x := tensor.RandNormal(rng, 1, 3, 4)
+		// Nudge values away from the ReLU kink.
+		for i, v := range x.Data() {
+			if math.Abs(float64(v)) < 0.05 {
+				x.Data()[i] = 0.1
+			}
+		}
+		checkOutShape(t, l, []*tensor.Tensor{x})
+		checkGrads(t, l, []*tensor.Tensor{x})
+	}
+}
+
+func TestAddConcatGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := tensor.RandNormal(rng, 1, 2, 3)
+	b := tensor.RandNormal(rng, 1, 2, 3)
+	c := tensor.RandNormal(rng, 1, 2, 3)
+	add := NewAdd(3)
+	checkOutShape(t, add, []*tensor.Tensor{a, b, c})
+	checkGrads(t, add, []*tensor.Tensor{a, b, c})
+
+	d := tensor.RandNormal(rng, 1, 2, 5)
+	cat := NewConcat(2)
+	checkOutShape(t, cat, []*tensor.Tensor{a, d})
+	checkGrads(t, cat, []*tensor.Tensor{a, d})
+}
+
+func TestFlattenAndMeanPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	fl := NewFlatten()
+	x := tensor.RandNormal(rng, 1, 2, 3, 4)
+	checkOutShape(t, fl, []*tensor.Tensor{x})
+	checkGrads(t, fl, []*tensor.Tensor{x})
+
+	mp := NewMeanPoolSeq()
+	y := tensor.RandNormal(rng, 1, 2, 5, 3)
+	checkOutShape(t, mp, []*tensor.Tensor{y})
+	checkGrads(t, mp, []*tensor.Tensor{y})
+}
+
+func TestMultiHeadAttentionGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	l := NewMultiHeadAttention(8, 2, 21)
+	x := tensor.RandNormal(rng, 0.5, 2, 4, 8)
+	checkOutShape(t, l, []*tensor.Tensor{x})
+	checkGrads(t, l, []*tensor.Tensor{x})
+}
+
+func TestConv2DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, tc := range []struct{ k, stride, pad int }{{1, 1, 0}, {3, 1, 1}, {3, 2, 1}} {
+		l := NewConv2D(2, 3, tc.k, tc.stride, tc.pad, ActNone, 31)
+		x := tensor.RandNormal(rng, 1, 2, 5, 5, 2)
+		checkOutShape(t, l, []*tensor.Tensor{x})
+		checkGrads(t, l, []*tensor.Tensor{x})
+	}
+}
+
+func TestConv2DWithReLUGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	l := NewConv2D(2, 2, 3, 1, 1, ActReLU, 33)
+	x := tensor.RandNormal(rng, 1, 1, 4, 4, 2)
+	checkGrads(t, l, []*tensor.Tensor{x})
+}
+
+func TestMaxPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	l := NewMaxPool2D(2, 2, 0)
+	x := tensor.RandNormal(rng, 3, 1, 4, 4, 2) // large std avoids near-ties
+	checkOutShape(t, l, []*tensor.Tensor{x})
+	checkGrads(t, l, []*tensor.Tensor{x})
+}
+
+func TestGlobalAvgPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	l := NewGlobalAvgPool2D()
+	x := tensor.RandNormal(rng, 1, 2, 3, 3, 4)
+	checkOutShape(t, l, []*tensor.Tensor{x})
+	checkGrads(t, l, []*tensor.Tensor{x})
+}
+
+func TestAdapterGradientsAndNearIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	l := NewAdapter(6, 2, 41)
+	x := tensor.RandNormal(rng, 1, 2, 3, 6)
+	checkOutShape(t, l, []*tensor.Tensor{x})
+	checkGrads(t, l, []*tensor.Tensor{x})
+	// Freshly initialized adapters are near the identity function.
+	out, _ := l.Forward([]*tensor.Tensor{x}, false)
+	if !out.AllClose(x, 0.05) {
+		t.Error("fresh adapter should be close to identity")
+	}
+}
+
+func TestTransformerBlockGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	l := NewTransformerBlock(TransformerBlockConfig{Seq: 3, Dim: 8, Heads: 2, FFN: 16, Seed: 51})
+	x := tensor.RandNormal(rng, 0.5, 2, 3, 8)
+	checkOutShape(t, l, []*tensor.Tensor{x})
+	checkGrads(t, l, []*tensor.Tensor{x})
+}
+
+func TestResidualBlockGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	l := NewResidualBlock(ResidualBlockConfig{InH: 4, InW: 4, InC: 3, MidC: 2, OutC: 6, Stride: 2, Seed: 61})
+	x := tensor.RandNormal(rng, 1, 1, 4, 4, 3)
+	checkOutShape(t, l, []*tensor.Tensor{x})
+	checkGrads(t, l, []*tensor.Tensor{x})
+}
+
+func TestAdapterBlockTrainsOnlyAdapters(t *testing.T) {
+	l := NewTransformerBlock(TransformerBlockConfig{
+		Seq: 3, Dim: 8, Heads: 2, FFN: 16, Seed: 71, Adapter: 2, AdapterSeed: 99,
+	})
+	sub := l.TrainableSubset()
+	if len(sub) != 8 { // 2 adapters × 4 params
+		t.Fatalf("trainable subset has %d params, want 8", len(sub))
+	}
+	for _, p := range sub {
+		if p.Name != "adapter1.wd" && p.Name != "adapter1.bd" && p.Name != "adapter1.wu" && p.Name != "adapter1.bu" &&
+			p.Name != "adapter2.wd" && p.Name != "adapter2.bd" && p.Name != "adapter2.wu" && p.Name != "adapter2.bu" {
+			t.Errorf("unexpected trainable param %q", p.Name)
+		}
+	}
+	// Backward must produce grads only for the adapters.
+	rng := rand.New(rand.NewSource(19))
+	x := tensor.RandNormal(rng, 0.5, 1, 3, 8)
+	out, cache := l.Forward([]*tensor.Tensor{x}, false)
+	g := tensor.RandNormal(rng, 1, out.Shape()...)
+	_, gp := l.Backward(cache, []*tensor.Tensor{x}, out, g, graph.BackwardNeed{Inputs: true, Params: true})
+	trainSet := map[*graph.Param]bool{}
+	for _, p := range sub {
+		trainSet[p] = true
+	}
+	for i, p := range l.Params() {
+		if trainSet[p] && gp[i] == nil {
+			t.Errorf("trainable param %q got no gradient", p.Name)
+		}
+		if !trainSet[p] && gp[i] != nil {
+			t.Errorf("frozen param %q got a gradient", p.Name)
+		}
+	}
+}
+
+func TestDropoutTrainEvalBehaviour(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	l := NewDropout(0.5)
+	x := tensor.RandNormal(rng, 1, 10, 100)
+	// Eval mode: identity.
+	out, _ := l.Forward([]*tensor.Tensor{x}, false)
+	if !out.AllClose(x, 0) {
+		t.Error("dropout in eval mode must be identity")
+	}
+	// Train mode: some zeros, survivors scaled by 2.
+	out, cache := l.Forward([]*tensor.Tensor{x}, true)
+	zeros := 0
+	for i, v := range out.Data() {
+		if v == 0 {
+			zeros++
+		} else if math.Abs(float64(v-2*x.Data()[i])) > 1e-6 {
+			t.Fatalf("survivor %d not scaled: %v vs %v", i, v, x.Data()[i])
+		}
+	}
+	if zeros < 300 || zeros > 700 {
+		t.Errorf("dropout zeroed %d/1000, want ~500", zeros)
+	}
+	// Backward routes gradient through the same mask.
+	g := tensor.New(x.Shape()...)
+	g.Fill(1)
+	gi, _ := l.Backward(cache, []*tensor.Tensor{x}, out, g, graph.BackwardNeed{Inputs: true})
+	for i, v := range gi[0].Data() {
+		if (out.Data()[i] == 0) != (v == 0) {
+			t.Fatal("dropout backward mask mismatch")
+		}
+	}
+}
+
+func TestCompositeFLOPsAndActivationBytes(t *testing.T) {
+	l := NewTransformerBlock(TransformerBlockConfig{Seq: 4, Dim: 8, Heads: 2, FFN: 16, Seed: 81})
+	in := [][]int{{4, 8}}
+	flops := l.FLOPsPerRecord(in)
+	if flops <= 0 {
+		t.Fatal("composite FLOPs should be positive")
+	}
+	// MHA alone: 8·s·d² + 4·s²·d = 8·4·64 + 4·16·8 = 2560.
+	mha := NewMultiHeadAttention(8, 2, 1)
+	if flops <= mha.FLOPsPerRecord(in) {
+		t.Error("block FLOPs must exceed its attention sub-layer")
+	}
+	bytes := l.ActivationBytesPerRecord(in)
+	outBytes := int64(4 * 8 * 4)
+	if bytes <= outBytes {
+		t.Errorf("composite activation bytes %d should exceed plain output %d", bytes, outBytes)
+	}
+}
+
+func TestLayerIdentitySignatures(t *testing.T) {
+	// Same type+config+seed ⇒ same signature; differing seed or
+	// trainability ⇒ different.
+	mkNode := func(seed int64, trainable bool) *graph.Node {
+		m := graph.NewModel("m")
+		in := m.AddInput("in", 4)
+		n := m.AddNode("d", NewDense(4, 2, ActNone, seed), in)
+		n.Trainable = trainable
+		return n
+	}
+	a := graph.LayerSignature(mkNode(5, false))
+	b := graph.LayerSignature(mkNode(5, false))
+	c := graph.LayerSignature(mkNode(6, false))
+	d := graph.LayerSignature(mkNode(5, true))
+	if a != b {
+		t.Error("identical frozen layers must share a signature")
+	}
+	if a == c {
+		t.Error("different seeds must differ")
+	}
+	if a == d {
+		t.Error("frozen vs trainable must differ")
+	}
+}
+
+func TestSelectSeqGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	l := NewSelectSeq(2, 5)
+	x := tensor.RandNormal(rng, 1, 2, 5, 3)
+	checkOutShape(t, l, []*tensor.Tensor{x})
+	checkGrads(t, l, []*tensor.Tensor{x})
+}
+
+func TestSelectSeqOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSelectSeq(5, 5)
+}
+
+func TestInitialStateGradients(t *testing.T) {
+	l := NewInitialState(4)
+	ids := tensor.New(3, 2) // content irrelevant
+	out, cache := l.Forward([]*tensor.Tensor{ids}, false)
+	if !tensor.ShapeEq(out.Shape(), []int{3, 4}) {
+		t.Fatalf("shape %v", out.Shape())
+	}
+	g := tensor.New(3, 4)
+	g.Fill(1)
+	_, gp := l.Backward(cache, []*tensor.Tensor{ids}, out, g, graph.BackwardNeed{Params: true})
+	for _, v := range gp[0].Data() {
+		if v != 3 { // summed over the batch
+			t.Fatalf("h0 grad = %v, want 3", v)
+		}
+	}
+}
+
+func TestRNNCellGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	l := NewRNNCell(4, 3, 51)
+	x := tensor.RandNormal(rng, 1, 2, 4)
+	h := tensor.RandNormal(rng, 1, 2, 3)
+	checkOutShape(t, l, []*tensor.Tensor{x, h})
+	checkGrads(t, l, []*tensor.Tensor{x, h})
+}

@@ -1,0 +1,194 @@
+package layers
+
+import (
+	"fmt"
+
+	"nautilus/internal/graph"
+	"nautilus/internal/tensor"
+)
+
+// Add sums two or more shape-identical inputs elementwise. Feature-transfer
+// strategies like "sum of last 4 hidden layers" use it to combine block
+// outputs, and residual connections use the 2-input form.
+type Add struct {
+	N int // number of inputs
+}
+
+// NewAdd returns an n-ary elementwise addition layer.
+func NewAdd(n int) *Add {
+	if n < 2 {
+		panic("layers: add needs at least 2 inputs")
+	}
+	return &Add{N: n}
+}
+
+func (l *Add) Type() string           { return "add" }
+func (l *Add) Config() map[string]any { return map[string]any{"n": l.N} }
+func (l *Add) Params() []*graph.Param { return nil }
+
+func (l *Add) OutShape(in [][]int) []int {
+	requireInputs("add", in, l.N)
+	for _, s := range in[1:] {
+		if !tensor.ShapeEq(s, in[0]) {
+			panic(fmt.Sprintf("layers: add inputs disagree: %v vs %v", in[0], s))
+		}
+	}
+	return append([]int(nil), in[0]...)
+}
+
+func (l *Add) FLOPsPerRecord(in [][]int) int64 {
+	return int64(tensor.NumElems(in[0])) * int64(l.N-1)
+}
+
+func (l *Add) Forward(inputs []*tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	out := inputs[0].Clone()
+	for _, x := range inputs[1:] {
+		tensor.AddInPlace(out, x)
+	}
+	return out, nil
+}
+
+func (l *Add) Backward(cache any, inputs []*tensor.Tensor, out, gradOut *tensor.Tensor, need graph.BackwardNeed) ([]*tensor.Tensor, []*tensor.Tensor) {
+	grads := make([]*tensor.Tensor, l.N)
+	for i := range grads {
+		grads[i] = gradOut
+	}
+	return grads, nil
+}
+
+// Concat concatenates two or more inputs along their last dimension. The
+// "concat last 4 hidden layers" feature-transfer strategy uses it.
+type Concat struct {
+	N int
+}
+
+// NewConcat returns an n-ary last-dimension concatenation layer.
+func NewConcat(n int) *Concat {
+	if n < 2 {
+		panic("layers: concat needs at least 2 inputs")
+	}
+	return &Concat{N: n}
+}
+
+func (l *Concat) Type() string           { return "concat" }
+func (l *Concat) Config() map[string]any { return map[string]any{"n": l.N} }
+func (l *Concat) Params() []*graph.Param { return nil }
+
+func (l *Concat) OutShape(in [][]int) []int {
+	requireInputs("concat", in, l.N)
+	out := append([]int(nil), in[0]...)
+	last := len(out) - 1
+	for _, s := range in[1:] {
+		if len(s) != len(out) || !tensor.ShapeEq(s[:last], out[:last]) {
+			panic(fmt.Sprintf("layers: concat inputs disagree: %v vs %v", in[0], s))
+		}
+		out[last] += s[last]
+	}
+	return out
+}
+
+func (l *Concat) FLOPsPerRecord(in [][]int) int64 {
+	var n int64
+	for _, s := range in {
+		n += int64(tensor.NumElems(s))
+	}
+	return n // copy cost
+}
+
+func (l *Concat) Forward(inputs []*tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	return tensor.ConcatLast(inputs...), nil
+}
+
+func (l *Concat) Backward(cache any, inputs []*tensor.Tensor, out, gradOut *tensor.Tensor, need graph.BackwardNeed) ([]*tensor.Tensor, []*tensor.Tensor) {
+	widths := make([]int, len(inputs))
+	for i, x := range inputs {
+		widths[i] = x.Cols()
+	}
+	return tensor.SplitLast(gradOut, widths), nil
+}
+
+// Flatten reshapes each record to a vector, e.g. [H,W,C] → [H·W·C].
+type Flatten struct{}
+
+// NewFlatten returns a flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+func (l *Flatten) Type() string           { return "flatten" }
+func (l *Flatten) Config() map[string]any { return map[string]any{} }
+func (l *Flatten) Params() []*graph.Param { return nil }
+
+func (l *Flatten) OutShape(in [][]int) []int {
+	requireInputs("flatten", in, 1)
+	return []int{tensor.NumElems(in[0])}
+}
+
+func (l *Flatten) FLOPsPerRecord(in [][]int) int64 { return 0 }
+
+func (l *Flatten) Forward(inputs []*tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	x := inputs[0]
+	return x.Reshape(x.Dim(0), -1), nil
+}
+
+func (l *Flatten) Backward(cache any, inputs []*tensor.Tensor, out, gradOut *tensor.Tensor, need graph.BackwardNeed) ([]*tensor.Tensor, []*tensor.Tensor) {
+	return []*tensor.Tensor{gradOut.Reshape(inputs[0].Shape()...)}, nil
+}
+
+// MeanPoolSeq averages a [seq, dim] record over the sequence dimension,
+// producing [dim]; classification heads over token features use it.
+type MeanPoolSeq struct{}
+
+// NewMeanPoolSeq returns a sequence mean-pooling layer.
+func NewMeanPoolSeq() *MeanPoolSeq { return &MeanPoolSeq{} }
+
+func (l *MeanPoolSeq) Type() string           { return "mean_pool_seq" }
+func (l *MeanPoolSeq) Config() map[string]any { return map[string]any{} }
+func (l *MeanPoolSeq) Params() []*graph.Param { return nil }
+
+func (l *MeanPoolSeq) OutShape(in [][]int) []int {
+	requireInputs("mean_pool_seq", in, 1)
+	if len(in[0]) != 2 {
+		panic(fmt.Sprintf("layers: mean_pool_seq expects [seq,dim], got %v", in[0]))
+	}
+	return []int{in[0][1]}
+}
+
+func (l *MeanPoolSeq) FLOPsPerRecord(in [][]int) int64 {
+	return int64(tensor.NumElems(in[0]))
+}
+
+func (l *MeanPoolSeq) Forward(inputs []*tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	x := inputs[0]
+	batch, seq, dim := x.Dim(0), x.Dim(1), x.Dim(2)
+	out := tensor.New(batch, dim)
+	inv := 1 / float32(seq)
+	for b := 0; b < batch; b++ {
+		or := out.Row(b)
+		for s := 0; s < seq; s++ {
+			xr := x.Row(b*seq + s)
+			for j := range or {
+				or[j] += xr[j]
+			}
+		}
+		for j := range or {
+			or[j] *= inv
+		}
+	}
+	return out, nil
+}
+
+func (l *MeanPoolSeq) Backward(cache any, inputs []*tensor.Tensor, out, gradOut *tensor.Tensor, need graph.BackwardNeed) ([]*tensor.Tensor, []*tensor.Tensor) {
+	x := inputs[0]
+	batch, seq, dim := x.Dim(0), x.Dim(1), x.Dim(2)
+	dx := tensor.New(batch, seq, dim)
+	inv := 1 / float32(seq)
+	for b := 0; b < batch; b++ {
+		gr := gradOut.Row(b)
+		for s := 0; s < seq; s++ {
+			dr := dx.Row(b*seq + s)
+			for j := range dr {
+				dr[j] = gr[j] * inv
+			}
+		}
+	}
+	return []*tensor.Tensor{dx}, nil
+}

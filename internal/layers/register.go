@@ -1,0 +1,208 @@
+package layers
+
+import (
+	"nautilus/internal/graph"
+)
+
+// init registers every layer type with the graph package so model
+// architectures can be restored from checkpoints.
+func init() {
+	graph.RegisterLayerType("activation", func(cfg map[string]any) (graph.Layer, error) {
+		return NewActivation(cfg["act"].(string)), nil
+	})
+	graph.RegisterLayerType("dropout", func(cfg map[string]any) (graph.Layer, error) {
+		rate, err := graph.Float(cfg, "rate")
+		if err != nil {
+			return nil, err
+		}
+		return NewDropout(rate), nil
+	})
+	graph.RegisterLayerType("dense", func(cfg map[string]any) (graph.Layer, error) {
+		in, err := graph.Int(cfg, "in")
+		if err != nil {
+			return nil, err
+		}
+		out, err := graph.Int(cfg, "out")
+		if err != nil {
+			return nil, err
+		}
+		return NewDense(in, out, cfg["act"].(string), 0), nil
+	})
+	graph.RegisterLayerType("embedding", func(cfg map[string]any) (graph.Layer, error) {
+		vocab, err := graph.Int(cfg, "vocab")
+		if err != nil {
+			return nil, err
+		}
+		dim, err := graph.Int(cfg, "dim")
+		if err != nil {
+			return nil, err
+		}
+		return NewEmbedding(vocab, dim, 0), nil
+	})
+	graph.RegisterLayerType("pos_embedding", func(cfg map[string]any) (graph.Layer, error) {
+		seq, err := graph.Int(cfg, "seq")
+		if err != nil {
+			return nil, err
+		}
+		dim, err := graph.Int(cfg, "dim")
+		if err != nil {
+			return nil, err
+		}
+		return NewPositionalEmbedding(seq, dim, 0), nil
+	})
+	graph.RegisterLayerType("layer_norm", func(cfg map[string]any) (graph.Layer, error) {
+		dim, err := graph.Int(cfg, "dim")
+		if err != nil {
+			return nil, err
+		}
+		return NewLayerNorm(dim), nil
+	})
+	graph.RegisterLayerType("channel_affine", func(cfg map[string]any) (graph.Layer, error) {
+		ch, err := graph.Int(cfg, "channels")
+		if err != nil {
+			return nil, err
+		}
+		return NewChannelAffine(ch, 0), nil
+	})
+	graph.RegisterLayerType("add", func(cfg map[string]any) (graph.Layer, error) {
+		n, err := graph.Int(cfg, "n")
+		if err != nil {
+			return nil, err
+		}
+		return NewAdd(n), nil
+	})
+	graph.RegisterLayerType("concat", func(cfg map[string]any) (graph.Layer, error) {
+		n, err := graph.Int(cfg, "n")
+		if err != nil {
+			return nil, err
+		}
+		return NewConcat(n), nil
+	})
+	graph.RegisterLayerType("flatten", func(cfg map[string]any) (graph.Layer, error) {
+		return NewFlatten(), nil
+	})
+	graph.RegisterLayerType("mean_pool_seq", func(cfg map[string]any) (graph.Layer, error) {
+		return NewMeanPoolSeq(), nil
+	})
+	graph.RegisterLayerType("mha", func(cfg map[string]any) (graph.Layer, error) {
+		dim, err := graph.Int(cfg, "dim")
+		if err != nil {
+			return nil, err
+		}
+		heads, err := graph.Int(cfg, "heads")
+		if err != nil {
+			return nil, err
+		}
+		return NewMultiHeadAttention(dim, heads, 0), nil
+	})
+	graph.RegisterLayerType("adapter", func(cfg map[string]any) (graph.Layer, error) {
+		dim, err := graph.Int(cfg, "dim")
+		if err != nil {
+			return nil, err
+		}
+		bn, err := graph.Int(cfg, "bottleneck")
+		if err != nil {
+			return nil, err
+		}
+		return NewAdapter(dim, bn, 0), nil
+	})
+	graph.RegisterLayerType("conv2d", func(cfg map[string]any) (graph.Layer, error) {
+		inC, err := graph.Int(cfg, "in_c")
+		if err != nil {
+			return nil, err
+		}
+		outC, err := graph.Int(cfg, "out_c")
+		if err != nil {
+			return nil, err
+		}
+		k, err := graph.Int(cfg, "kh")
+		if err != nil {
+			return nil, err
+		}
+		stride, err := graph.Int(cfg, "stride_h")
+		if err != nil {
+			return nil, err
+		}
+		pad, err := graph.Int(cfg, "pad_h")
+		if err != nil {
+			return nil, err
+		}
+		return NewConv2D(inC, outC, k, stride, pad, cfg["act"].(string), 0), nil
+	})
+	graph.RegisterLayerType("max_pool2d", func(cfg map[string]any) (graph.Layer, error) {
+		k, err := graph.Int(cfg, "k")
+		if err != nil {
+			return nil, err
+		}
+		stride, err := graph.Int(cfg, "stride")
+		if err != nil {
+			return nil, err
+		}
+		pad, err := graph.Int(cfg, "pad")
+		if err != nil {
+			return nil, err
+		}
+		return NewMaxPool2D(k, stride, pad), nil
+	})
+	graph.RegisterLayerType("global_avg_pool2d", func(cfg map[string]any) (graph.Layer, error) {
+		return NewGlobalAvgPool2D(), nil
+	})
+	graph.RegisterLayerType("transformer_block", func(cfg map[string]any) (graph.Layer, error) {
+		var c TransformerBlockConfig
+		var err error
+		if c.Seq, err = graph.Int(cfg, "seq"); err != nil {
+			return nil, err
+		}
+		if c.Dim, err = graph.Int(cfg, "dim"); err != nil {
+			return nil, err
+		}
+		if c.Heads, err = graph.Int(cfg, "heads"); err != nil {
+			return nil, err
+		}
+		if c.FFN, err = graph.Int(cfg, "ffn"); err != nil {
+			return nil, err
+		}
+		seed, err := graph.Int(cfg, "seed")
+		if err != nil {
+			return nil, err
+		}
+		c.Seed = int64(seed)
+		if c.Adapter, err = graph.Int(cfg, "adapter"); err != nil {
+			return nil, err
+		}
+		as, err := graph.Int(cfg, "adapter_seed")
+		if err != nil {
+			return nil, err
+		}
+		c.AdapterSeed = int64(as)
+		return NewTransformerBlock(c), nil
+	})
+	graph.RegisterLayerType("residual_block", func(cfg map[string]any) (graph.Layer, error) {
+		var c ResidualBlockConfig
+		var err error
+		if c.InH, err = graph.Int(cfg, "in_h"); err != nil {
+			return nil, err
+		}
+		if c.InW, err = graph.Int(cfg, "in_w"); err != nil {
+			return nil, err
+		}
+		if c.InC, err = graph.Int(cfg, "in_c"); err != nil {
+			return nil, err
+		}
+		if c.MidC, err = graph.Int(cfg, "mid_c"); err != nil {
+			return nil, err
+		}
+		if c.OutC, err = graph.Int(cfg, "out_c"); err != nil {
+			return nil, err
+		}
+		if c.Stride, err = graph.Int(cfg, "stride"); err != nil {
+			return nil, err
+		}
+		seed, err := graph.Int(cfg, "seed")
+		if err != nil {
+			return nil, err
+		}
+		c.Seed = int64(seed)
+		return NewResidualBlock(c), nil
+	})
+}

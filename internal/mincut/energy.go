@@ -1,0 +1,129 @@
+package mincut
+
+import "fmt"
+
+// Energy is a pairwise binary energy of the restricted submodular form
+//
+//	E(x) = const + Σ_v [a_v·x_v + b_v·(1−x_v)] + Σ c_{uv}·x_u·(1−x_v)
+//
+// with every pairwise coefficient c_{uv} ≥ 0. Such energies are exactly
+// minimized by an s-t min-cut: label 1 means "on the source side".
+//
+// Negative unary coefficients are legal — they are rebalanced into the
+// constant term, which is how the reuse-plan objective's (c_comp − c_load)
+// coefficient can go negative when loading costs more than recomputing.
+type Energy struct {
+	n        int
+	cost1    []int64 // a_v, cost when x_v = 1
+	cost0    []int64 // b_v, cost when x_v = 0
+	pairs    []pairTerm
+	constant int64
+}
+
+type pairTerm struct {
+	u, v int
+	c    int64
+}
+
+// NewEnergy returns an energy over n binary variables, numbered 0..n-1.
+func NewEnergy(n int) *Energy {
+	return &Energy{n: n, cost1: make([]int64, n), cost0: make([]int64, n)}
+}
+
+// AddUnary adds cost0 when x_v = 0 and cost1 when x_v = 1. Either may be
+// negative or Inf (a hard constraint forcing the other label).
+func (e *Energy) AddUnary(v int, cost0, cost1 int64) {
+	e.cost0[v] = satAdd(e.cost0[v], cost0)
+	e.cost1[v] = satAdd(e.cost1[v], cost1)
+}
+
+// AddImplication adds an ∞ penalty for (x_u = 1, x_v = 0), i.e. the hard
+// constraint x_u ⇒ x_v.
+func (e *Energy) AddImplication(u, v int) {
+	e.pairs = append(e.pairs, pairTerm{u: u, v: v, c: Inf})
+}
+
+// AddPairwise adds a finite penalty c ≥ 0 for (x_u = 1, x_v = 0).
+func (e *Energy) AddPairwise(u, v int, c int64) {
+	if c < 0 {
+		panic(fmt.Sprintf("mincut: negative pairwise term %d", c))
+	}
+	e.pairs = append(e.pairs, pairTerm{u: u, v: v, c: c})
+}
+
+// Solve exactly minimizes the energy, returning the argmin labelling and
+// its value. Solve returns an error when the hard constraints are
+// unsatisfiable (minimum ≥ Inf).
+func (e *Energy) Solve() ([]bool, int64, error) {
+	const (
+		s = 0
+		t = 1
+	)
+	g := NewGraph(e.n + 2)
+	constant := e.constant
+	for v := 0; v < e.n; v++ {
+		a, b := e.cost1[v], e.cost0[v]
+		// Shift so both are non-negative; the smaller becomes constant.
+		base := min64(a, b)
+		if base > 0 || (base < 0 && base != -Inf) {
+			constant += base
+			a -= base
+			b -= base
+		}
+		// x_v = 1 (source side) pays a: edge v→t cut when v ∈ S.
+		if a > 0 {
+			g.AddEdge(v+2, t, a)
+		}
+		// x_v = 0 (sink side) pays b: edge s→v cut when v ∈ T.
+		if b > 0 {
+			g.AddEdge(s, v+2, b)
+		}
+	}
+	for _, p := range e.pairs {
+		// Penalty for u ∈ S, v ∈ T: edge u→v.
+		g.AddEdge(p.u+2, p.v+2, p.c)
+	}
+	flow := g.MaxFlow(s, t)
+	value := satAdd(constant, flow)
+	if flow >= Inf {
+		return nil, value, fmt.Errorf("mincut: hard constraints unsatisfiable")
+	}
+	side := g.MinCutSide(s)
+	labels := make([]bool, e.n)
+	for v := 0; v < e.n; v++ {
+		labels[v] = side[v+2]
+	}
+	return labels, value, nil
+}
+
+// Eval computes the energy of a given labelling, used by tests to verify
+// optimality against brute force.
+func (e *Energy) Eval(x []bool) int64 {
+	total := e.constant
+	for v := 0; v < e.n; v++ {
+		if x[v] {
+			total = satAdd(total, e.cost1[v])
+		} else {
+			total = satAdd(total, e.cost0[v])
+		}
+	}
+	for _, p := range e.pairs {
+		if x[p.u] && !x[p.v] {
+			total = satAdd(total, p.c)
+		}
+	}
+	return total
+}
+
+// satAdd adds saturating at ±Inf so hard-constraint arithmetic cannot
+// overflow.
+func satAdd(a, b int64) int64 {
+	s := a + b
+	if a >= Inf || b >= Inf || s >= Inf {
+		return Inf
+	}
+	if a <= -Inf || b <= -Inf || s <= -Inf {
+		return -Inf
+	}
+	return s
+}

@@ -1,0 +1,125 @@
+// Package mincut implements Dinic's max-flow algorithm and, on top of it, a
+// minimizer for submodular pairwise binary energies. The materialization
+// optimizer uses it to find optimal reuse-plan models for a fixed set of
+// materialized layers in polynomial time — the Max-Flow reduction the paper
+// invokes in Section 4.3.2.
+package mincut
+
+import "math"
+
+// Inf is the capacity used for hard constraints. It is large enough that no
+// sum of finite costs reaches it, yet small enough that additions of a few
+// Inf edges cannot overflow int64.
+const Inf int64 = math.MaxInt64 / 16
+
+type edge struct {
+	to  int
+	cap int64
+	rev int // index of the reverse edge in adj[to]
+}
+
+// Graph is a flow network for Dinic's algorithm.
+type Graph struct {
+	adj   [][]edge
+	level []int
+	iter  []int
+}
+
+// NewGraph returns a flow network with n nodes, numbered 0..n-1.
+func NewGraph(n int) *Graph {
+	return &Graph{adj: make([][]edge, n)}
+}
+
+// AddEdge adds a directed edge u→v with the given capacity (and a zero-
+// capacity reverse edge).
+func (g *Graph) AddEdge(u, v int, cap int64) {
+	if cap < 0 {
+		panic("mincut: negative capacity")
+	}
+	g.adj[u] = append(g.adj[u], edge{to: v, cap: cap, rev: len(g.adj[v])})
+	g.adj[v] = append(g.adj[v], edge{to: u, cap: 0, rev: len(g.adj[u]) - 1})
+}
+
+func (g *Graph) bfs(s, t int) bool {
+	g.level = make([]int, len(g.adj))
+	for i := range g.level {
+		g.level[i] = -1
+	}
+	queue := []int{s}
+	g.level[s] = 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[u] {
+			if e.cap > 0 && g.level[e.to] < 0 {
+				g.level[e.to] = g.level[u] + 1
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return g.level[t] >= 0
+}
+
+func (g *Graph) dfs(u, t int, f int64) int64 {
+	if u == t {
+		return f
+	}
+	for ; g.iter[u] < len(g.adj[u]); g.iter[u]++ {
+		e := &g.adj[u][g.iter[u]]
+		if e.cap > 0 && g.level[e.to] == g.level[u]+1 {
+			d := g.dfs(e.to, t, min64(f, e.cap))
+			if d > 0 {
+				e.cap -= d
+				g.adj[e.to][e.rev].cap += d
+				return d
+			}
+		}
+	}
+	return 0
+}
+
+// MaxFlow computes the maximum s→t flow. The graph's capacities are
+// consumed; call it once.
+func (g *Graph) MaxFlow(s, t int) int64 {
+	var flow int64
+	for g.bfs(s, t) {
+		g.iter = make([]int, len(g.adj))
+		for {
+			f := g.dfs(s, t, Inf)
+			if f == 0 {
+				break
+			}
+			flow += f
+			if flow >= Inf {
+				return Inf
+			}
+		}
+	}
+	return flow
+}
+
+// MinCutSide returns, after MaxFlow has run, which nodes remain reachable
+// from s in the residual graph (the source side of a minimum cut).
+func (g *Graph) MinCutSide(s int) []bool {
+	side := make([]bool, len(g.adj))
+	stack := []int{s}
+	side[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[u] {
+			if e.cap > 0 && !side[e.to] {
+				side[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return side
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

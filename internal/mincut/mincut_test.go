@@ -1,0 +1,166 @@
+package mincut
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxFlowTextbook(t *testing.T) {
+	// Classic 6-node example with max flow 23.
+	g := NewGraph(6)
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 5, 4)
+	if got := g.MaxFlow(0, 5); got != 23 {
+		t.Errorf("max flow = %d, want 23", got)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(2, 3, 5)
+	if got := g.MaxFlow(0, 3); got != 0 {
+		t.Errorf("max flow = %d, want 0", got)
+	}
+}
+
+func TestMinCutSideSeparates(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(1, 2, 1) // bottleneck
+	g.AddEdge(2, 3, 10)
+	if got := g.MaxFlow(0, 3); got != 1 {
+		t.Fatalf("max flow = %d, want 1", got)
+	}
+	side := g.MinCutSide(0)
+	if !side[0] || !side[1] || side[2] || side[3] {
+		t.Errorf("cut side = %v, want s-side {0,1}", side)
+	}
+}
+
+func TestEnergyUnaryOnly(t *testing.T) {
+	e := NewEnergy(3)
+	e.AddUnary(0, 5, 1)  // prefers 1
+	e.AddUnary(1, 2, 9)  // prefers 0
+	e.AddUnary(2, -4, 3) // negative cost0: prefers 0
+	x, val, err := e.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x[0] || x[1] || x[2] {
+		t.Errorf("labels = %v, want [1 0 0]", x)
+	}
+	if val != 1+2-4 {
+		t.Errorf("value = %d, want -1", val)
+	}
+	if e.Eval(x) != val {
+		t.Errorf("Eval disagrees: %d vs %d", e.Eval(x), val)
+	}
+}
+
+func TestEnergyImplicationForcesLabel(t *testing.T) {
+	// x0 strongly wants 1; x0 ⇒ x1; x1 mildly wants 0. Optimal: both 1.
+	e := NewEnergy(2)
+	e.AddUnary(0, 100, 0)
+	e.AddUnary(1, 0, 10)
+	e.AddImplication(0, 1)
+	x, val, err := e.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x[0] || !x[1] {
+		t.Errorf("labels = %v, want [1 1]", x)
+	}
+	if val != 10 {
+		t.Errorf("value = %d, want 10", val)
+	}
+}
+
+func TestEnergyUnsatisfiable(t *testing.T) {
+	// x0 forced to 1 (Inf cost at 0), x1 forced to 0, x0 ⇒ x1.
+	e := NewEnergy(2)
+	e.AddUnary(0, Inf, 0)
+	e.AddUnary(1, 0, Inf)
+	e.AddImplication(0, 1)
+	if _, _, err := e.Solve(); err == nil {
+		t.Error("expected unsatisfiable")
+	}
+}
+
+// TestEnergyMatchesBruteForce is the load-bearing property test: on random
+// submodular instances the min-cut solution must equal exhaustive search.
+func TestEnergyMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		e := NewEnergy(n)
+		for v := 0; v < n; v++ {
+			e.AddUnary(v, int64(rng.Intn(41)-20), int64(rng.Intn(41)-20))
+		}
+		terms := rng.Intn(2 * n)
+		for i := 0; i < terms; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if rng.Intn(3) == 0 {
+				e.AddImplication(u, v)
+			} else {
+				e.AddPairwise(u, v, int64(rng.Intn(15)))
+			}
+		}
+		x, val, err := e.Solve()
+		if err != nil {
+			// Unsatisfiable is impossible here: no Inf unaries.
+			return false
+		}
+		if e.Eval(x) != val {
+			return false
+		}
+		// Brute force.
+		best := int64(1) << 62
+		for mask := 0; mask < 1<<n; mask++ {
+			lab := make([]bool, n)
+			for v := 0; v < n; v++ {
+				lab[v] = mask&(1<<v) != 0
+			}
+			if ev := e.Eval(lab); ev < best {
+				best = ev
+			}
+		}
+		return val == best
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGraph(2).AddEdge(0, 1, -1)
+}
+
+func TestSatAddSaturates(t *testing.T) {
+	if satAdd(Inf, Inf) != Inf {
+		t.Error("Inf+Inf must saturate")
+	}
+	if satAdd(Inf, -5) != Inf {
+		t.Error("Inf-5 must stay Inf")
+	}
+	if satAdd(3, 4) != 7 {
+		t.Error("plain addition broken")
+	}
+}

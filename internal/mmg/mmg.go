@@ -1,0 +1,141 @@
+// Package mmg builds the multi-model graph (paper Definition 4.4 and
+// Section 4.1): the merged DAG of all candidate models in a model-selection
+// workload, obtained by hash-consing identical materializable
+// sub-expressions. The materialization optimizer reasons over this graph so
+// a layer shared by many candidates is considered (and materialized) once.
+package mmg
+
+import (
+	"fmt"
+
+	"nautilus/internal/graph"
+)
+
+// MultiModel is the merged graph plus the mapping from each source model's
+// nodes to merged nodes.
+type MultiModel struct {
+	Graph  *graph.Model
+	Models []*graph.Model
+	// NodeOf maps (source model, source node) to the merged node.
+	NodeOf map[*graph.Model]map[*graph.Node]*graph.Node
+	// SourcesOf lists, for every merged node, the (model, node) pairs that
+	// merged into it.
+	SourcesOf map[*graph.Node][]SourceRef
+	// Sig is the expression signature of every merged node.
+	Sig map[*graph.Node]graph.Signature
+}
+
+// SourceRef identifies one source-model node merged into a multi-model
+// node.
+type SourceRef struct {
+	Model *graph.Model
+	Node  *graph.Node
+}
+
+// Build merges the given models into a multi-model graph. Materializable
+// nodes with identical expression signatures collapse into one merged node
+// (sharing the first source's layer instance); all other nodes are copied
+// per model. The merged model's outputs are the concatenation of the source
+// models' outputs.
+func Build(models ...*graph.Model) (*MultiModel, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("mmg: no models")
+	}
+	merged := graph.NewModel(multiName(models))
+	mm := &MultiModel{
+		Graph:     merged,
+		Models:    append([]*graph.Model(nil), models...),
+		NodeOf:    map[*graph.Model]map[*graph.Node]*graph.Node{},
+		SourcesOf: map[*graph.Node][]SourceRef{},
+		Sig:       map[*graph.Node]graph.Signature{},
+	}
+	bySig := map[graph.Signature]*graph.Node{}
+
+	var outs []*graph.Node
+	for _, m := range models {
+		sigs := m.ExprSignatures()
+		mat := m.Materializable()
+		mm.NodeOf[m] = map[*graph.Node]*graph.Node{}
+		for _, n := range m.Nodes() {
+			sig := sigs[n]
+			if mat[n] {
+				if existing := bySig[sig]; existing != nil {
+					mm.NodeOf[m][n] = existing
+					mm.SourcesOf[existing] = append(mm.SourcesOf[existing], SourceRef{Model: m, Node: n})
+					continue
+				}
+			}
+			parents := make([]*graph.Node, len(n.Parents))
+			for i, p := range n.Parents {
+				parents[i] = mm.NodeOf[m][p]
+				if parents[i] == nil {
+					return nil, fmt.Errorf("mmg: model %q node %q used before definition", m.Name, p.Name)
+				}
+			}
+			name := mergedName(m, n, mat[n], sig)
+			if merged.Node(name) != nil {
+				// Distinct expressions colliding on a name can only happen
+				// for non-materializable twins across models; disambiguate.
+				name = fmt.Sprintf("%s@%s", name, m.Name)
+			}
+			nn := merged.AddNode(name, n.Layer, parents...)
+			nn.Trainable = n.Trainable
+			mm.NodeOf[m][n] = nn
+			mm.SourcesOf[nn] = append(mm.SourcesOf[nn], SourceRef{Model: m, Node: n})
+			mm.Sig[nn] = sig
+			if mat[n] {
+				bySig[sig] = nn
+			}
+		}
+		for _, o := range m.Outputs {
+			outs = append(outs, mm.NodeOf[m][o])
+		}
+	}
+	merged.SetOutputs(outs...)
+	if _, err := merged.Validate(); err != nil {
+		return nil, fmt.Errorf("mmg: merged graph invalid: %w", err)
+	}
+	return mm, nil
+}
+
+// OutputsOf returns the merged nodes corresponding to one source model's
+// outputs.
+func (mm *MultiModel) OutputsOf(m *graph.Model) []*graph.Node {
+	outs := make([]*graph.Node, len(m.Outputs))
+	for i, o := range m.Outputs {
+		outs[i] = mm.NodeOf[m][o]
+	}
+	return outs
+}
+
+// MaterializableNodes returns the merged graph's materializable non-input
+// nodes — the candidate set U the materialization optimizer chooses from.
+func (mm *MultiModel) MaterializableNodes() []*graph.Node {
+	mat := mm.Graph.Materializable()
+	var out []*graph.Node
+	for _, n := range mm.Graph.Nodes() {
+		if mat[n] && !n.IsInput() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// SharedCount returns how many source nodes merged into n.
+func (mm *MultiModel) SharedCount(n *graph.Node) int { return len(mm.SourcesOf[n]) }
+
+func multiName(models []*graph.Model) string {
+	if len(models) == 1 {
+		return "mmg:" + models[0].Name
+	}
+	return fmt.Sprintf("mmg:%s+%d", models[0].Name, len(models)-1)
+}
+
+// mergedName names a merged node: materializable nodes get signature-based
+// stable names (shared across models); others are qualified by model.
+func mergedName(m *graph.Model, n *graph.Node, materializable bool, sig graph.Signature) string {
+	if materializable {
+		return "shared/" + sig.String()
+	}
+	return m.Name + "/" + n.Name
+}

@@ -1,0 +1,184 @@
+package mmg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nautilus/internal/graph"
+	"nautilus/internal/layers"
+	"nautilus/internal/models"
+	"nautilus/internal/tensor"
+)
+
+// twoHeads builds two models sharing a frozen 2-layer trunk with different
+// trainable heads.
+func twoHeads() (*graph.Model, *graph.Model) {
+	build := func(name string, headSeed int64) *graph.Model {
+		m := graph.NewModel(name)
+		in := m.AddInput("in", 4)
+		d1 := m.AddNode("d1", layers.NewDense(4, 8, layers.ActTanh, 100), in)
+		d2 := m.AddNode("d2", layers.NewDense(8, 8, layers.ActTanh, 200), d1)
+		h := m.AddNode("h", layers.NewDense(8, 2, layers.ActNone, headSeed), d2)
+		h.Trainable = true
+		m.SetOutputs(h)
+		return m
+	}
+	return build("a", 1), build("b", 2)
+}
+
+func TestBuildMergesSharedTrunk(t *testing.T) {
+	a, b := twoHeads()
+	mm, err := Build(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// in, d1, d2 merge; two heads stay separate: 3 + 2 = 5 nodes.
+	if got := mm.Graph.NumNodes(); got != 5 {
+		t.Errorf("merged nodes = %d, want 5", got)
+	}
+	if len(mm.Graph.Outputs) != 2 {
+		t.Errorf("merged outputs = %d, want 2", len(mm.Graph.Outputs))
+	}
+	// Both models map d2 to the same merged node.
+	if mm.NodeOf[a][a.Node("d2")] != mm.NodeOf[b][b.Node("d2")] {
+		t.Error("shared trunk not merged")
+	}
+	if mm.SharedCount(mm.NodeOf[a][a.Node("d2")]) != 2 {
+		t.Error("shared count wrong")
+	}
+	// Heads map to different nodes.
+	if mm.NodeOf[a][a.Node("h")] == mm.NodeOf[b][b.Node("h")] {
+		t.Error("distinct heads wrongly merged")
+	}
+}
+
+func TestBuildDivergentTrunksDoNotMerge(t *testing.T) {
+	a, _ := twoHeads()
+	// c has a different frozen trunk (different seed).
+	c := graph.NewModel("c")
+	in := c.AddInput("in", 4)
+	d1 := c.AddNode("d1", layers.NewDense(4, 8, layers.ActTanh, 999), in)
+	d2 := c.AddNode("d2", layers.NewDense(8, 8, layers.ActTanh, 200), d1)
+	h := c.AddNode("h", layers.NewDense(8, 2, layers.ActNone, 3), d2)
+	h.Trainable = true
+	c.SetOutputs(h)
+
+	mm, err := Build(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the input merges: in + (d1,d2,h)×2 = 7.
+	if got := mm.Graph.NumNodes(); got != 7 {
+		t.Errorf("merged nodes = %d, want 7", got)
+	}
+	// d2 has identical config+seed in both but different parents
+	// (expression signatures differ), so it must NOT merge.
+	if mm.NodeOf[a][a.Node("d2")] == mm.NodeOf[c][c.Node("d2")] {
+		t.Error("d2 merged despite divergent ancestry")
+	}
+}
+
+func TestMergedGraphExecutionMatchesSources(t *testing.T) {
+	// Forward through the merged graph must reproduce each source model's
+	// outputs exactly — merging is purely structural.
+	a, b := twoHeads()
+	mm, err := Build(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.RandNormal(rng, 1, 3, 4)
+
+	ta, _ := a.Forward(map[string]*tensor.Tensor{"in": x}, false)
+	tb, _ := b.Forward(map[string]*tensor.Tensor{"in": x}, false)
+
+	inName := mm.NodeOf[a][a.Node("in")].Name
+	tm, err := mm.Graph.Forward(map[string]*tensor.Tensor{inName: x}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tm.Output(mm.OutputsOf(a)[0]).AllClose(ta.Output(a.Outputs[0]), 1e-6) {
+		t.Error("merged graph diverges from model a")
+	}
+	if !tm.Output(mm.OutputsOf(b)[0]).AllClose(tb.Output(b.Outputs[0]), 1e-6) {
+		t.Error("merged graph diverges from model b")
+	}
+}
+
+func TestMaterializableNodesExcludeInputsAndHeads(t *testing.T) {
+	a, b := twoHeads()
+	mm, err := Build(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := mm.MaterializableNodes()
+	if len(mat) != 2 { // merged d1, d2
+		t.Fatalf("materializable = %d nodes, want 2", len(mat))
+	}
+	for _, n := range mat {
+		if n.IsInput() || n.Trainable {
+			t.Errorf("node %q should not be a candidate", n.Name)
+		}
+	}
+}
+
+func TestBuildBERTWorkloadScale(t *testing.T) {
+	// Six FTR-1 strategies over a mini hub: the trunk (emb, pos, ln,
+	// 4 blocks, feature-combination nodes) merges across all six models.
+	h := models.NewBERTHub(models.BERTMini())
+	var ms []*graph.Model
+	for i, strat := range []models.FeatureStrategy{
+		models.FeatEmbedding, models.FeatSecondLastHidden, models.FeatLastHidden,
+		models.FeatSumLast4, models.FeatConcatLast4, models.FeatSumAll,
+	} {
+		m, err := h.FeatureTransferModel(fmt.Sprintf("m%d", i), strat, 9, int64(1000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, m)
+	}
+	mm, err := Build(ms...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each model alone has 8 trunk nodes (ids,emb,pos,ln,4 blocks) plus
+	// strategy/head nodes. Merged: trunk counted once.
+	perModel := 0
+	for _, m := range ms {
+		perModel += m.NumNodes()
+	}
+	if mm.Graph.NumNodes() >= perModel {
+		t.Errorf("merging saved nothing: %d vs %d", mm.Graph.NumNodes(), perModel)
+	}
+	// The shared trunk is 8 nodes; six models have 6 outputs.
+	if len(mm.Graph.Outputs) != 6 {
+		t.Errorf("outputs = %d, want 6", len(mm.Graph.Outputs))
+	}
+	// Feature-combination nodes (sum4, cat4, sum_all) are materializable
+	// and must appear in the candidate set.
+	names := map[string]bool{}
+	for _, n := range mm.MaterializableNodes() {
+		names[n.Name] = true
+	}
+	if len(names) < 7 { // emb-ln + 4 blocks + combination nodes
+		t.Errorf("only %d materializable candidates", len(names))
+	}
+}
+
+func TestBuildEmptyErrors(t *testing.T) {
+	if _, err := Build(); err == nil {
+		t.Error("empty Build should error")
+	}
+}
+
+func TestBuildSingleModelIsIdentity(t *testing.T) {
+	a, _ := twoHeads()
+	mm, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.Graph.NumNodes() != a.NumNodes() {
+		t.Errorf("single-model merge changed node count: %d vs %d", mm.Graph.NumNodes(), a.NumNodes())
+	}
+}

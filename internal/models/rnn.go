@@ -1,0 +1,71 @@
+package models
+
+import (
+	"fmt"
+
+	"nautilus/internal/graph"
+	"nautilus/internal/layers"
+)
+
+// RNNConfig describes a recurrent text encoder that Nautilus supports by
+// unrolling in time (paper Section 2.5: "Nautilus can support recurrent
+// models by unraveling them in time and transforming them into a
+// non-recurrent DL model").
+type RNNConfig struct {
+	Vocab, Seq, Dim, Hidden int
+	Seed                    int64
+}
+
+// RNNMini returns a CPU-trainable recurrent encoder configuration.
+func RNNMini() RNNConfig {
+	return RNNConfig{Vocab: 1024, Seq: 12, Dim: 32, Hidden: 32, Seed: 6600}
+}
+
+// RNNHub holds a pre-trained recurrent encoder's shared layer instances.
+type RNNHub struct {
+	Cfg RNNConfig
+
+	emb  *layers.Embedding
+	init *layers.InitialState
+	cell *layers.RNNCell
+}
+
+// NewRNNHub "downloads" a pre-trained recurrent encoder.
+func NewRNNHub(cfg RNNConfig) *RNNHub {
+	return &RNNHub{
+		Cfg:  cfg,
+		emb:  layers.NewClusteredEmbedding(cfg.Vocab, cfg.Dim, cfg.Vocab/16, cfg.Seed+1),
+		init: layers.NewInitialState(cfg.Hidden),
+		cell: layers.NewRNNCell(cfg.Dim, cfg.Hidden, cfg.Seed+2),
+	}
+}
+
+// UnrolledClassifier builds a sequence classifier from the unrolled
+// recurrent trunk: one RNNCell instance applied at every timestep (true
+// weight sharing — back-propagation through time falls out of the
+// engine's shared-layer gradient accumulation), with the sum of all hidden
+// states feeding a trainable softmax head (position-independent pooling,
+// which a contracting random recurrence needs). The frozen unrolled trunk
+// is a plain DAG, so every timestep's hidden state is materializable and
+// the materialization optimizer treats it like any other frozen chain.
+func (h *RNNHub) UnrolledClassifier(name string, numClasses int, headSeed int64) (*graph.Model, error) {
+	cfg := h.Cfg
+	m := graph.NewModel(name)
+	ids := m.AddInput("ids", cfg.Seq)
+	emb := m.AddNode("emb", h.emb, ids)
+	state := m.AddNode("h0", h.init, ids)
+	states := make([]*graph.Node, 0, cfg.Seq)
+	for t := 0; t < cfg.Seq; t++ {
+		xt := m.AddNode(fmt.Sprintf("x_%d", t), layers.NewSelectSeq(t, cfg.Seq), emb)
+		state = m.AddNode(fmt.Sprintf("h_%d", t+1), h.cell, xt, state)
+		states = append(states, state)
+	}
+	pooled := m.AddNode("pool", layers.NewAdd(len(states)), states...)
+	cls := m.AddNode("classifier", layers.NewDense(cfg.Hidden, numClasses, layers.ActNone, headSeed), pooled)
+	cls.Trainable = true
+	m.SetOutputs(cls)
+	if _, err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,95 @@
+package opt
+
+import (
+	"fmt"
+	"testing"
+
+	"nautilus/internal/graph"
+	"nautilus/internal/mincut"
+	"nautilus/internal/mmg"
+	"nautilus/internal/models"
+	"nautilus/internal/profile"
+)
+
+// benchWorkload builds n paper-scale feature-transfer candidates.
+func benchWorkload(b *testing.B, n int) ([]WorkItem, *mmg.MultiModel) {
+	b.Helper()
+	hub := models.NewBERTHub(models.BERTBase())
+	strats := []models.FeatureStrategy{models.FeatLastHidden, models.FeatSecondLastHidden, models.FeatSumLast4}
+	var items []WorkItem
+	var ms []*graph.Model
+	for i := 0; i < n; i++ {
+		m, err := hub.FeatureTransferModel(fmt.Sprintf("b%d", i), strats[i%len(strats)], 9, int64(300+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		prof, err := profile.Profile(m, profile.DefaultHardware())
+		if err != nil {
+			b.Fatal(err)
+		}
+		items = append(items, WorkItem{Model: m, Prof: prof, Epochs: 5, BatchSize: 16, LR: 5e-5})
+		ms = append(ms, m)
+	}
+	multi, err := mmg.Build(ms...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return items, multi
+}
+
+func BenchmarkSolveReusePlanBERTBase(b *testing.B) {
+	items, mm := benchWorkload(b, 1)
+	sigs := map[graph.Signature]bool{}
+	for _, n := range mm.MaterializableNodes() {
+		sigs[mm.Sig[n]] = true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveReusePlan(items[0].Prof, sigs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizeMaterialization12Models(b *testing.B) {
+	items, mm := benchWorkload(b, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimizeMaterialization(mm, items, MatConfig{
+			DiskBudgetBytes: 25 << 30, MaxRecords: 5000,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFuseModels12(b *testing.B) {
+	items, mm := benchWorkload(b, 12)
+	res, err := OptimizeMaterialization(mm, items, MatConfig{DiskBudgetBytes: 25 << 30, MaxRecords: 5000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FuseModels(items, res.Sigs, FuseConfig{MemBudgetBytes: 10 << 30, OptimizerSlotBytes: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnergyMinCut(b *testing.B) {
+	// Representative reuse-plan energy: chain of 40 nodes with branching.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := mincut.NewEnergy(80)
+		for v := 0; v < 80; v++ {
+			e.AddUnary(v, int64(v%7), int64((v*13)%11))
+			if v > 0 {
+				e.AddImplication(v, v-1)
+			}
+		}
+		if _, _, err := e.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"nautilus/internal/graph"
+	"nautilus/internal/mmg"
+	"nautilus/internal/profile"
+)
+
+// FuseConfig configures the model fusion optimization.
+type FuseConfig struct {
+	// MemBudgetBytes is B_mem, the runtime memory budget a fused model's
+	// estimated peak must not exceed.
+	MemBudgetBytes int64
+	// OptimizerSlotBytes is the optimizer state overhead per trainable
+	// parameter byte (2 for Adam).
+	OptimizerSlotBytes int64
+}
+
+// FusedGroup is one entry of the optimized training plan: one or more
+// source models fused into a single multi-branch model with a shared reuse
+// plan. Each source model keeps its own loss/optimizer branch.
+type FusedGroup struct {
+	// Items are the source (M_i, ϕ_i) pairs fused into this group.
+	Items []WorkItem
+	// MM is the merged graph of the group's models (nil for singletons? no:
+	// always set, a single-model group wraps its model).
+	MM *mmg.MultiModel
+	// Plan is the optimal reuse plan over the merged graph given V.
+	Plan *Plan
+	// PeakMemBytes is the analytical memory estimate at the group's batch
+	// size.
+	PeakMemBytes int64
+}
+
+// BatchSize returns the group's (shared) training batch size.
+func (g *FusedGroup) BatchSize() int { return g.Items[0].BatchSize }
+
+// Epochs returns the group's (shared) epoch count.
+func (g *FusedGroup) Epochs() int { return g.Items[0].Epochs }
+
+// CostPerRecord returns the group's per-record training cost.
+func (g *FusedGroup) CostPerRecord() int64 { return g.Plan.CostPerRecord }
+
+// FuseModels implements Algorithm 1 (FuseModels): greedy pairwise fusion.
+// Starting from each model's optimal reuse plan given the materialized set
+// V, it repeatedly fuses the pair of groups with the highest cost reduction
+// whose fused peak memory fits B_mem, until no beneficial fusible pair
+// remains. Only groups with equal batch size and equal epoch count fuse:
+// batch size because fused branches train on the same mini-batches (the
+// paper's condition), epochs because the fused model runs one training
+// loop.
+func FuseModels(items []WorkItem, matSigs map[graph.Signature]bool, cfg FuseConfig) ([]*FusedGroup, error) {
+	var groups []*FusedGroup
+	for _, it := range items {
+		g, err := singletonGroup(it, matSigs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		groups = append(groups, g)
+	}
+
+	type pairKey struct{ a, b *FusedGroup }
+	rejected := map[pairKey]bool{}
+	// Groups are immutable once built, so a pair's fused candidate can be
+	// evaluated once and reused across greedy rounds.
+	fusedCache := map[pairKey]*FusedGroup{}
+
+	for {
+		// Evaluate all not-yet-rejected fusible pairs.
+		var bestI, bestJ int
+		var bestGroup *FusedGroup
+		var bestGain int64
+		for i := 0; i < len(groups); i++ {
+			for j := i + 1; j < len(groups); j++ {
+				gi, gj := groups[i], groups[j]
+				if gi.BatchSize() != gj.BatchSize() || gi.Epochs() != gj.Epochs() {
+					continue
+				}
+				key := pairKey{gi, gj}
+				if rejected[key] {
+					continue
+				}
+				fused := fusedCache[key]
+				if fused == nil {
+					var err error
+					fused, err = fusePair(gi, gj, matSigs, cfg)
+					if err != nil {
+						return nil, err
+					}
+					fusedCache[key] = fused
+				}
+				gain := perEpochCost(gi) + perEpochCost(gj) - perEpochCost(fused)
+				if gain <= 0 || fused.PeakMemBytes > cfg.MemBudgetBytes {
+					rejected[key] = true
+					continue
+				}
+				if gain > bestGain {
+					bestGain = gain
+					bestI, bestJ, bestGroup = i, j, fused
+				}
+			}
+		}
+		if bestGroup == nil {
+			break
+		}
+		// Replace the pair with the fused group.
+		next := groups[:0:0]
+		for k, g := range groups {
+			if k != bestI && k != bestJ {
+				next = append(next, g)
+			}
+		}
+		groups = append(next, bestGroup)
+	}
+
+	sort.Slice(groups, func(i, j int) bool {
+		return groups[i].Items[0].Model.Name < groups[j].Items[0].Model.Name
+	})
+	return groups, nil
+}
+
+// perEpochCost is the group's per-record-per-epoch cost × epochs — the
+// quantity Algorithm 1's gain compares.
+func perEpochCost(g *FusedGroup) int64 {
+	return g.Plan.CostPerRecord * int64(g.Epochs())
+}
+
+// singletonGroup wraps one work item as an unfused group.
+func singletonGroup(it WorkItem, matSigs map[graph.Signature]bool, cfg FuseConfig) (*FusedGroup, error) {
+	mm, err := mmg.Build(it.Model)
+	if err != nil {
+		return nil, err
+	}
+	return buildGroup([]WorkItem{it}, mm, matSigs, cfg)
+}
+
+// fusePair builds the fused group for two groups' combined models.
+func fusePair(a, b *FusedGroup, matSigs map[graph.Signature]bool, cfg FuseConfig) (*FusedGroup, error) {
+	items := append(append([]WorkItem(nil), a.Items...), b.Items...)
+	ms := make([]*graph.Model, len(items))
+	for i, it := range items {
+		ms[i] = it.Model
+	}
+	mm, err := mmg.Build(ms...)
+	if err != nil {
+		return nil, err
+	}
+	return buildGroup(items, mm, matSigs, cfg)
+}
+
+// buildGroup profiles a merged graph, solves its reuse plan given V
+// (Section 4.3.2: the MILP with Z fixed, solved via min-cut), and estimates
+// its peak memory.
+func buildGroup(items []WorkItem, mm *mmg.MultiModel, matSigs map[graph.Signature]bool, cfg FuseConfig) (*FusedGroup, error) {
+	prof, err := profile.Profile(mm.Graph, items[0].Prof.HW)
+	if err != nil {
+		return nil, fmt.Errorf("opt: profile fused graph: %w", err)
+	}
+	plan, err := SolveReusePlan(prof, matSigs)
+	if err != nil {
+		return nil, err
+	}
+	mem := EstimatePeakMemory(plan, items[0].BatchSize, cfg.OptimizerSlotBytes)
+	return &FusedGroup{Items: items, MM: mm, Plan: plan, PeakMemBytes: mem.Total()}, nil
+}
+
+// TotalPlanCost returns Σ over groups of cost/record × epochs — the
+// per-record workload cost of an optimized training plan.
+func TotalPlanCost(groups []*FusedGroup) int64 {
+	var total int64
+	for _, g := range groups {
+		total += perEpochCost(g)
+	}
+	return total
+}

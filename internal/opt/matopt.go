@@ -1,0 +1,375 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"nautilus/internal/graph"
+	"nautilus/internal/milp"
+	"nautilus/internal/mmg"
+	"nautilus/internal/profile"
+)
+
+// WorkItem is one candidate (M_i, ϕ_i) of the model-selection workload as
+// the optimizer sees it.
+type WorkItem struct {
+	Model     *graph.Model
+	Prof      *profile.ModelProfile
+	Epochs    int
+	BatchSize int
+	// LR is the item's learning rate. The optimizer ignores it; the
+	// trainer uses it to build each branch's optimizer.
+	LR float64
+}
+
+// MatConfig configures the materialization optimization.
+type MatConfig struct {
+	// DiskBudgetBytes is B_disk.
+	DiskBudgetBytes int64
+	// MaxRecords is r, the expected maximum number of training records the
+	// storage footprint is sized for (Section 4.2.1).
+	MaxRecords int
+	// Solver selects "bnb" (branch & bound over Z with exact min-cut
+	// sub-evaluation; the default) or "milp" (the paper's joint MILP via
+	// the generic simplex solver; tractable at small workload sizes).
+	Solver string
+	// MaxNodes caps the branch-and-bound tree (default 50k). On exhaustion
+	// the best incumbent (at least as good as greedy) is returned.
+	MaxNodes int
+}
+
+// MatCandidate is one materializable intermediate the optimizer may choose:
+// a merged multi-model node with its storage and load costs.
+type MatCandidate struct {
+	Node        *graph.Node
+	Sig         graph.Signature
+	BytesPerRec int64
+	SharedBy    int // how many candidate models contain this expression
+}
+
+// MatResult is the outcome of the materialization optimization.
+type MatResult struct {
+	// Materialized is the chosen set V.
+	Materialized []MatCandidate
+	// Sigs indexes V by expression signature.
+	Sigs map[graph.Signature]bool
+	// Plans maps each workload model to its optimal reuse plan given V.
+	Plans map[*graph.Model]*Plan
+	// TotalCostFLOPs is Σ_i C(M_i^opt)·r·epochs_i (Equation 6).
+	TotalCostFLOPs int64
+	// StorageBytes is the storage footprint of V at r records.
+	StorageBytes int64
+	// SolveTime and NodesExplored report optimizer effort (Section 5.3).
+	SolveTime     time.Duration
+	NodesExplored int
+}
+
+// OptimizeMaterialization solves the materialization optimization problem
+// (Section 4.2): choose V ⊆ U minimizing total training cost subject to the
+// storage budget, and derive each model's optimal reuse plan.
+func OptimizeMaterialization(mm *mmg.MultiModel, items []WorkItem, cfg MatConfig) (*MatResult, error) {
+	start := time.Now()
+	if cfg.MaxRecords <= 0 {
+		return nil, fmt.Errorf("opt: MaxRecords must be positive")
+	}
+	mmProf, err := profile.Profile(mm.Graph, itemsHW(items))
+	if err != nil {
+		return nil, err
+	}
+	cands := candidates(mm, mmProf)
+
+	var chosen map[graph.Signature]bool
+	var explored int
+	switch cfg.Solver {
+	case "", "bnb":
+		chosen, explored, err = solveBnB(cands, items, cfg)
+	case "milp":
+		chosen, explored, err = solveMILP(cands, items, cfg)
+	default:
+		err = fmt.Errorf("opt: unknown solver %q", cfg.Solver)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := &MatResult{Sigs: chosen, Plans: map[*graph.Model]*Plan{}, NodesExplored: explored}
+	for _, c := range cands {
+		if chosen[c.Sig] {
+			res.Materialized = append(res.Materialized, c)
+			res.StorageBytes += c.BytesPerRec * int64(cfg.MaxRecords)
+		}
+	}
+	for _, it := range items {
+		plan, err := SolveReusePlan(it.Prof, chosen)
+		if err != nil {
+			return nil, err
+		}
+		res.Plans[it.Model] = plan
+		res.TotalCostFLOPs += plan.CostPerRecord * int64(cfg.MaxRecords) * int64(it.Epochs)
+	}
+	// Post-process (Section 4.2.2): drop materialized layers no plan loads.
+	res.pruneUnused(cfg.MaxRecords)
+	res.SolveTime = time.Since(start)
+	return res, nil
+}
+
+// pruneUnused removes chosen candidates that no reuse plan actually loads.
+func (r *MatResult) pruneUnused(maxRecords int) {
+	used := map[graph.Signature]bool{}
+	for _, plan := range r.Plans {
+		for _, n := range plan.LoadedNodes() {
+			used[plan.Prof.Sigs[n]] = true
+		}
+	}
+	var kept []MatCandidate
+	r.StorageBytes = 0
+	for _, c := range r.Materialized {
+		if used[c.Sig] {
+			kept = append(kept, c)
+			r.StorageBytes += c.BytesPerRec * int64(maxRecords)
+		} else {
+			delete(r.Sigs, c.Sig)
+		}
+	}
+	r.Materialized = kept
+}
+
+// candidates extracts the candidate set U from the multi-model graph,
+// ordered by descending sharing then size (a good branching order).
+func candidates(mm *mmg.MultiModel, mmProf *profile.ModelProfile) []MatCandidate {
+	var out []MatCandidate
+	for _, n := range mm.MaterializableNodes() {
+		out = append(out, MatCandidate{
+			Node:        n,
+			Sig:         mm.Sig[n],
+			BytesPerRec: mmProf.Layers[n].OutBytes,
+			SharedBy:    mm.SharedCount(n),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SharedBy != out[j].SharedBy {
+			return out[i].SharedBy > out[j].SharedBy
+		}
+		if out[i].BytesPerRec != out[j].BytesPerRec {
+			return out[i].BytesPerRec < out[j].BytesPerRec
+		}
+		return out[i].Sig < out[j].Sig
+	})
+	return out
+}
+
+// workloadCost evaluates Σ_i C(M_i^opt)·epochs_i (per record) exactly for a
+// given loadable set via per-model min-cuts.
+func workloadCost(items []WorkItem, sigs map[graph.Signature]bool) (int64, error) {
+	var total int64
+	for _, it := range items {
+		plan, err := SolveReusePlan(it.Prof, sigs)
+		if err != nil {
+			return 0, err
+		}
+		total += plan.CostPerRecord * int64(it.Epochs)
+	}
+	return total, nil
+}
+
+// solveBnB searches subsets of U by depth-first branch & bound. The lower
+// bound of a partial assignment materializes every undecided candidate for
+// free, which is valid because growing the loadable set never raises the
+// optimal plan cost; budget feasibility is enforced on decided candidates
+// only.
+func solveBnB(cands []MatCandidate, items []WorkItem, cfg MatConfig) (map[graph.Signature]bool, int, error) {
+	maxNodes := cfg.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 50_000
+	}
+	r := int64(cfg.MaxRecords)
+
+	// Incumbent: greedy in candidate order.
+	bestSigs, bestCost, err := greedyMat(cands, items, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	explored := 0
+	var firstErr error
+	sigs := map[graph.Signature]bool{}
+
+	// The optimistic bound treats undecided candidates as free and
+	// materialized; at depth i that's {decided yes} ∪ cands[i:].
+	var dfs func(i int, usedBytes int64)
+	dfs = func(i int, usedBytes int64) {
+		if firstErr != nil || explored >= maxNodes {
+			return
+		}
+		explored++
+		// Bound with all undecided included.
+		opt := map[graph.Signature]bool{}
+		for s := range sigs {
+			opt[s] = true
+		}
+		for _, c := range cands[i:] {
+			opt[c.Sig] = true
+		}
+		bound, err := workloadCost(items, opt)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		if bound >= bestCost {
+			return
+		}
+		if i == len(cands) {
+			// bound is exact here.
+			bestCost = bound
+			bestSigs = map[graph.Signature]bool{}
+			for s := range sigs {
+				bestSigs[s] = true
+			}
+			return
+		}
+		c := cands[i]
+		if usedBytes+c.BytesPerRec*r <= cfg.DiskBudgetBytes {
+			sigs[c.Sig] = true
+			dfs(i+1, usedBytes+c.BytesPerRec*r)
+			delete(sigs, c.Sig)
+		}
+		dfs(i+1, usedBytes)
+	}
+	dfs(0, 0)
+	if firstErr != nil {
+		return nil, explored, firstErr
+	}
+	return bestSigs, explored, nil
+}
+
+// greedyMat builds the initial incumbent: scan candidates in order, keep a
+// candidate if it fits the budget and strictly lowers workload cost.
+func greedyMat(cands []MatCandidate, items []WorkItem, cfg MatConfig) (map[graph.Signature]bool, int64, error) {
+	r := int64(cfg.MaxRecords)
+	sigs := map[graph.Signature]bool{}
+	cost, err := workloadCost(items, sigs)
+	if err != nil {
+		return nil, 0, err
+	}
+	var used int64
+	for _, c := range cands {
+		if used+c.BytesPerRec*r > cfg.DiskBudgetBytes {
+			continue
+		}
+		sigs[c.Sig] = true
+		nc, err := workloadCost(items, sigs)
+		if err != nil {
+			return nil, 0, err
+		}
+		if nc < cost {
+			cost = nc
+			used += c.BytesPerRec * r
+		} else {
+			delete(sigs, c.Sig)
+		}
+	}
+	return sigs, cost, nil
+}
+
+// solveMILP builds and solves the joint MILP of Section 4.2.2
+// (Equations 8–10) with the generic simplex + branch & bound solver.
+func solveMILP(cands []MatCandidate, items []WorkItem, cfg MatConfig) (map[graph.Signature]bool, int, error) {
+	p, zVar := BuildMILP(cands, items, cfg)
+	sol, err := milp.Solve(p, milp.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	if sol.Status != milp.Optimal {
+		return nil, 0, fmt.Errorf("opt: MILP status %v", sol.Status)
+	}
+	chosen := map[graph.Signature]bool{}
+	for sig, v := range zVar {
+		if sol.X[v] > 0.5 {
+			chosen[sig] = true
+		}
+	}
+	return chosen, 1, nil
+}
+
+// BuildMILP constructs the paper's MILP (Equations 8–10): binary X_{i,j}
+// (layer present), Y_{i,j} (layer computed), Z_k (candidate materialized),
+// with the storage-budget and structural constraints. It returns the
+// problem and the Z variable index per candidate signature.
+func BuildMILP(cands []MatCandidate, items []WorkItem, cfg MatConfig) (*milp.Problem, map[graph.Signature]int) {
+	p := &milp.Problem{}
+	r := float64(cfg.MaxRecords)
+
+	zVar := map[graph.Signature]int{}
+	newVar := func(obj float64) int {
+		v := p.NumVars
+		p.NumVars++
+		p.Minimize = append(p.Minimize, obj)
+		p.Binary = append(p.Binary, true)
+		return v
+	}
+	for _, c := range cands {
+		zVar[c.Sig] = newVar(0)
+	}
+
+	for _, it := range items {
+		scale := r * float64(it.Epochs)
+		xVar := map[*graph.Node]int{}
+		yVar := map[*graph.Node]int{}
+		for _, n := range it.Prof.Model.Reachable() {
+			lp := it.Prof.Layers[n]
+			// Objective: X·cload + Y·(ccomp − cload), scaled (Equation 9).
+			xVar[n] = newVar(float64(lp.LoadFLOPs) * scale)
+			if !n.IsInput() {
+				yVar[n] = newVar(float64(lp.CompFLOPs-lp.LoadFLOPs) * scale)
+			}
+		}
+		outs := map[*graph.Node]bool{}
+		for _, o := range it.Prof.Model.Outputs {
+			outs[o] = true
+		}
+		for _, n := range it.Prof.Model.Reachable() {
+			// (a) outputs present.
+			if outs[n] {
+				p.AddConstraint(milp.GE, 1, milp.Term{Var: xVar[n], Coef: 1})
+			}
+			if n.IsInput() {
+				continue
+			}
+			// (b) Y ≤ X.
+			p.AddConstraint(milp.GE, 0, milp.Term{Var: xVar[n], Coef: 1}, milp.Term{Var: yVar[n], Coef: -1})
+			// (c) computed ⇒ every parent present.
+			for _, par := range n.Parents {
+				p.AddConstraint(milp.GE, 0, milp.Term{Var: xVar[par], Coef: 1}, milp.Term{Var: yVar[n], Coef: -1})
+			}
+			// (d) loaded (X−Y=1) only if the matching candidate is
+			// materialized; non-materializable layers have no candidate and
+			// get X−Y ≤ 0.
+			sig := it.Prof.Sigs[n]
+			if z, ok := zVar[sig]; ok && it.Prof.Layers[n].Materializable {
+				p.AddConstraint(milp.LE, 0,
+					milp.Term{Var: xVar[n], Coef: 1}, milp.Term{Var: yVar[n], Coef: -1}, milp.Term{Var: z, Coef: -1})
+			} else {
+				p.AddConstraint(milp.LE, 0,
+					milp.Term{Var: xVar[n], Coef: 1}, milp.Term{Var: yVar[n], Coef: -1})
+			}
+		}
+	}
+	// (e) storage budget.
+	var terms []milp.Term
+	for _, c := range cands {
+		terms = append(terms, milp.Term{Var: zVar[c.Sig], Coef: float64(c.BytesPerRec) * r})
+	}
+	if len(terms) > 0 {
+		p.AddConstraint(milp.LE, float64(cfg.DiskBudgetBytes), terms...)
+	}
+	return p, zVar
+}
+
+// itemsHW returns the hardware profile shared by the workload's profiles.
+func itemsHW(items []WorkItem) profile.Hardware {
+	if len(items) > 0 {
+		return items[0].Prof.HW
+	}
+	return profile.DefaultHardware()
+}

@@ -1,0 +1,19 @@
+package opt
+
+// TheoreticalSpeedup computes Equation 11: the ratio of the whole
+// workload's training cost to the cost of only its non-materializable
+// layers, i.e. the speedup of a hypothetical execution with zero load cost
+// and unlimited storage. The FLOPs-Optimal baseline divides Current
+// Practice runtimes by this bound.
+func TheoreticalSpeedup(items []WorkItem) float64 {
+	var full, irreducible int64
+	for _, it := range items {
+		e := int64(it.Epochs)
+		full += it.Prof.TotalCompFLOPs() * e
+		irreducible += it.Prof.NonMaterializableCompFLOPs() * e
+	}
+	if irreducible == 0 {
+		return 1
+	}
+	return float64(full) / float64(irreducible)
+}

@@ -1,0 +1,103 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+)
+
+// rowCache is an LRU cache of materialized rows, standing in for the OS
+// page cache the paper's Materializer relies on ("if there is excess DRAM
+// available, we rely on the OS disk cache", Section 3). With it, repeated
+// epoch reads of materialized features hit DRAM and only cold rows count
+// as physical disk reads — the same accounting the cost-clock simulator
+// uses.
+type rowCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	used     int64
+	ll       *list.List // front = most recent
+	items    map[rowKey]*list.Element
+
+	hits, misses int64
+}
+
+type rowKey struct {
+	key string
+	row int
+}
+
+type rowEntry struct {
+	k    rowKey
+	data []float32
+}
+
+func newRowCache(maxBytes int64) *rowCache {
+	return &rowCache{maxBytes: maxBytes, ll: list.New(), items: map[rowKey]*list.Element{}}
+}
+
+// get returns the cached row and moves it to the front.
+func (c *rowCache) get(key string, row int) ([]float32, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[rowKey{key, row}]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*rowEntry).data, true
+}
+
+// put inserts a row, evicting least-recently-used rows beyond capacity.
+// The slice is stored as-is; callers must not mutate it afterwards.
+func (c *rowCache) put(key string, row int, data []float32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := rowKey{key, row}
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*rowEntry).data = data
+		return
+	}
+	bytes := int64(len(data)) * 4
+	if bytes > c.maxBytes {
+		return // row larger than the whole cache
+	}
+	el := c.ll.PushFront(&rowEntry{k: k, data: data})
+	c.items[k] = el
+	c.used += bytes
+	for c.used > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*rowEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.k)
+		c.used -= int64(len(e.data)) * 4
+	}
+}
+
+// invalidate drops every cached row of a key (after Delete).
+func (c *rowCache) invalidate(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*rowEntry)
+		if e.k.key == key {
+			c.ll.Remove(el)
+			delete(c.items, e.k)
+			c.used -= int64(len(e.data)) * 4
+		}
+		el = next
+	}
+}
+
+// stats returns hit/miss counts.
+func (c *rowCache) stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,251 @@
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"nautilus/internal/graph"
+	"nautilus/internal/tensor"
+)
+
+// checkpointMagic identifies checkpoint files.
+const checkpointMagic = "NCKP"
+
+// archNode is the serialized form of one model node.
+type archNode struct {
+	Name      string         `json:"name"`
+	Type      string         `json:"type"`
+	Config    map[string]any `json:"config"`
+	Parents   []string       `json:"parents,omitempty"`
+	Trainable bool           `json:"trainable,omitempty"`
+}
+
+// paramEntry locates one parameter blob inside the checkpoint.
+type paramEntry struct {
+	Node   string `json:"node"`
+	Param  string `json:"param"`
+	Shape  []int  `json:"shape"`
+	Offset int64  `json:"offset"`
+}
+
+// checkpointHeader is the JSON header of a checkpoint file.
+type checkpointHeader struct {
+	Model   string       `json:"model"`
+	Nodes   []archNode   `json:"nodes"`
+	Outputs []string     `json:"outputs"`
+	Params  []paramEntry `json:"params"`
+	// TrainableOnly marks checkpoints that store only trainable weights;
+	// they can only be restored into an existing model.
+	TrainableOnly bool `json:"trainable_only,omitempty"`
+}
+
+// CheckpointOptions controls what SaveModel writes.
+type CheckpointOptions struct {
+	// TrainableOnly stores only the trainable parameters. Nautilus
+	// checkpoints optimized plan models this way — frozen parameters are
+	// reproducible from the hub and need no repeated writes (the disk-write
+	// saving reported in Figure 11).
+	TrainableOnly bool
+}
+
+// SaveModel writes the model architecture and weights to path. counters may
+// be nil.
+func SaveModel(path string, m *graph.Model, opts CheckpointOptions, counters *Counters) error {
+	hdr := checkpointHeader{Model: m.Name, TrainableOnly: opts.TrainableOnly}
+	for _, o := range m.Outputs {
+		hdr.Outputs = append(hdr.Outputs, o.Name)
+	}
+
+	trainSet := map[*graph.Param]bool{}
+	for _, p := range m.TrainableParams() {
+		trainSet[p] = true
+	}
+
+	type blob struct {
+		entry paramEntry
+		data  *tensor.Tensor
+	}
+	var blobs []blob
+	var offset int64
+	for _, n := range m.Nodes() {
+		an := archNode{Name: n.Name, Type: n.Layer.Type(), Config: n.Layer.Config(), Trainable: n.Trainable}
+		for _, p := range n.Parents {
+			an.Parents = append(an.Parents, p.Name)
+		}
+		hdr.Nodes = append(hdr.Nodes, an)
+		for _, p := range n.Layer.Params() {
+			if opts.TrainableOnly && !trainSet[p] {
+				continue
+			}
+			e := paramEntry{Node: n.Name, Param: p.Name, Shape: p.Shape, Offset: offset}
+			blobs = append(blobs, blob{entry: e, data: p.Tensor()})
+			offset += p.Bytes()
+			hdr.Params = append(hdr.Params, e)
+		}
+	}
+
+	hb, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("storage: marshal checkpoint header: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("storage: create checkpoint: %w", err)
+	}
+	defer f.Close()
+
+	pre := make([]byte, 12)
+	copy(pre, checkpointMagic)
+	binary.LittleEndian.PutUint64(pre[4:], uint64(len(hb)))
+	if _, err := f.Write(pre); err != nil {
+		return err
+	}
+	if _, err := f.Write(hb); err != nil {
+		return err
+	}
+	var written int64 = int64(len(pre) + len(hb))
+	for _, b := range blobs {
+		buf := make([]byte, 4*b.data.Len())
+		for i, v := range b.data.Data() {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		if _, err := f.Write(buf); err != nil {
+			return err
+		}
+		written += int64(len(buf))
+	}
+	counters.AddWrite(written)
+	return nil
+}
+
+// readCheckpoint parses path into its header and the byte offset where
+// parameter data begins.
+func readCheckpoint(path string) (*checkpointHeader, *os.File, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("storage: open checkpoint: %w", err)
+	}
+	pre := make([]byte, 12)
+	if _, err := f.ReadAt(pre, 0); err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	if string(pre[:4]) != checkpointMagic {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("storage: %s is not a checkpoint", path)
+	}
+	hlen := int64(binary.LittleEndian.Uint64(pre[4:]))
+	hb := make([]byte, hlen)
+	if _, err := f.ReadAt(hb, 12); err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(hb, &hdr); err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("storage: parse checkpoint header: %w", err)
+	}
+	return &hdr, f, 12 + hlen, nil
+}
+
+// LoadModel restores a full checkpoint into a new model. Trainable-only
+// checkpoints cannot be loaded this way (frozen weights are absent); use
+// LoadParamsInto with a freshly rebuilt model instead.
+func LoadModel(path string, counters *Counters) (*graph.Model, error) {
+	hdr, f, base, err := readCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if hdr.TrainableOnly {
+		return nil, fmt.Errorf("storage: %s is a trainable-only checkpoint; use LoadParamsInto", path)
+	}
+	m := graph.NewModel(hdr.Model)
+	for _, an := range hdr.Nodes {
+		layer, err := graph.NewLayerFromConfig(an.Type, an.Config)
+		if err != nil {
+			return nil, fmt.Errorf("storage: node %q: %w", an.Name, err)
+		}
+		parents := make([]*graph.Node, len(an.Parents))
+		for i, pn := range an.Parents {
+			parents[i] = m.Node(pn)
+			if parents[i] == nil {
+				return nil, fmt.Errorf("storage: node %q references unknown parent %q", an.Name, pn)
+			}
+		}
+		n := m.AddNode(an.Name, layer, parents...)
+		n.Trainable = an.Trainable
+	}
+	var outs []*graph.Node
+	for _, o := range hdr.Outputs {
+		n := m.Node(o)
+		if n == nil {
+			return nil, fmt.Errorf("storage: unknown output %q", o)
+		}
+		outs = append(outs, n)
+	}
+	m.SetOutputs(outs...)
+	if err := loadParams(hdr, f, base, m, counters); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LoadParamsInto restores the parameters recorded in the checkpoint into an
+// existing model with matching node and parameter names.
+func LoadParamsInto(path string, m *graph.Model, counters *Counters) error {
+	hdr, f, base, err := readCheckpoint(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return loadParams(hdr, f, base, m, counters)
+}
+
+func loadParams(hdr *checkpointHeader, f *os.File, base int64, m *graph.Model, counters *Counters) error {
+	byName := map[string]*graph.Param{}
+	for _, n := range m.Nodes() {
+		for _, p := range n.Layer.Params() {
+			byName[n.Name+"\x00"+p.Name] = p
+		}
+	}
+	var read int64
+	for _, e := range hdr.Params {
+		p := byName[e.Node+"\x00"+e.Param]
+		if p == nil {
+			return fmt.Errorf("storage: checkpoint param %s/%s not present in model", e.Node, e.Param)
+		}
+		n := tensor.NumElems(e.Shape)
+		buf := make([]byte, 4*n)
+		if _, err := f.ReadAt(buf, base+e.Offset); err != nil {
+			return fmt.Errorf("storage: read param %s/%s: %w", e.Node, e.Param, err)
+		}
+		t := tensor.New(e.Shape...)
+		for i := range t.Data() {
+			t.Data()[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		p.SetData(t)
+		read += int64(len(buf))
+	}
+	counters.AddRead(read)
+	return nil
+}
+
+// CheckpointSizeBytes estimates a model's checkpoint size without writing
+// it: header estimate plus parameter bytes (all params, or trainable only).
+func CheckpointSizeBytes(m *graph.Model, opts CheckpointOptions) int64 {
+	var total int64 = 4096 // header estimate
+	if opts.TrainableOnly {
+		for _, p := range m.TrainableParams() {
+			total += p.Bytes()
+		}
+		return total
+	}
+	for _, p := range m.AllParams() {
+		total += p.Bytes()
+	}
+	return total
+}

@@ -1,0 +1,317 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"nautilus/internal/tensor"
+)
+
+// tensorStoreMagic identifies materialized-output files.
+const tensorStoreMagic = "NTS1"
+
+// TensorStore persists materialized layer outputs on disk, one file per
+// key (the producing expression's signature). Records append incrementally
+// as new labeled data arrives; reads fetch row ranges or gathered batches.
+//
+// File layout: magic, uint32 rank, rank×uint32 record dims, then float32
+// record data in row-major order. The record count is derived from the file
+// size, so appends are crash-consistent at record granularity.
+type TensorStore struct {
+	dir      string
+	counters *Counters
+	cache    *rowCache
+
+	mu    sync.Mutex
+	files map[string]*os.File
+}
+
+// NewTensorStore opens (creating if needed) a store rooted at dir. counters
+// may be nil.
+func NewTensorStore(dir string, counters *Counters) (*TensorStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create store dir: %w", err)
+	}
+	return &TensorStore{dir: dir, counters: counters, files: map[string]*os.File{}}, nil
+}
+
+// EnableCache attaches an LRU row cache of the given capacity, emulating
+// the OS page cache: repeated epoch reads of materialized rows hit DRAM
+// and only cold reads count as physical disk traffic.
+func (s *TensorStore) EnableCache(maxBytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache = newRowCache(maxBytes)
+}
+
+// CacheStats returns cache hits and misses (zero when no cache attached).
+func (s *TensorStore) CacheStats() (hits, misses int64) {
+	s.mu.Lock()
+	c := s.cache
+	s.mu.Unlock()
+	if c == nil {
+		return 0, 0
+	}
+	return c.stats()
+}
+
+// Dir returns the store's root directory.
+func (s *TensorStore) Dir() string { return s.dir }
+
+func (s *TensorStore) path(key string) string {
+	if strings.ContainsAny(key, "/\\") {
+		panic(fmt.Sprintf("storage: invalid key %q", key))
+	}
+	return filepath.Join(s.dir, key+".nts")
+}
+
+func (s *TensorStore) open(key string) (*os.File, error) {
+	if f := s.files[key]; f != nil {
+		return f, nil
+	}
+	f, err := os.OpenFile(s.path(key), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %q: %w", key, err)
+	}
+	s.files[key] = f
+	return f, nil
+}
+
+// headerSize returns the byte size of a header with the given rank.
+func headerSize(rank int) int64 { return int64(4 + 4 + 4*rank) }
+
+// readHeader returns the record shape, or nil if the file is empty.
+func readHeader(f *os.File) ([]int, error) {
+	var magic [4]byte
+	n, err := f.ReadAt(magic[:], 0)
+	if n == 0 {
+		return nil, nil // empty file: no header yet
+	}
+	if err != nil {
+		return nil, err
+	}
+	if string(magic[:]) != tensorStoreMagic {
+		return nil, fmt.Errorf("storage: bad magic %q", magic)
+	}
+	var rankBuf [4]byte
+	if _, err := f.ReadAt(rankBuf[:], 4); err != nil {
+		return nil, err
+	}
+	rank := int(binary.LittleEndian.Uint32(rankBuf[:]))
+	if rank < 0 || rank > 8 {
+		return nil, fmt.Errorf("storage: implausible rank %d", rank)
+	}
+	dims := make([]byte, 4*rank)
+	if _, err := f.ReadAt(dims, 8); err != nil {
+		return nil, err
+	}
+	shape := make([]int, rank)
+	for i := range shape {
+		shape[i] = int(binary.LittleEndian.Uint32(dims[4*i:]))
+	}
+	return shape, nil
+}
+
+// Append writes the records of recs (shape [n, ...rec]) to the end of key's
+// file, creating it (and its header) on first use. The record shape must
+// match previous appends.
+func (s *TensorStore) Append(key string, recs *tensor.Tensor) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.open(key)
+	if err != nil {
+		return err
+	}
+	recShape := recs.Shape()[1:]
+	existing, err := readHeader(f)
+	if err != nil {
+		return err
+	}
+	if existing == nil {
+		// Fresh file: write header.
+		buf := make([]byte, headerSize(len(recShape)))
+		copy(buf, tensorStoreMagic)
+		binary.LittleEndian.PutUint32(buf[4:], uint32(len(recShape)))
+		for i, d := range recShape {
+			binary.LittleEndian.PutUint32(buf[8+4*i:], uint32(d))
+		}
+		if _, err := f.WriteAt(buf, 0); err != nil {
+			return fmt.Errorf("storage: write header: %w", err)
+		}
+		s.counters.AddWrite(int64(len(buf)))
+	} else if !tensor.ShapeEq(existing, recShape) {
+		return fmt.Errorf("storage: key %q holds records of shape %v, appending %v", key, existing, recShape)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 4*recs.Len())
+	for i, v := range recs.Data() {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	if _, err := f.WriteAt(buf, st.Size()); err != nil {
+		return fmt.Errorf("storage: append %q: %w", key, err)
+	}
+	s.counters.AddWrite(int64(len(buf)))
+	return nil
+}
+
+// Count returns the number of records stored under key (0 if absent).
+func (s *TensorStore) Count(key string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.countLocked(key)
+}
+
+func (s *TensorStore) countLocked(key string) (int, error) {
+	f, err := s.open(key)
+	if err != nil {
+		return 0, err
+	}
+	shape, err := readHeader(f)
+	if err != nil {
+		return 0, err
+	}
+	if shape == nil {
+		return 0, nil
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	recBytes := int64(tensor.NumElems(shape)) * 4
+	return int((st.Size() - headerSize(len(shape))) / recBytes), nil
+}
+
+// RecordShape returns the per-record shape stored under key, or nil if the
+// key holds no records yet.
+func (s *TensorStore) RecordShape(key string) ([]int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.open(key)
+	if err != nil {
+		return nil, err
+	}
+	return readHeader(f)
+}
+
+// ReadRows gathers the given record indices into a [len(idx), ...rec]
+// tensor, the access pattern of mini-batch training over materialized
+// features.
+func (s *TensorStore) ReadRows(key string, idx []int) (*tensor.Tensor, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.open(key)
+	if err != nil {
+		return nil, err
+	}
+	shape, err := readHeader(f)
+	if err != nil {
+		return nil, err
+	}
+	if shape == nil {
+		return nil, fmt.Errorf("storage: key %q is empty", key)
+	}
+	recElems := tensor.NumElems(shape)
+	recBytes := int64(recElems) * 4
+	base := headerSize(len(shape))
+	out := tensor.New(append([]int{len(idx)}, shape...)...)
+	buf := make([]byte, recBytes)
+	var coldBytes int64
+	for i, r := range idx {
+		dst := out.Data()[i*recElems : (i+1)*recElems]
+		if s.cache != nil {
+			if row, ok := s.cache.get(key, r); ok {
+				copy(dst, row)
+				continue
+			}
+		}
+		if _, err := f.ReadAt(buf, base+int64(r)*recBytes); err != nil {
+			return nil, fmt.Errorf("storage: read %q row %d: %w", key, r, err)
+		}
+		for j := range dst {
+			dst[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
+		}
+		coldBytes += recBytes
+		if s.cache != nil {
+			s.cache.put(key, r, append([]float32(nil), dst...))
+		}
+	}
+	if coldBytes > 0 {
+		s.counters.AddRead(coldBytes)
+	}
+	return out, nil
+}
+
+// ReadRange reads records [lo, hi).
+func (s *TensorStore) ReadRange(key string, lo, hi int) (*tensor.Tensor, error) {
+	idx := make([]int, hi-lo)
+	for i := range idx {
+		idx[i] = lo + i
+	}
+	return s.ReadRows(key, idx)
+}
+
+// SizeBytes returns the on-disk size of key's file (0 if absent).
+func (s *TensorStore) SizeBytes(key string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := os.Stat(s.path(key))
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}
+
+// TotalBytes returns the total on-disk size of every file in the store.
+func (s *TensorStore) TotalBytes() int64 {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// Delete removes key's file, e.g. when re-optimization drops a materialized
+// layer.
+func (s *TensorStore) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f := s.files[key]; f != nil {
+		f.Close()
+		delete(s.files, key)
+	}
+	if s.cache != nil {
+		s.cache.invalidate(key)
+	}
+	if err := os.Remove(s.path(key)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Close releases all open file handles.
+func (s *TensorStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for k, f := range s.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.files, k)
+	}
+	return first
+}

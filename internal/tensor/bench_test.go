@@ -1,0 +1,49 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatMul(b *testing.B, m, k, n int) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandNormal(rng, 1, m, k)
+	y := RandNormal(rng, 1, k, n)
+	b.SetBytes(int64(m*k+k*n+m*n) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B)  { benchMatMul(b, 64, 64, 64) }
+func BenchmarkMatMul256(b *testing.B) { benchMatMul(b, 256, 256, 256) }
+
+func BenchmarkMatMulBT256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandNormal(rng, 1, 256, 256)
+	y := RandNormal(rng, 1, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulBT(x, y)
+	}
+}
+
+func BenchmarkIm2Col(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandNormal(rng, 1, 8, 32, 32, 16)
+	g := ConvGeom{InH: 32, InW: 32, InC: 16, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2Col(x, g)
+	}
+}
+
+func BenchmarkSoftmaxRows(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandNormal(rng, 1, 512, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SoftmaxRows(x)
+	}
+}

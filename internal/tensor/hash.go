@@ -1,0 +1,27 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint returns a 64-bit FNV-1a hash over the tensor's shape and
+// contents. Two tensors with equal shape and bit-identical float values have
+// equal fingerprints; the layer identity test (paper Definition 4.3) uses
+// this to compare frozen parameter values cheaply.
+func (t *Tensor) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(t.shape)))
+	h.Write(buf[:])
+	for _, d := range t.shape {
+		binary.LittleEndian.PutUint64(buf[:], uint64(d))
+		h.Write(buf[:])
+	}
+	for _, v := range t.data {
+		binary.LittleEndian.PutUint32(buf[:4], math.Float32bits(v))
+		h.Write(buf[:4])
+	}
+	return h.Sum64()
+}

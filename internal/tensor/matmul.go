@@ -1,0 +1,123 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of multiply-accumulate operations
+// below which matmul runs single-threaded; spawning goroutines for tiny
+// matrices costs more than it saves.
+const parallelThreshold = 1 << 16
+
+// MatMul computes the matrix product of a's 2-D view [m,k] and b's 2-D view
+// [k,n], returning an [m,n] tensor. Rows are distributed across goroutines
+// for large products.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := a.Rows(), a.Cols()
+	k2, n := b.Rows(), b.Cols()
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch [%d,%d]x[%d,%d]", m, k, k2, n))
+	}
+	out := New(m, n)
+	parallelRows(m, m*k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.data[i*k : (i+1)*k]
+			oi := out.data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := ai[p]
+				if av == 0 {
+					continue
+				}
+				bp := b.data[p*n : (p+1)*n]
+				for j := range bp {
+					oi[j] += av * bp[j]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulBT computes a × bᵀ where a is [m,k] and b is [n,k], returning [m,n].
+// It avoids materializing the transpose and is used by backward passes.
+func MatMulBT(a, b *Tensor) *Tensor {
+	m, k := a.Rows(), a.Cols()
+	n, k2 := b.Rows(), b.Cols()
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulBT inner dimension mismatch [%d,%d]x[%d,%d]T", m, k, n, k2))
+	}
+	out := New(m, n)
+	parallelRows(m, m*k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.data[i*k : (i+1)*k]
+			oi := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b.data[j*k : (j+1)*k]
+				var s float32
+				for p := 0; p < k; p++ {
+					s += ai[p] * bj[p]
+				}
+				oi[j] = s
+			}
+		}
+	})
+	return out
+}
+
+// MatMulAT computes aᵀ × b where a is [k,m] and b is [k,n], returning [m,n].
+// It accumulates over a's rows and is used to form weight gradients.
+func MatMulAT(a, b *Tensor) *Tensor {
+	k, m := a.Rows(), a.Cols()
+	k2, n := b.Rows(), b.Cols()
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulAT inner dimension mismatch [%d,%d]T x [%d,%d]", k, m, k2, n))
+	}
+	out := New(m, n)
+	parallelRows(m, m*k*n, func(lo, hi int) {
+		for p := 0; p < k; p++ {
+			ap := a.data[p*m : (p+1)*m]
+			bp := b.data[p*n : (p+1)*n]
+			for i := lo; i < hi; i++ {
+				av := ap[i]
+				if av == 0 {
+					continue
+				}
+				oi := out.data[i*n : (i+1)*n]
+				for j := range bp {
+					oi[j] += av * bp[j]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// parallelRows splits [0,rows) into contiguous chunks and runs fn on each,
+// using one goroutine per chunk when work (a multiply-accumulate count)
+// exceeds parallelThreshold.
+func parallelRows(rows, work int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers <= 1 || rows <= 1 {
+		fn(0, rows)
+		return
+	}
+	if workers > rows {
+		workers = rows
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

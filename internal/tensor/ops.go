@@ -1,0 +1,247 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) *Tensor {
+	checkSame("Add", a, b)
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] + b.data[i]
+	}
+	return out
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	checkSame("Sub", a, b)
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] - b.data[i]
+	}
+	return out
+}
+
+// Mul returns a * b elementwise (Hadamard product).
+func Mul(a, b *Tensor) *Tensor {
+	checkSame("Mul", a, b)
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] * b.data[i]
+	}
+	return out
+}
+
+// Scale returns a*s elementwise.
+func Scale(a *Tensor, s float32) *Tensor {
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] * s
+	}
+	return out
+}
+
+// AddInPlace accumulates b into a and returns a.
+func AddInPlace(a, b *Tensor) *Tensor {
+	checkSame("AddInPlace", a, b)
+	for i := range a.data {
+		a.data[i] += b.data[i]
+	}
+	return a
+}
+
+// AxpyInPlace computes a += s*b and returns a.
+func AxpyInPlace(a *Tensor, s float32, b *Tensor) *Tensor {
+	checkSame("AxpyInPlace", a, b)
+	for i := range a.data {
+		a.data[i] += s * b.data[i]
+	}
+	return a
+}
+
+// ScaleInPlace multiplies every element of a by s and returns a.
+func ScaleInPlace(a *Tensor, s float32) *Tensor {
+	for i := range a.data {
+		a.data[i] *= s
+	}
+	return a
+}
+
+// AddRowVec adds vector v (length a.Cols()) to every row of a's 2-D view.
+func AddRowVec(a, v *Tensor) *Tensor {
+	c := a.Cols()
+	if v.Len() != c {
+		panic(fmt.Sprintf("tensor: AddRowVec vector length %d != cols %d", v.Len(), c))
+	}
+	out := New(a.shape...)
+	for r := 0; r < a.Rows(); r++ {
+		ar, or := a.Row(r), out.Row(r)
+		for j := 0; j < c; j++ {
+			or[j] = ar[j] + v.data[j]
+		}
+	}
+	return out
+}
+
+// SumRows returns the column-wise sum over all rows of a's 2-D view: a
+// vector of length a.Cols(). It is the gradient counterpart of AddRowVec.
+func SumRows(a *Tensor) *Tensor {
+	c := a.Cols()
+	out := New(c)
+	for r := 0; r < a.Rows(); r++ {
+		ar := a.Row(r)
+		for j := 0; j < c; j++ {
+			out.data[j] += ar[j]
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements as float64 for numerical robustness.
+func Sum(a *Tensor) float64 {
+	var s float64
+	for _, v := range a.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value.
+func MaxAbs(a *Tensor) float32 {
+	var m float32
+	for _, v := range a.data {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Transpose2D returns the transpose of a's 2-D view as a [cols, rows]
+// tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	r, c := a.Rows(), a.Cols()
+	out := New(c, r)
+	for i := 0; i < r; i++ {
+		ai := a.Row(i)
+		for j := 0; j < c; j++ {
+			out.data[j*r+i] = ai[j]
+		}
+	}
+	return out
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row of a's 2-D
+// view.
+func SoftmaxRows(a *Tensor) *Tensor {
+	out := New(a.shape...)
+	c := a.Cols()
+	for r := 0; r < a.Rows(); r++ {
+		ar, or := a.Row(r), out.Row(r)
+		maxv := ar[0]
+		for _, v := range ar[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j := 0; j < c; j++ {
+			e := math.Exp(float64(ar[j] - maxv))
+			or[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := 0; j < c; j++ {
+			or[j] *= inv
+		}
+	}
+	return out
+}
+
+// SoftmaxRowsBackward computes the input gradient of SoftmaxRows given the
+// softmax output y and upstream gradient g: dx = y ⊙ (g − rowsum(g⊙y)).
+func SoftmaxRowsBackward(y, g *Tensor) *Tensor {
+	checkSame("SoftmaxRowsBackward", y, g)
+	out := New(y.shape...)
+	c := y.Cols()
+	for r := 0; r < y.Rows(); r++ {
+		yr, gr, or := y.Row(r), g.Row(r), out.Row(r)
+		var dot float64
+		for j := 0; j < c; j++ {
+			dot += float64(yr[j] * gr[j])
+		}
+		d := float32(dot)
+		for j := 0; j < c; j++ {
+			or[j] = yr[j] * (gr[j] - d)
+		}
+	}
+	return out
+}
+
+// ConcatLast concatenates tensors along the last dimension. All inputs must
+// agree on every leading dimension.
+func ConcatLast(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: ConcatLast of nothing")
+	}
+	rows := ts[0].Rows()
+	total := 0
+	for _, t := range ts {
+		if t.Rows() != rows {
+			panic(fmt.Sprintf("tensor: ConcatLast row mismatch %d vs %d", t.Rows(), rows))
+		}
+		total += t.Cols()
+	}
+	shape := append([]int(nil), ts[0].shape...)
+	shape[len(shape)-1] = total
+	out := New(shape...)
+	for r := 0; r < rows; r++ {
+		or := out.Row(r)
+		off := 0
+		for _, t := range ts {
+			copy(or[off:], t.Row(r))
+			off += t.Cols()
+		}
+	}
+	return out
+}
+
+// SplitLast splits a along its last dimension into pieces of the given
+// column widths; the widths must sum to a.Cols(). It is the gradient
+// counterpart of ConcatLast.
+func SplitLast(a *Tensor, widths []int) []*Tensor {
+	sum := 0
+	for _, w := range widths {
+		sum += w
+	}
+	if sum != a.Cols() {
+		panic(fmt.Sprintf("tensor: SplitLast widths %v do not sum to cols %d", widths, a.Cols()))
+	}
+	outs := make([]*Tensor, len(widths))
+	for i, w := range widths {
+		shape := append([]int(nil), a.shape...)
+		shape[len(shape)-1] = w
+		outs[i] = New(shape...)
+	}
+	for r := 0; r < a.Rows(); r++ {
+		ar := a.Row(r)
+		off := 0
+		for i, w := range widths {
+			copy(outs[i].Row(r), ar[off:off+w])
+			off += w
+		}
+	}
+	return outs
+}
+
+func checkSame(op string, a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
+	}
+}

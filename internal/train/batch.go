@@ -1,0 +1,43 @@
+package train
+
+import (
+	"math/rand"
+
+	"nautilus/internal/tensor"
+)
+
+// Batch is one mini-batch of inputs and labels with the batch dimension
+// leading.
+type Batch struct {
+	X *tensor.Tensor
+	Y *tensor.Tensor
+}
+
+// Batches splits n records into shuffled mini-batch index slices of the
+// given size. The final batch may be smaller. The shuffle order derives
+// from rng so epochs are reproducible.
+func Batches(n, batchSize int, rng *rand.Rand) [][]int {
+	idx := rng.Perm(n)
+	var out [][]int
+	for lo := 0; lo < n; lo += batchSize {
+		hi := lo + batchSize
+		if hi > n {
+			hi = n
+		}
+		out = append(out, idx[lo:hi])
+	}
+	return out
+}
+
+// Gather copies the given record rows of a [n, ...] tensor into a new
+// [len(idx), ...] tensor.
+func Gather(t *tensor.Tensor, idx []int) *tensor.Tensor {
+	shape := append([]int(nil), t.Shape()...)
+	recSize := t.Len() / shape[0]
+	shape[0] = len(idx)
+	out := tensor.New(shape...)
+	for i, r := range idx {
+		copy(out.Data()[i*recSize:(i+1)*recSize], t.Data()[r*recSize:(r+1)*recSize])
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package train
+
+import (
+	"math"
+
+	"nautilus/internal/graph"
+	"nautilus/internal/tensor"
+)
+
+// Optimizer updates parameters from accumulated gradients. Each model (or
+// each branch of a fused model) owns its own optimizer instance; Nautilus's
+// fused trainer runs several optimizers side by side, one per trainable
+// branch (paper Section 3, Trainer).
+type Optimizer interface {
+	// Step applies one update to every param present in grads.
+	Step(grads map[*graph.Param]*tensor.Tensor)
+	// Clone returns a fresh optimizer with the same hyperparameters and no
+	// accumulated state.
+	Clone() Optimizer
+	// StateBytes reports optimizer slot memory for the given params, used
+	// by checkpoint sizing.
+	StateBytes(params []*graph.Param) int64
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	vel map[*graph.Param]*tensor.Tensor
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: map[*graph.Param]*tensor.Tensor{}}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(grads map[*graph.Param]*tensor.Tensor) {
+	for p, g := range grads {
+		w := p.Tensor()
+		if o.Momentum == 0 {
+			tensor.AxpyInPlace(w, float32(-o.LR), g)
+			continue
+		}
+		v := o.vel[p]
+		if v == nil {
+			v = tensor.New(w.Shape()...)
+			o.vel[p] = v
+		}
+		tensor.ScaleInPlace(v, float32(o.Momentum))
+		tensor.AxpyInPlace(v, 1, g)
+		tensor.AxpyInPlace(w, float32(-o.LR), v)
+	}
+}
+
+// Clone implements Optimizer.
+func (o *SGD) Clone() Optimizer { return NewSGD(o.LR, o.Momentum) }
+
+// StateBytes implements Optimizer.
+func (o *SGD) StateBytes(params []*graph.Param) int64 {
+	if o.Momentum == 0 {
+		return 0
+	}
+	var n int64
+	for _, p := range params {
+		n += p.Bytes()
+	}
+	return n
+}
+
+// Adam is the Adam optimizer with bias correction, the default for
+// transformer fine-tuning.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m map[*graph.Param]*tensor.Tensor
+	v map[*graph.Param]*tensor.Tensor
+}
+
+// NewAdam returns an Adam optimizer with standard betas.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*graph.Param]*tensor.Tensor{},
+		v: map[*graph.Param]*tensor.Tensor{},
+	}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(grads map[*graph.Param]*tensor.Tensor) {
+	o.t++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for p, g := range grads {
+		w := p.Tensor()
+		m := o.m[p]
+		v := o.v[p]
+		if m == nil {
+			m = tensor.New(w.Shape()...)
+			v = tensor.New(w.Shape()...)
+			o.m[p] = m
+			o.v[p] = v
+		}
+		wd, gd, md, vd := w.Data(), g.Data(), m.Data(), v.Data()
+		b1, b2 := float32(o.Beta1), float32(o.Beta2)
+		for i := range wd {
+			md[i] = b1*md[i] + (1-b1)*gd[i]
+			vd[i] = b2*vd[i] + (1-b2)*gd[i]*gd[i]
+			mhat := float64(md[i]) / c1
+			vhat := float64(vd[i]) / c2
+			wd[i] -= float32(o.LR * mhat / (math.Sqrt(vhat) + o.Eps))
+		}
+	}
+}
+
+// Clone implements Optimizer.
+func (o *Adam) Clone() Optimizer { return NewAdam(o.LR) }
+
+// StateBytes implements Optimizer.
+func (o *Adam) StateBytes(params []*graph.Param) int64 {
+	var n int64
+	for _, p := range params {
+		n += 2 * p.Bytes()
+	}
+	return n
+}

@@ -1,0 +1,127 @@
+package train
+
+import (
+	"math"
+
+	"nautilus/internal/graph"
+	"nautilus/internal/tensor"
+)
+
+// Schedule maps a 0-based optimizer step to a learning-rate multiplier.
+type Schedule interface {
+	Factor(step int) float64
+}
+
+// ConstantSchedule keeps the base learning rate.
+type ConstantSchedule struct{}
+
+// Factor implements Schedule.
+func (ConstantSchedule) Factor(int) float64 { return 1 }
+
+// WarmupLinearSchedule ramps linearly from 0 over Warmup steps, then decays
+// linearly to zero at Total steps — the standard BERT fine-tuning schedule.
+type WarmupLinearSchedule struct {
+	Warmup, Total int
+}
+
+// Factor implements Schedule.
+func (s WarmupLinearSchedule) Factor(step int) float64 {
+	if s.Total <= 0 {
+		return 1
+	}
+	if step < s.Warmup {
+		return float64(step+1) / float64(s.Warmup)
+	}
+	rem := float64(s.Total-step) / float64(s.Total-s.Warmup)
+	return math.Max(0, rem)
+}
+
+// CosineSchedule decays from 1 to Floor over Total steps along a cosine.
+type CosineSchedule struct {
+	Total int
+	Floor float64
+}
+
+// Factor implements Schedule.
+func (s CosineSchedule) Factor(step int) float64 {
+	if s.Total <= 0 {
+		return 1
+	}
+	if step >= s.Total {
+		return s.Floor
+	}
+	cos := 0.5 * (1 + math.Cos(math.Pi*float64(step)/float64(s.Total)))
+	return s.Floor + (1-s.Floor)*cos
+}
+
+// Scheduled wraps an optimizer with a learning-rate schedule and optional
+// gradient clipping by global norm.
+type Scheduled struct {
+	Base  Optimizer
+	Sched Schedule
+	// ClipNorm > 0 rescales gradients so their global L2 norm does not
+	// exceed it (transformer fine-tuning convention: 1.0).
+	ClipNorm float64
+
+	step   int
+	setLR  func(factor float64)
+	baseLR float64
+}
+
+// NewScheduled wraps base (an *SGD or *Adam) with sched and clipping.
+func NewScheduled(base Optimizer, sched Schedule, clipNorm float64) *Scheduled {
+	s := &Scheduled{Base: base, Sched: sched, ClipNorm: clipNorm}
+	switch o := base.(type) {
+	case *SGD:
+		s.baseLR = o.LR
+		s.setLR = func(f float64) { o.LR = s.baseLR * f }
+	case *Adam:
+		s.baseLR = o.LR
+		s.setLR = func(f float64) { o.LR = s.baseLR * f }
+	default:
+		s.setLR = func(float64) {}
+	}
+	return s
+}
+
+// Step implements Optimizer: clips, applies the schedule factor, and
+// delegates.
+func (s *Scheduled) Step(grads map[*graph.Param]*tensor.Tensor) {
+	if s.ClipNorm > 0 {
+		ClipByGlobalNorm(grads, s.ClipNorm)
+	}
+	if s.Sched != nil {
+		s.setLR(s.Sched.Factor(s.step))
+	}
+	s.step++
+	s.Base.Step(grads)
+}
+
+// Clone implements Optimizer.
+func (s *Scheduled) Clone() Optimizer {
+	return NewScheduled(s.Base.Clone(), s.Sched, s.ClipNorm)
+}
+
+// StateBytes implements Optimizer.
+func (s *Scheduled) StateBytes(params []*graph.Param) int64 {
+	return s.Base.StateBytes(params)
+}
+
+// ClipByGlobalNorm rescales all gradients in place so their combined L2
+// norm is at most maxNorm; it returns the pre-clip norm.
+func ClipByGlobalNorm(grads map[*graph.Param]*tensor.Tensor, maxNorm float64) float64 {
+	var sq float64
+	for _, g := range grads {
+		for _, v := range g.Data() {
+			sq += float64(v) * float64(v)
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		scale := float32(maxNorm / norm)
+		for _, g := range grads {
+			tensor.ScaleInPlace(g, scale)
+		}
+	}
+	return norm
+}

@@ -1,0 +1,127 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"nautilus/internal/graph"
+	"nautilus/internal/tensor"
+)
+
+func TestWarmupLinearSchedule(t *testing.T) {
+	s := WarmupLinearSchedule{Warmup: 10, Total: 110}
+	if f := s.Factor(0); math.Abs(f-0.1) > 1e-9 {
+		t.Errorf("step 0 factor %v, want 0.1", f)
+	}
+	if f := s.Factor(9); math.Abs(f-1) > 1e-9 {
+		t.Errorf("end of warmup factor %v, want 1", f)
+	}
+	// Monotone decay after warmup, reaching 0 at Total.
+	prev := 2.0
+	for step := 10; step <= 110; step += 20 {
+		f := s.Factor(step)
+		if f > prev {
+			t.Errorf("schedule not decaying at step %d", step)
+		}
+		prev = f
+	}
+	if f := s.Factor(110); f != 0 {
+		t.Errorf("factor at total = %v, want 0", f)
+	}
+	if f := s.Factor(200); f != 0 {
+		t.Errorf("factor past total = %v, want 0", f)
+	}
+}
+
+func TestCosineSchedule(t *testing.T) {
+	s := CosineSchedule{Total: 100, Floor: 0.1}
+	if f := s.Factor(0); math.Abs(f-1) > 1e-9 {
+		t.Errorf("start factor %v, want 1", f)
+	}
+	if f := s.Factor(100); math.Abs(f-0.1) > 1e-9 {
+		t.Errorf("end factor %v, want floor", f)
+	}
+	mid := s.Factor(50)
+	if mid <= 0.1 || mid >= 1 {
+		t.Errorf("mid factor %v out of (floor,1)", mid)
+	}
+}
+
+func TestConstantScheduleAndZeroTotals(t *testing.T) {
+	if (ConstantSchedule{}).Factor(12345) != 1 {
+		t.Error("constant schedule must be 1")
+	}
+	if (WarmupLinearSchedule{}).Factor(5) != 1 {
+		t.Error("zero-total warmup schedule must be 1")
+	}
+	if (CosineSchedule{}).Factor(5) != 1 {
+		t.Error("zero-total cosine schedule must be 1")
+	}
+}
+
+func TestClipByGlobalNorm(t *testing.T) {
+	p1 := graph.NewParam("a", 2)
+	p2 := graph.NewParam("b", 1)
+	grads := map[*graph.Param]*tensor.Tensor{
+		p1: tensor.FromSlice([]float32{3, 0}, 2),
+		p2: tensor.FromSlice([]float32{4}, 1),
+	}
+	norm := ClipByGlobalNorm(grads, 1.0)
+	if math.Abs(norm-5) > 1e-6 {
+		t.Errorf("pre-clip norm %v, want 5", norm)
+	}
+	// After clipping: norm 1, direction preserved.
+	var sq float64
+	for _, g := range grads {
+		for _, v := range g.Data() {
+			sq += float64(v) * float64(v)
+		}
+	}
+	if math.Abs(math.Sqrt(sq)-1) > 1e-5 {
+		t.Errorf("post-clip norm %v, want 1", math.Sqrt(sq))
+	}
+	if math.Abs(float64(grads[p1].Data()[0])-0.6) > 1e-5 {
+		t.Errorf("direction not preserved: %v", grads[p1].Data())
+	}
+	// Below the limit: untouched.
+	small := map[*graph.Param]*tensor.Tensor{p2: tensor.FromSlice([]float32{0.5}, 1)}
+	ClipByGlobalNorm(small, 1.0)
+	if small[p2].Data()[0] != 0.5 {
+		t.Error("sub-threshold gradients must not change")
+	}
+}
+
+func TestScheduledOptimizerAppliesFactorAndClips(t *testing.T) {
+	base := NewSGD(1.0, 0)
+	s := NewScheduled(base, WarmupLinearSchedule{Warmup: 2, Total: 4}, 0)
+	p := graph.NewParam("w", 1)
+	w := p.Tensor()
+	w.Data()[0] = 0
+
+	// Step 0: factor 0.5 → lr 0.5, grad 1 → w -0.5.
+	s.Step(map[*graph.Param]*tensor.Tensor{p: tensor.FromSlice([]float32{1}, 1)})
+	if math.Abs(float64(w.Data()[0])+0.5) > 1e-6 {
+		t.Errorf("after step 0 w=%v, want -0.5", w.Data()[0])
+	}
+	// Step 1: factor 1 → w -1.5.
+	s.Step(map[*graph.Param]*tensor.Tensor{p: tensor.FromSlice([]float32{1}, 1)})
+	if math.Abs(float64(w.Data()[0])+1.5) > 1e-6 {
+		t.Errorf("after step 1 w=%v, want -1.5", w.Data()[0])
+	}
+	// Clone starts fresh.
+	c := s.Clone().(*Scheduled)
+	if c.step != 0 {
+		t.Error("clone must reset step counter")
+	}
+	if c.StateBytes([]*graph.Param{p}) != base.StateBytes([]*graph.Param{p}) {
+		t.Error("state bytes must delegate")
+	}
+}
+
+func TestScheduledTrainingConverges(t *testing.T) {
+	opt := NewScheduled(NewAdam(0.02), WarmupLinearSchedule{Warmup: 10, Total: 200}, 1.0)
+	final := trainToy(t, opt, 150)
+	if final > 0.3 {
+		t.Errorf("scheduled training final loss %v, want < 0.3", final)
+	}
+}

@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test lint check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# nautilus-lint is the repo's own stdlib static-analysis suite
+# (internal/lint): determinism, floateq, layerpurity, uncheckederr.
+lint:
+	$(GO) run ./cmd/nautilus-lint ./...
+
+# check is the full pre-merge gate: vet + build + invariant lint + the
+# race detector over the concurrent execution layers.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) run ./cmd/nautilus-lint ./...
+	$(GO) test -race ./internal/exec/... ./internal/train/...
+
+bench:
+	$(GO) test -bench=. -benchmem

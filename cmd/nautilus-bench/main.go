@@ -41,32 +41,28 @@ func main() {
 		if err != nil {
 			return err
 		}
-		experiments.PrintTable3(os.Stdout, rows)
-		return nil
+		return experiments.PrintTable3(os.Stdout, rows)
 	})
 	run("fig6a", func() error {
 		rows, err := experiments.Fig6A()
 		if err != nil {
 			return err
 		}
-		experiments.PrintFig6A(os.Stdout, rows)
-		return nil
+		return experiments.PrintFig6A(os.Stdout, rows)
 	})
 	run("fig6b", func() error {
 		r, err := experiments.Fig6B()
 		if err != nil {
 			return err
 		}
-		experiments.PrintFig6B(os.Stdout, r)
-		return nil
+		return experiments.PrintFig6B(os.Stdout, r)
 	})
 	run("fig6c", func() error {
 		rows, err := experiments.Fig6C()
 		if err != nil {
 			return err
 		}
-		experiments.PrintFig6C(os.Stdout, rows)
-		return nil
+		return experiments.PrintFig6C(os.Stdout, rows)
 	})
 	run("fig7", func() error {
 		cfg := experiments.DefaultFig7Config()
@@ -76,8 +72,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		experiments.PrintFig7(os.Stdout, r, "(A)")
-		return nil
+		return experiments.PrintFig7(os.Stdout, r, "(A)")
 	})
 	run("fig7b", func() error {
 		cfg := experiments.DefaultFig7Config()
@@ -88,63 +83,55 @@ func main() {
 		if err != nil {
 			return err
 		}
-		experiments.PrintFig7(os.Stdout, r, "(B)")
-		return nil
+		return experiments.PrintFig7(os.Stdout, r, "(B)")
 	})
 	run("fig8", func() error {
 		rows, err := experiments.Fig8()
 		if err != nil {
 			return err
 		}
-		experiments.PrintFig8(os.Stdout, rows)
-		return nil
+		return experiments.PrintFig8(os.Stdout, rows)
 	})
 	run("fig9", func() error {
 		rows, err := experiments.Fig9()
 		if err != nil {
 			return err
 		}
-		experiments.PrintFig9(os.Stdout, rows)
-		return nil
+		return experiments.PrintFig9(os.Stdout, rows)
 	})
 	run("fig10a", func() error {
 		rows, err := experiments.Fig10A()
 		if err != nil {
 			return err
 		}
-		experiments.PrintFig10A(os.Stdout, rows)
-		return nil
+		return experiments.PrintFig10A(os.Stdout, rows)
 	})
 	run("fig10b", func() error {
 		rows, err := experiments.Fig10B()
 		if err != nil {
 			return err
 		}
-		experiments.PrintFig10B(os.Stdout, rows)
-		return nil
+		return experiments.PrintFig10B(os.Stdout, rows)
 	})
 	run("fig11", func() error {
 		r, err := experiments.Fig11()
 		if err != nil {
 			return err
 		}
-		experiments.PrintFig11(os.Stdout, r)
-		return nil
+		return experiments.PrintFig11(os.Stdout, r)
 	})
 	run("hwsweep", func() error {
 		rows, err := experiments.HardwareSweep()
 		if err != nil {
 			return err
 		}
-		experiments.PrintHardwareSweep(os.Stdout, rows)
-		return nil
+		return experiments.PrintHardwareSweep(os.Stdout, rows)
 	})
 	run("solver", func() error {
 		st, err := experiments.CompareSolvers(workloads.FTR3())
 		if err != nil {
 			return err
 		}
-		experiments.PrintSolverStats(os.Stdout, st)
-		return nil
+		return experiments.PrintSolverStats(os.Stdout, st)
 	})
 }

@@ -1,0 +1,78 @@
+// Command nautilus-lint runs the Nautilus static-analysis suite
+// (internal/lint) over module packages and exits non-zero on findings.
+//
+// Usage:
+//
+//	nautilus-lint [-json] [-tests=false] [packages...]
+//
+// Package patterns are directories relative to the module root; a
+// trailing "/..." includes everything beneath. With no arguments it
+// checks the whole module. Findings print as file:line:col: analyzer:
+// message, or as a JSON array with -json. Suppress an intentional finding
+// in source with `//lint:ignore <analyzer> <reason>` on the offending
+// line or the line above it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"nautilus/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	tests := flag.Bool("tests", true, "also analyze in-package _test.go files")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.DefaultAnalyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(wd)
+	if err != nil {
+		fatal(err)
+	}
+	loader.IncludeTests = *tests
+	pkgs, err := loader.Load(flag.Args()...)
+	if err != nil {
+		fatal(err)
+	}
+	diags := lint.Run(pkgs, lint.DefaultAnalyzers(), loader.Fset)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "nautilus-lint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nautilus-lint:", err)
+	os.Exit(2)
+}

@@ -89,7 +89,7 @@ func runCompare(workload string, seed int64, cycles int) {
 		cfg.Seed = seed
 		cfg.MaxRecords = 600
 		report, err := core.Run(inst, cfg, seed, cycles)
-		os.RemoveAll(dir)
+		_ = os.RemoveAll(dir) // best-effort scratch cleanup
 		fatalIf(err)
 		reports[approach] = report
 		fmt.Printf("%-18s total %v\n", approach, report.Total.Round(1e6))

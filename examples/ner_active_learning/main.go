@@ -51,7 +51,7 @@ func main() {
 		cfg.MaxRecords = 600
 
 		report, err := core.Run(inst, cfg, 42, 4)
-		os.RemoveAll(dir)
+		_ = os.RemoveAll(dir) // best-effort scratch cleanup
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -26,6 +26,7 @@ import (
 	"nautilus/internal/profile"
 	"nautilus/internal/storage"
 	"nautilus/internal/train"
+	"nautilus/internal/verify"
 )
 
 // Approach selects the execution strategy for a workload.
@@ -201,6 +202,7 @@ func (ms *ModelSelection) MaterializedSignatures() map[graph.Signature]bool { re
 // incrementally materializes, trains every group, and returns per-candidate
 // validation results.
 func (ms *ModelSelection) Fit(snap data.Snapshot) (*FitResult, error) {
+	//lint:ignore determinism wall-clock measurement of real fit time, reported to the user
 	started := time.Now()
 	ms.cycle++
 	reopt := false
@@ -249,6 +251,7 @@ func (ms *ModelSelection) Fit(snap data.Snapshot) (*FitResult, error) {
 			res.Best = r
 		}
 	}
+	//lint:ignore determinism wall-clock measurement of real fit time, reported to the user
 	res.Duration = time.Since(started)
 	return res, nil
 }
@@ -266,6 +269,7 @@ type WorkloadPlan struct {
 // (ModelSelection) and the paper-scale simulator consume it, so simulated
 // experiments replay exactly the decisions the real system makes.
 func PlanWorkload(items []opt.WorkItem, mm *mmg.MultiModel, cfg Config, maxRecords int) (*WorkloadPlan, error) {
+	//lint:ignore determinism wall-clock measurement of optimizer solve time, reported in Stats
 	start := time.Now()
 	wp := &WorkloadPlan{MatSigs: map[graph.Signature]bool{}}
 
@@ -287,13 +291,17 @@ func PlanWorkload(items []opt.WorkItem, mm *mmg.MultiModel, cfg Config, maxRecor
 		wp.Groups = groups
 	case Nautilus, NautilusNoFuse, NautilusNoMat:
 		if cfg.Approach != NautilusNoMat {
-			matRes, err := opt.OptimizeMaterialization(mm, items, opt.MatConfig{
+			matCfg := opt.MatConfig{
 				DiskBudgetBytes: cfg.DiskBudgetBytes,
 				MaxRecords:      maxRecords,
 				Solver:          cfg.Solver,
-			})
+			}
+			matRes, err := opt.OptimizeMaterialization(mm, items, matCfg)
 			if err != nil {
 				return nil, err
+			}
+			if err := verify.MatResult(matRes, items, matCfg); err != nil {
+				return nil, fmt.Errorf("core: materialization plan rejected: %w", err)
 			}
 			wp.MatSigs = matRes.Sigs
 			wp.Stats.Materialized = len(matRes.Materialized)
@@ -326,6 +334,16 @@ func PlanWorkload(items []opt.WorkItem, mm *mmg.MultiModel, cfg Config, maxRecor
 	default:
 		return nil, fmt.Errorf("core: unknown approach %q", cfg.Approach)
 	}
+	// Static plan verification: reject illegal solver output before anything
+	// trains or touches storage. Only fused approaches planned against B_mem.
+	var memBudget int64
+	if cfg.Approach == Nautilus || cfg.Approach == NautilusNoMat {
+		memBudget = cfg.MemBudgetBytes
+	}
+	if err := verify.Groups(wp.Groups, items, memBudget, wp.MatSigs); err != nil {
+		return nil, fmt.Errorf("core: training plan rejected: %w", err)
+	}
+	//lint:ignore determinism wall-clock measurement of optimizer solve time, reported in Stats
 	wp.Stats.OptimizeTime = time.Since(start)
 	wp.Stats.Groups = len(wp.Groups)
 	return wp, nil

@@ -48,6 +48,7 @@ type BranchResult struct {
 // logically equivalent to training each member separately (Section 5.2);
 // the equivalence tests in this package verify it.
 func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchResult, error) {
+	//lint:ignore determinism wall-clock measurement of training time for Metrics reporting
 	started := time.Now()
 	planModel, feeds, err := opt.BuildPlanModel(g.Plan)
 	if err != nil {
@@ -172,6 +173,7 @@ func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchRes
 		}
 	}
 	if t.Metrics != nil {
+		//lint:ignore determinism wall-clock measurement of training time for Metrics reporting
 		t.Metrics.Wall += time.Since(started)
 	}
 	return results, nil

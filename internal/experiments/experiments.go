@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 
 	"nautilus/internal/core"
 	"nautilus/internal/graph"
@@ -17,6 +18,19 @@ import (
 	"nautilus/internal/simclock"
 	"nautilus/internal/workloads"
 )
+
+// printer accumulates the first write error so table renderers stay terse;
+// the renderer returns it once at the end instead of checking every row.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) printf(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
 
 // paperMaxRecords is the expected maximum number of records r configured
 // for paper-scale runs: 10 cycles × 500 records.

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"io"
 
 	"nautilus/internal/core"
@@ -29,7 +28,7 @@ func Fig10A() ([]Fig10ARow, error) {
 	}
 	var rows []Fig10ARow
 	var base float64
-	for _, gb := range []float64{0, 1, 2.5, 5, 7.5, 10, 15, 25} {
+	for i, gb := range []float64{0, 1, 2.5, 5, 7.5, 10, 15, 25} {
 		cfg := PaperConfig(core.NautilusNoFuse)
 		cfg.DiskBudgetBytes = int64(gb * float64(1<<30))
 		wp, err := core.PlanWorkload(inst.Items, inst.MM, cfg, cfg.MaxRecords)
@@ -46,7 +45,7 @@ func Fig10A() ([]Fig10ARow, error) {
 			Materialized: wp.Stats.Materialized,
 			StorageGB:    float64(wp.Stats.StorageBytes) / float64(1<<30),
 		}
-		if gb == 0 {
+		if i == 0 { // the zero-budget point is the no-materialization baseline
 			base = row.Minutes
 		}
 		row.Speedup = base / row.Minutes
@@ -56,12 +55,14 @@ func Fig10A() ([]Fig10ARow, error) {
 }
 
 // PrintFig10A renders Figure 10(A) rows.
-func PrintFig10A(w io.Writer, rows []Fig10ARow) {
-	fmt.Fprintf(w, "Figure 10(A): FTR-2 with MAT OPT only vs disk storage budget\n")
-	fmt.Fprintf(w, "%-10s %10s %9s %6s %10s\n", "Bdisk(GB)", "min", "speedup", "|V|", "used(GB)")
+func PrintFig10A(w io.Writer, rows []Fig10ARow) error {
+	p := &printer{w: w}
+	p.printf("Figure 10(A): FTR-2 with MAT OPT only vs disk storage budget\n")
+	p.printf("%-10s %10s %9s %6s %10s\n", "Bdisk(GB)", "min", "speedup", "|V|", "used(GB)")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-10.1f %10.1f %8.1fX %6d %10.2f\n", r.BudgetGB, r.Minutes, r.Speedup, r.Materialized, r.StorageGB)
+		p.printf("%-10.1f %10.1f %8.1fX %6d %10.2f\n", r.BudgetGB, r.Minutes, r.Speedup, r.Materialized, r.StorageGB)
 	}
+	return p.err
 }
 
 // Fig10BRow is one memory-budget point of Figure 10(B): FTR-2 using only
@@ -83,7 +84,7 @@ func Fig10B() ([]Fig10BRow, error) {
 	}
 	var rows []Fig10BRow
 	var base float64
-	for _, gb := range []float64{2, 4, 6, 8, 10, 12} {
+	for i, gb := range []float64{2, 4, 6, 8, 10, 12} {
 		cfg := PaperConfig(core.NautilusNoMat)
 		cfg.MemBudgetBytes = int64(gb * float64(1<<30))
 		wp, err := core.PlanWorkload(inst.Items, inst.MM, cfg, cfg.MaxRecords)
@@ -99,7 +100,7 @@ func Fig10B() ([]Fig10BRow, error) {
 			Minutes:  Minutes(res.TotalSec()),
 			Groups:   len(wp.Groups),
 		}
-		if base == 0 {
+		if i == 0 { // 2 GB fits no fusion groups: the Current Practice baseline
 			base = row.Minutes
 		}
 		row.Speedup = base / row.Minutes
@@ -109,12 +110,14 @@ func Fig10B() ([]Fig10BRow, error) {
 }
 
 // PrintFig10B renders Figure 10(B) rows.
-func PrintFig10B(w io.Writer, rows []Fig10BRow) {
-	fmt.Fprintf(w, "Figure 10(B): FTR-2 with FUSE OPT only vs runtime memory budget\n")
-	fmt.Fprintf(w, "%-10s %10s %9s %8s\n", "Bmem(GB)", "min", "speedup", "groups")
+func PrintFig10B(w io.Writer, rows []Fig10BRow) error {
+	p := &printer{w: w}
+	p.printf("Figure 10(B): FTR-2 with FUSE OPT only vs runtime memory budget\n")
+	p.printf("%-10s %10s %9s %8s\n", "Bmem(GB)", "min", "speedup", "groups")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-10.1f %10.1f %8.1fX %8d\n", r.BudgetGB, r.Minutes, r.Speedup, r.Groups)
+		p.printf("%-10.1f %10.1f %8.1fX %8d\n", r.BudgetGB, r.Minutes, r.Speedup, r.Groups)
 	}
+	return p.err
 }
 
 // Fig11Result reproduces Figure 11: resource utilization of FTR-2 under
@@ -163,10 +166,12 @@ func Fig11() (*Fig11Result, error) {
 }
 
 // PrintFig11 renders Figure 11.
-func PrintFig11(w io.Writer, r *Fig11Result) {
-	fmt.Fprintf(w, "Figure 11: FTR-2 resource utilization\n")
-	fmt.Fprintf(w, "%-22s %16s %12s\n", "", "current practice", "nautilus")
-	fmt.Fprintf(w, "%-22s %15.0f%% %11.0f%%\n", "device utilization", 100*r.UtilizationCP, 100*r.UtilizationNautilus)
-	fmt.Fprintf(w, "%-22s %16.1f %12.1f   (%.1fX fewer)\n", "disk reads (GB)", r.ReadsCPGB, r.ReadsNautilusGB, r.ReadRatio)
-	fmt.Fprintf(w, "%-22s %16.1f %12.1f   (%.1fX fewer)\n", "disk writes (GB)", r.WritesCPGB, r.WritesNautilusGB, r.WriteRatio)
+func PrintFig11(w io.Writer, r *Fig11Result) error {
+	p := &printer{w: w}
+	p.printf("Figure 11: FTR-2 resource utilization\n")
+	p.printf("%-22s %16s %12s\n", "", "current practice", "nautilus")
+	p.printf("%-22s %15.0f%% %11.0f%%\n", "device utilization", 100*r.UtilizationCP, 100*r.UtilizationNautilus)
+	p.printf("%-22s %16.1f %12.1f   (%.1fX fewer)\n", "disk reads (GB)", r.ReadsCPGB, r.ReadsNautilusGB, r.ReadRatio)
+	p.printf("%-22s %16.1f %12.1f   (%.1fX fewer)\n", "disk writes (GB)", r.WritesCPGB, r.WritesNautilusGB, r.WriteRatio)
+	return p.err
 }

@@ -61,16 +61,18 @@ func Fig6A() ([]Fig6ARow, error) {
 }
 
 // PrintFig6A renders Figure 6(A) rows.
-func PrintFig6A(w io.Writer, rows []Fig6ARow) {
-	fmt.Fprintf(w, "Figure 6(A): total model selection time (minutes) and speedup over Current Practice\n")
-	fmt.Fprintf(w, "%-8s %14s %18s %18s %18s\n", "workload", "current(min)", "mat-all", "nautilus", "flops-optimal")
+func PrintFig6A(w io.Writer, rows []Fig6ARow) error {
+	p := &printer{w: w}
+	p.printf("Figure 6(A): total model selection time (minutes) and speedup over Current Practice\n")
+	p.printf("%-8s %14s %18s %18s %18s\n", "workload", "current(min)", "mat-all", "nautilus", "flops-optimal")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-8s %14.1f %11.1f (%.1fX) %11.1f (%.1fX) %11.1f (%.1fX)\n",
+		p.printf("%-8s %14.1f %11.1f (%.1fX) %11.1f (%.1fX) %11.1f (%.1fX)\n",
 			r.Workload, r.CurrentPractice,
 			r.MatAll, r.MatAllSpeedup,
 			r.Nautilus, r.NautilusSpeedup,
 			r.FlopsOptimal, r.OptimalSpeedup)
 	}
+	return p.err
 }
 
 // Fig6BResult reproduces Figure 6(B): FTR-2 model-selection time by cycle
@@ -124,17 +126,19 @@ func Fig6B() (*Fig6BResult, error) {
 }
 
 // PrintFig6B renders Figure 6(B).
-func PrintFig6B(w io.Writer, r *Fig6BResult) {
-	fmt.Fprintf(w, "Figure 6(B): FTR-2 per-cycle model selection time\n")
-	fmt.Fprintf(w, "workload init: current practice %.1f min, nautilus %.1f min\n",
+func PrintFig6B(w io.Writer, r *Fig6BResult) error {
+	p := &printer{w: w}
+	p.printf("Figure 6(B): FTR-2 per-cycle model selection time\n")
+	p.printf("workload init: current practice %.1f min, nautilus %.1f min\n",
 		r.InitCurrentPracticeMin, r.InitNautilusMin)
-	fmt.Fprintf(w, "nautilus init shares: checkpoints %.0f%%, profiling %.0f%%, optimizing %.0f%%, plan checkpoints %.0f%%\n",
+	p.printf("nautilus init shares: checkpoints %.0f%%, profiling %.0f%%, optimizing %.0f%%, plan checkpoints %.0f%%\n",
 		100*r.InitShares.OriginalCheckpoints, 100*r.InitShares.Profile,
 		100*r.InitShares.Optimize, 100*r.InitShares.PlanCheckpoints)
-	fmt.Fprintf(w, "%-6s %14s %12s %9s\n", "cycle", "current(s)", "nautilus(s)", "speedup")
+	p.printf("%-6s %14s %12s %9s\n", "cycle", "current(s)", "nautilus(s)", "speedup")
 	for i := range r.CurrentPractice {
-		fmt.Fprintf(w, "%-6d %14.0f %12.0f %8.1fX\n", i+1, r.CurrentPractice[i], r.Nautilus[i], r.CycleSpeedups[i])
+		p.printf("%-6d %14.0f %12.0f %8.1fX\n", i+1, r.CurrentPractice[i], r.Nautilus[i], r.CycleSpeedups[i])
 	}
+	return p.err
 }
 
 // Fig6CRow is one labeling-cost point of Figure 6(C): total workload time
@@ -179,10 +183,12 @@ func Fig6C() ([]Fig6CRow, error) {
 }
 
 // PrintFig6C renders Figure 6(C).
-func PrintFig6C(w io.Writer, rows []Fig6CRow) {
-	fmt.Fprintf(w, "Figure 6(C): FTR-2 total time including data labeling\n")
-	fmt.Fprintf(w, "%-12s %14s %12s %9s\n", "sec/label", "current(min)", "nautilus", "speedup")
+func PrintFig6C(w io.Writer, rows []Fig6CRow) error {
+	p := &printer{w: w}
+	p.printf("Figure 6(C): FTR-2 total time including data labeling\n")
+	p.printf("%-12s %14s %12s %9s\n", "sec/label", "current(min)", "nautilus", "speedup")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-12.1f %14.1f %12.1f %8.1fX\n", r.SecPerLabel, r.CurrentPractice, r.Nautilus, r.Speedup)
+		p.printf("%-12.1f %14.1f %12.1f %8.1fX\n", r.SecPerLabel, r.CurrentPractice, r.Nautilus, r.Speedup)
 	}
+	return p.err
 }

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -123,13 +122,13 @@ func Fig7(cfg Fig7Config) (*Fig7Result, error) {
 			elapsed += cfg.SecPerLabel * float64(perCycle)
 			fit, err := ms.Fit(snap)
 			if err != nil {
-				ms.Close()
+				_ = ms.Close() // already failing; Fit's error wins
 				return nil, err
 			}
 			elapsed += fit.Duration.Seconds()
 			pts = append(pts, Fig7Point{Cycle: fit.Cycle, ElapsedSec: elapsed, BestAcc: fit.Best.ValAcc})
 		}
-		ms.Close()
+		_ = ms.Close() // read-only session: nothing buffered to flush
 		totals[ai] = elapsed
 		if approach == core.CurrentPractice {
 			out.CurrentPractice = pts
@@ -142,12 +141,14 @@ func Fig7(cfg Fig7Config) (*Fig7Result, error) {
 }
 
 // PrintFig7 renders both learning curves.
-func PrintFig7(w io.Writer, r *Fig7Result, label string) {
-	fmt.Fprintf(w, "Figure 7%s: best validation accuracy vs elapsed time (real mini-scale training)\n", label)
-	fmt.Fprintf(w, "%-6s %22s %22s\n", "cycle", "current (s → acc)", "nautilus (s → acc)")
+func PrintFig7(w io.Writer, r *Fig7Result, label string) error {
+	p := &printer{w: w}
+	p.printf("Figure 7%s: best validation accuracy vs elapsed time (real mini-scale training)\n", label)
+	p.printf("%-6s %22s %22s\n", "cycle", "current (s → acc)", "nautilus (s → acc)")
 	for i := range r.CurrentPractice {
 		cp, nt := r.CurrentPractice[i], r.Nautilus[i]
-		fmt.Fprintf(w, "%-6d %12.1f → %6.4f %12.1f → %6.4f\n", cp.Cycle, cp.ElapsedSec, cp.BestAcc, nt.ElapsedSec, nt.BestAcc)
+		p.printf("%-6d %12.1f → %6.4f %12.1f → %6.4f\n", cp.Cycle, cp.ElapsedSec, cp.BestAcc, nt.ElapsedSec, nt.BestAcc)
 	}
-	fmt.Fprintf(w, "overall speedup: %.1fX\n", r.Speedup)
+	p.printf("overall speedup: %.1fX\n", r.Speedup)
+	return p.err
 }

@@ -56,13 +56,15 @@ func Fig8() ([]Fig8Row, error) {
 }
 
 // PrintFig8 renders Figure 8 rows.
-func PrintFig8(w io.Writer, rows []Fig8Row) {
-	fmt.Fprintf(w, "Figure 8: ablation — model selection time (minutes) with optimizations disabled\n")
-	fmt.Fprintf(w, "%-8s %12s %16s %16s\n", "workload", "nautilus", "w/o MAT OPT", "w/o FUSE OPT")
+func PrintFig8(w io.Writer, rows []Fig8Row) error {
+	p := &printer{w: w}
+	p.printf("Figure 8: ablation — model selection time (minutes) with optimizations disabled\n")
+	p.printf("%-8s %12s %16s %16s\n", "workload", "nautilus", "w/o MAT OPT", "w/o FUSE OPT")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-8s %12.1f %9.1f (+%3.0f%%) %9.1f (+%3.0f%%)\n",
+		p.printf("%-8s %12.1f %9.1f (+%3.0f%%) %9.1f (+%3.0f%%)\n",
 			r.Workload, r.Nautilus, r.NoMat, r.NoMatSlowdownPct, r.NoFuse, r.NoFuseSlowdownPct)
 	}
+	return p.err
 }
 
 // Fig9Row is one model-count point of Figure 9.
@@ -125,11 +127,13 @@ func Fig9() ([]Fig9Row, error) {
 }
 
 // PrintFig9 renders Figure 9 rows.
-func PrintFig9(w io.Writer, rows []Fig9Row) {
-	fmt.Fprintf(w, "Figure 9: model selection time (minutes) vs number of models (FTR-2, concat-last-4, batch 16)\n")
-	fmt.Fprintf(w, "%-8s %10s %10s %10s %10s\n", "#models", "current", "w/o MAT", "w/o FUSE", "nautilus")
+func PrintFig9(w io.Writer, rows []Fig9Row) error {
+	p := &printer{w: w}
+	p.printf("Figure 9: model selection time (minutes) vs number of models (FTR-2, concat-last-4, batch 16)\n")
+	p.printf("%-8s %10s %10s %10s %10s\n", "#models", "current", "w/o MAT", "w/o FUSE", "nautilus")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-8d %10.1f %10.1f %10.1f %10.1f\n",
+		p.printf("%-8d %10.1f %10.1f %10.1f %10.1f\n",
 			r.NumModels, r.CurrentPractice, r.NoMat, r.NoFuse, r.Nautilus)
 	}
+	return p.err
 }

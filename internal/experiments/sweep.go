@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"io"
 
 	"nautilus/internal/core"
@@ -54,10 +53,12 @@ func HardwareSweep() ([]HWRow, error) {
 }
 
 // PrintHardwareSweep renders the sweep.
-func PrintHardwareSweep(w io.Writer, rows []HWRow) {
-	fmt.Fprintf(w, "Hardware sensitivity: FTR-2 MAT OPT plans vs disk throughput (ablation beyond the paper)\n")
-	fmt.Fprintf(w, "%-12s %6s %8s %16s\n", "disk(MB/s)", "|V|", "loads", "cost(TFLOPs/rec)")
+func PrintHardwareSweep(w io.Writer, rows []HWRow) error {
+	p := &printer{w: w}
+	p.printf("Hardware sensitivity: FTR-2 MAT OPT plans vs disk throughput (ablation beyond the paper)\n")
+	p.printf("%-12s %6s %8s %16s\n", "disk(MB/s)", "|V|", "loads", "cost(TFLOPs/rec)")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-12.0f %6d %8d %16.2f\n", r.DiskMBps, r.Materialized, r.Loads, r.PlanCostTFLOPs)
+		p.printf("%-12.0f %6d %8d %16.2f\n", r.DiskMBps, r.Materialized, r.Loads, r.PlanCostTFLOPs)
 	}
+	return p.err
 }

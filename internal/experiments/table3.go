@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"io"
 	"time"
 
@@ -51,14 +50,16 @@ func Table3() ([]Table3Row, error) {
 }
 
 // PrintTable3 renders Table 3 rows.
-func PrintTable3(w io.Writer, rows []Table3Row) {
-	fmt.Fprintf(w, "Table 3: model selection configurations (+ Equation 11 theoretical speedup)\n")
-	fmt.Fprintf(w, "%-8s %-18s %9s %12s %22s %9s %8s %10s\n",
+func PrintTable3(w io.Writer, rows []Table3Row) error {
+	p := &printer{w: w}
+	p.printf("Table 3: model selection configurations (+ Equation 11 theoretical speedup)\n")
+	p.printf("%-8s %-18s %9s %12s %22s %9s %8s %10s\n",
 		"workload", "approach", "variants", "batch sizes", "learning rates", "epochs", "#models", "eq11")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-8s %-18s %9d %12v %22v %9v %8d %9.1fX\n",
+		p.printf("%-8s %-18s %9d %12v %22v %9v %8d %9.1fX\n",
 			r.Workload, r.Approach, r.Variants, r.BatchSizes, r.LRs, r.Epochs, r.NumModels, r.TheoreticalSpeedup)
 	}
+	return p.err
 }
 
 // SolverStats compares the two materialization solvers on one paper-scale
@@ -108,9 +109,11 @@ func CompareSolvers(spec workloads.Spec) (*SolverStats, error) {
 }
 
 // PrintSolverStats renders solver comparison results.
-func PrintSolverStats(w io.Writer, st *SolverStats) {
-	fmt.Fprintf(w, "Optimizer solve time (%s, paper scale)\n", st.Workload)
-	fmt.Fprintf(w, "branch&bound + min-cut: %v (%d nodes), plan cost %d\n", st.BnBTime, st.BnBNodes, st.BnBCost)
-	fmt.Fprintf(w, "joint MILP (simplex):   %v, plan cost %d\n", st.MILPTime, st.MILPCost)
-	fmt.Fprintf(w, "solvers agree on optimal cost: %v\n", st.CostsAgree)
+func PrintSolverStats(w io.Writer, st *SolverStats) error {
+	p := &printer{w: w}
+	p.printf("Optimizer solve time (%s, paper scale)\n", st.Workload)
+	p.printf("branch&bound + min-cut: %v (%d nodes), plan cost %d\n", st.BnBTime, st.BnBNodes, st.BnBCost)
+	p.printf("joint MILP (simplex):   %v, plan cost %d\n", st.MILPTime, st.MILPCost)
+	p.printf("solvers agree on optimal cost: %v\n", st.CostsAgree)
+	return p.err
 }

@@ -8,6 +8,7 @@ package layers
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"nautilus/internal/graph"
 	"nautilus/internal/tensor"
@@ -143,7 +144,7 @@ func (l *Activation) Backward(cache any, inputs []*tensor.Tensor, out, gradOut *
 type Dropout struct {
 	Rate float64
 
-	state uint64 // xorshift stream, advanced per forward call
+	calls atomic.Uint64 // forward-call counter; each call keys its own mask stream
 }
 
 // NewDropout returns a dropout layer with the given drop rate in [0,1).
@@ -151,7 +152,7 @@ func NewDropout(rate float64) *Dropout {
 	if rate < 0 || rate >= 1 {
 		panic(fmt.Sprintf("layers: dropout rate %v out of [0,1)", rate))
 	}
-	return &Dropout{Rate: rate, state: 0x9e3779b97f4a7c15}
+	return &Dropout{Rate: rate}
 }
 
 func (l *Dropout) Type() string           { return "dropout" }
@@ -169,6 +170,7 @@ func (l *Dropout) FLOPsPerRecord(in [][]int) int64 {
 
 func (l *Dropout) Forward(inputs []*tensor.Tensor, train bool) (*tensor.Tensor, any) {
 	x := inputs[0]
+	//lint:ignore floateq Rate==0 is the exact configured no-op sentinel
 	if !train || l.Rate == 0 {
 		return x, nil
 	}
@@ -176,7 +178,16 @@ func (l *Dropout) Forward(inputs []*tensor.Tensor, train bool) (*tensor.Tensor, 
 	out := tensor.New(x.Shape()...)
 	keep := float32(1 - l.Rate)
 	inv := 1 / keep
-	s := l.state
+	// Key an independent xorshift stream off the call number (splitmix64
+	// finalizer) instead of mutating layer state: Forward stays pure per
+	// the Layer contract and safe under concurrent fused execution.
+	s := l.calls.Add(1) * 0x9e3779b97f4a7c15
+	s = (s ^ (s >> 30)) * 0xbf58476d1ce4e5b9
+	s = (s ^ (s >> 27)) * 0x94d049bb133111eb
+	s ^= s >> 31
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
 	md, xd, od := mask.Data(), x.Data(), out.Data()
 	for i := range xd {
 		s ^= s << 13
@@ -187,7 +198,6 @@ func (l *Dropout) Forward(inputs []*tensor.Tensor, train bool) (*tensor.Tensor, 
 			od[i] = xd[i] * inv
 		}
 	}
-	l.state = s
 	return out, mask
 }
 

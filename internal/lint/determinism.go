@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// DeterminismAnalyzer enforces the determinism invariant (DESIGN.md: "all
+// randomness is seeded"): no wall-clock reads (time.Now / time.Since /
+// time.Until) outside annotated reporting sites, and no use of math/rand's
+// process-global generator — randomness must flow through an explicitly
+// seeded rand.New(rand.NewSource(seed)). Intentional wall-clock reporting
+// sites carry //lint:ignore determinism annotations.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "flags wall-clock reads and unseeded global math/rand use",
+	Run:  runDeterminism,
+}
+
+// wallClockFuncs are the time functions that read the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// globalRandFuncs are the math/rand (and math/rand/v2) package-level
+// functions that draw from the global, unseeded source. rand.New and
+// rand.NewSource are deliberately absent: they are the sanctioned path.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true, "N": true,
+	"Int31": true, "Int31n": true, "Int32": true, "Int32N": true,
+	"Int63": true, "Int63n": true, "Int64": true, "Int64N": true,
+	"Uint": true, "UintN": true, "Uint32": true, "Uint32N": true,
+	"Uint64": true, "Uint64N": true,
+	"Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+func runDeterminism(p *Pass) {
+	// Iterate Uses rather than syntax so method values (f := time.Now)
+	// are caught alongside direct calls; sort for stable reporting.
+	type use struct {
+		id  *ast.Ident
+		pos token.Pos
+	}
+	var uses []use
+	for id := range p.Pkg.Info.Uses {
+		uses = append(uses, use{id, id.Pos()})
+	}
+	sort.Slice(uses, func(i, j int) bool { return uses[i].pos < uses[j].pos })
+
+	for _, u := range uses {
+		fn, ok := p.Pkg.Info.Uses[u.id].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			continue // methods (e.g. a seeded *rand.Rand) are fine
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if wallClockFuncs[fn.Name()] {
+				p.Reportf(u.pos, "time.%s reads the wall clock; route timing through a seeded/simulated clock or annotate the reporting site", fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if globalRandFuncs[fn.Name()] {
+				p.Reportf(u.pos, "rand.%s draws from the unseeded global source; use rand.New(rand.NewSource(seed))", fn.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEqAnalyzer flags == and != between floating-point operands in
+// non-test code. Exact float comparison silently diverges across
+// accumulation orders and optimization levels; system logic must compare
+// with an epsilon or on math.Float64bits. Tests are exempt: bit-exact
+// equality against golden values is precisely the determinism property the
+// test suite asserts.
+var FloatEqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc:  "flags ==/!= on floating-point operands outside tests",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(p, be.X) || isFloat(p, be.Y) {
+				p.Reportf(be.OpPos, "%s on floating-point operands; compare with an epsilon or on math.Float64bits", be.Op)
+			}
+			return true
+		})
+	}
+}
+
+func isFloat(p *Pass, e ast.Expr) bool {
+	t := p.Pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LayerPurityAnalyzer enforces the layer-purity contract (graph.Layer's
+// doc: "Implementations hold parameters but never activations"): a
+// Forward or Backward method on a layer type must not assign to receiver
+// state. Activations flow through the returned opaque cache, which is what
+// lets one layer instance appear in many models and fused plans
+// simultaneously.
+//
+// A method is in scope when it is named Forward or Backward and its
+// receiver's method set contains both (the shape of a graph.Layer
+// implementation), so unrelated Forward methods elsewhere are untouched.
+var LayerPurityAnalyzer = &Analyzer{
+	Name: "layerpurity",
+	Doc:  "flags receiver-state writes inside Layer Forward/Backward",
+	Run:  runLayerPurity,
+}
+
+func runLayerPurity(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "Forward" && fd.Name.Name != "Backward" {
+				continue
+			}
+			recv := receiverVar(p, fd)
+			if recv == nil || !looksLikeLayer(recv.Type()) {
+				continue
+			}
+			checkPurity(p, fd, recv)
+		}
+	}
+}
+
+// receiverVar resolves the receiver identifier's object, or nil for
+// anonymous receivers.
+func receiverVar(p *Pass, fd *ast.FuncDecl) *types.Var {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	obj := p.Pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// looksLikeLayer reports whether the receiver type's method set contains
+// both Forward and Backward.
+func looksLikeLayer(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	var fwd, bwd bool
+	for i := 0; i < ms.Len(); i++ {
+		switch ms.At(i).Obj().Name() {
+		case "Forward":
+			fwd = true
+		case "Backward":
+			bwd = true
+		}
+	}
+	return fwd && bwd
+}
+
+// checkPurity flags every statement in the method body that writes through
+// the receiver.
+func checkPurity(p *Pass, fd *ast.FuncDecl, recv *types.Var) {
+	report := func(lhs ast.Expr) {
+		root := rootIdent(lhs)
+		if root == nil || p.Pkg.Info.ObjectOf(root) != recv {
+			return
+		}
+		if _, plain := lhs.(*ast.Ident); plain {
+			return // rebinding the local receiver variable mutates nothing shared
+		}
+		p.Reportf(lhs.Pos(), "%s assigns to receiver state; layers are pure — pass activations through the returned cache", fd.Name.Name)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				report(lhs)
+			}
+		case *ast.IncDecStmt:
+			report(st.X)
+		}
+		return true
+	})
+}

@@ -1,0 +1,213 @@
+// Package lint is a stdlib-only static-analysis framework (go/parser +
+// go/ast + go/types, no external dependencies) with repo-specific analyzers
+// that machine-check Nautilus's prose invariants: determinism (all
+// randomness is seeded, no wall-clock reads outside annotated reporting
+// sites), no floating-point equality in system logic, layer purity
+// (Forward/Backward never stash activations on the receiver — they go
+// through the returned cache), and no silently dropped errors.
+//
+// Findings can be suppressed in source with
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the offending line or on the line directly above it. The
+// reason is mandatory; a suppression without one is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:ignore
+	// comments.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Fset     *token.FileSet
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Analyzers whose
+// invariants only bind production code (floateq, uncheckederr) skip such
+// positions.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Diagnostic is one finding, positioned for editors and stable for JSON
+// round-trips.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// DefaultAnalyzers returns the full Nautilus analyzer suite.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		FloatEqAnalyzer,
+		LayerPurityAnalyzer,
+		UncheckedErrAnalyzer,
+	}
+}
+
+// Run applies the analyzers to every package, filters suppressed findings,
+// and returns the remainder sorted by position. Malformed suppression
+// comments are reported under the analyzer name "lint".
+func Run(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet) []Diagnostic {
+	var diags []Diagnostic
+	sup := newSuppressions()
+	for _, pkg := range pkgs {
+		sup.scan(pkg, fset, &diags)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Fset: fset, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !sup.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return kept
+}
+
+// ignoreRe matches the suppression syntax after the "//" comment marker.
+var ignoreRe = regexp.MustCompile(`^lint:ignore\s+(\S+)(?:\s+(.*))?$`)
+
+// suppressions indexes //lint:ignore comments by (file, effective line):
+// a comment suppresses matching findings on its own line and the next.
+type suppressions struct {
+	byLine map[string]map[int]map[string]bool
+}
+
+func newSuppressions() *suppressions {
+	return &suppressions{byLine: map[string]map[int]map[string]bool{}}
+}
+
+func (s *suppressions) scan(pkg *Package, fset *token.FileSet, diags *[]Diagnostic) {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // block comments don't carry suppressions
+				}
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := ignoreRe.FindStringSubmatch(text)
+				if m == nil || strings.TrimSpace(m[2]) == "" {
+					*diags = append(*diags, Diagnostic{
+						Analyzer: "lint",
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "malformed suppression: want //lint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					s.add(pos.Filename, pos.Line, name)
+					s.add(pos.Filename, pos.Line+1, name)
+				}
+			}
+		}
+	}
+}
+
+func (s *suppressions) add(file string, line int, analyzer string) {
+	lines := s.byLine[file]
+	if lines == nil {
+		lines = map[int]map[string]bool{}
+		s.byLine[file] = lines
+	}
+	set := lines[line]
+	if set == nil {
+		set = map[string]bool{}
+		lines[line] = set
+	}
+	set[analyzer] = true
+}
+
+func (s *suppressions) suppressed(d Diagnostic) bool {
+	if d.Analyzer == "lint" {
+		return false // framework findings are not suppressible
+	}
+	return s.byLine[d.File][d.Line][d.Analyzer]
+}
+
+// rootIdent unwraps selector/index/star/paren chains to the base
+// identifier, or nil if the base is not a plain identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+
+	"nautilus/internal/lint"
+)
+
+// finding is the position-and-content triple the golden test compares on.
+type finding struct {
+	Line     int
+	Analyzer string
+	Message  string
+}
+
+// wantRe extracts golden expectations from fixture comments.
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+// parseWant reads the fixture and returns the expected findings: one per
+// `// want "<analyzer>: <message>"` comment, plus a framework finding for
+// the deliberately malformed suppression line.
+func parseWant(t *testing.T, path string) []finding {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []finding
+	for i, line := range strings.Split(string(b), "\n") {
+		if m := wantRe.FindStringSubmatch(line); m != nil {
+			analyzer, msg, ok := strings.Cut(m[1], ": ")
+			if !ok {
+				t.Fatalf("%s:%d: malformed want comment %q", path, i+1, m[1])
+			}
+			want = append(want, finding{Line: i + 1, Analyzer: analyzer, Message: msg})
+		}
+		if strings.TrimSpace(line) == "//lint:ignore floateq" {
+			want = append(want, finding{
+				Line:     i + 1,
+				Analyzer: "lint",
+				Message:  "malformed suppression: want //lint:ignore <analyzer> <reason>",
+			})
+		}
+	}
+	return want
+}
+
+func runOnFixture(t *testing.T) ([]lint.Diagnostic, string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", "violations")
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run([]*lint.Package{pkg}, lint.DefaultAnalyzers(), loader.Fset)
+	return diags, filepath.Join(dir, "violations.go")
+}
+
+// TestViolationsGolden runs the full analyzer suite over the fixture
+// package and asserts the exact diagnostic set: every violation class is
+// caught at its marked line with its exact message, the valid suppression
+// hides its finding, and the malformed suppression is itself reported.
+func TestViolationsGolden(t *testing.T) {
+	diags, fixture := runOnFixture(t)
+
+	var got []finding
+	for _, d := range diags {
+		if filepath.Base(d.File) != "violations.go" {
+			t.Errorf("finding in unexpected file %s", d.File)
+		}
+		if d.Col <= 0 {
+			t.Errorf("finding at %s:%d has no column", d.File, d.Line)
+		}
+		got = append(got, finding{Line: d.Line, Analyzer: d.Analyzer, Message: d.Message})
+	}
+	want := parseWant(t, fixture)
+
+	sortFindings := func(fs []finding) {
+		for i := range fs {
+			for j := i + 1; j < len(fs); j++ {
+				if fs[j].Line < fs[i].Line || (fs[j].Line == fs[i].Line && fs[j].Analyzer < fs[i].Analyzer) {
+					fs[i], fs[j] = fs[j], fs[i]
+				}
+			}
+		}
+	}
+	sortFindings(got)
+	sortFindings(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("diagnostics mismatch:\n got: %+v\nwant: %+v", got, want)
+	}
+
+	// Every analyzer class must appear at least once — the fixture is the
+	// acceptance proof that the suite detects all four.
+	seen := map[string]bool{}
+	for _, f := range got {
+		seen[f.Analyzer] = true
+	}
+	for _, a := range lint.DefaultAnalyzers() {
+		if !seen[a.Name] {
+			t.Errorf("fixture produced no %s finding", a.Name)
+		}
+	}
+}
+
+// TestDiagnosticJSONRoundTrip marshals the fixture's findings to JSON and
+// back, asserting the -json output is lossless.
+func TestDiagnosticJSONRoundTrip(t *testing.T) {
+	diags, _ := runOnFixture(t)
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	b, err := json.Marshal(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []lint.Diagnostic
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(diags, back) {
+		t.Errorf("JSON round-trip mismatch:\n got: %+v\nwant: %+v", back, diags)
+	}
+	for _, key := range []string{"analyzer", "file", "line", "col", "message"} {
+		if !strings.Contains(string(b), `"`+key+`"`) {
+			t.Errorf("JSON output missing %q field: %s", key, b)
+		}
+	}
+}
+
+// TestDiagnosticString pins the human output format the driver prints.
+func TestDiagnosticString(t *testing.T) {
+	d := lint.Diagnostic{Analyzer: "floateq", File: "x.go", Line: 3, Col: 9, Message: "m"}
+	if got, want := d.String(), "x.go:3:9: floateq: m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

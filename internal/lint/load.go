@@ -1,0 +1,354 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package as the analyzers see it:
+// syntax trees plus full go/types information.
+type Package struct {
+	// Path is the package import path ("nautilus/internal/opt").
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir string
+	// Files holds the parsed files, including in-package _test.go files
+	// when the loader's IncludeTests is set. External test packages
+	// (package foo_test) are not loaded.
+	Files []*ast.File
+	// Types and Info carry the go/types results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks the packages of a single Go module using
+// only the standard library: module-internal imports are type-checked from
+// source by the loader itself; all other imports (stdlib) fall back to the
+// compiler-independent source importer.
+type Loader struct {
+	Fset *token.FileSet
+	// ModuleRoot is the absolute directory containing go.mod.
+	ModuleRoot string
+	// ModulePath is the module path declared in go.mod.
+	ModulePath string
+	// IncludeTests parses in-package _test.go files too.
+	IncludeTests bool
+
+	pkgs     map[string]*Package
+	loading  map[string]bool
+	dirOf    map[string]string // import path → directory override
+	fallback types.ImporterFrom
+}
+
+// NewLoader creates a loader rooted at the module containing dir (dir
+// itself, or the nearest ancestor with a go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found at or above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:         fset,
+		ModuleRoot:   root,
+		ModulePath:   modPath,
+		IncludeTests: true,
+		pkgs:         map[string]*Package{},
+		loading:      map[string]bool{},
+		dirOf:        map[string]string{},
+	}
+	src, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer unavailable")
+	}
+	l.fallback = src
+	return l, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	b, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Load resolves the given patterns to module packages and type-checks
+// them (and, transitively, every module package they import). A pattern is
+// a directory, or a directory followed by "/..." to include every package
+// beneath it. Patterns are interpreted relative to the module root unless
+// absolute. The returned slice is sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var dirs []string
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") || pat == "..." {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+		}
+		if pat == "" || pat == "." {
+			pat = l.ModuleRoot
+		} else if !filepath.IsAbs(pat) {
+			pat = filepath.Join(l.ModuleRoot, pat)
+		}
+		if recursive {
+			sub, err := goPackageDirs(pat)
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, sub...)
+		} else {
+			dirs = append(dirs, pat)
+		}
+	}
+
+	var out []*Package
+	seen := map[string]bool{}
+	for _, dir := range dirs {
+		path, err := l.importPathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		if seen[path] {
+			continue
+		}
+		seen[path] = true
+		pkg, err := l.analysisPackage(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir type-checks a single directory outside the module layout (test
+// fixtures). Its import path is synthesized from the directory base name.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Base(abs)
+	l.dirOf[path] = abs
+	return l.analysisPackage(path)
+}
+
+// importPathFor maps a module directory to its import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.ModuleRoot)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirFor maps an import path back to a directory.
+func (l *Loader) dirFor(path string) string {
+	if d, ok := l.dirOf[path]; ok {
+		return d
+	}
+	if path == l.ModulePath {
+		return l.ModuleRoot
+	}
+	return filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath+"/")))
+}
+
+// goPackageDirs returns every directory under root that contains Go files,
+// skipping testdata, vendor, and hidden/underscore directories.
+func goPackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(p, ".go") {
+			dir := filepath.Dir(p)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// load parses and type-checks one package without its test files
+// (memoized), recursively loading module-internal imports first via the
+// Importer interface below. Keeping imports test-free is what the go tool
+// itself does: in-package test files may import packages that (indirectly)
+// import this one, which is only a cycle if tests join the import graph.
+func (l *Loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	pkg, err := l.check(path, false)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// analysisPackage returns the package the analyzers should see: the
+// test-augmented variant when IncludeTests is set and test files exist,
+// else the plain import variant.
+func (l *Loader) analysisPackage(path string) (*Package, error) {
+	base, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	if !l.IncludeTests {
+		return base, nil
+	}
+	files, err := l.parseDir(base.Dir, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == len(base.Files) {
+		return base, nil // no in-package test files
+	}
+	return l.check(path, true)
+}
+
+// check runs one go/types pass over the package's files.
+func (l *Loader) check(path string, withTests bool) (*Package, error) {
+	dir := l.dirFor(path)
+	files, err := l.parseDir(dir, withTests)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := &types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, typeErrs[0])
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// parseDir parses the package's Go files: all non-test files plus, when
+// withTests is set, _test.go files belonging to the same package.
+func (l *Loader) parseDir(dir string, withTests bool) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var pkgName string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		if isTest && !withTests {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		// External test packages are a separate compilation unit; skip.
+		if isTest && strings.HasSuffix(f.Name.Name, "_test") {
+			continue
+		}
+		if !isTest {
+			if pkgName == "" {
+				pkgName = f.Name.Name
+			} else if f.Name.Name != pkgName {
+				return nil, fmt.Errorf("lint: %s: mixed packages %q and %q", dir, pkgName, f.Name.Name)
+			}
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return files, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleRoot, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths are
+// loaded by this loader; everything else (the standard library) is
+// delegated to the source importer.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.fallback.ImportFrom(path, srcDir, 0)
+}

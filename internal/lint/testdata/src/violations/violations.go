@@ -1,0 +1,63 @@
+// Package violations holds exactly one instance of every finding class the
+// Nautilus analyzer suite reports. The golden test in internal/lint parses
+// the want-comments ("<analyzer>: <message>") and asserts the suite
+// produces exactly these diagnostics, no more and no fewer.
+package violations
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Determinism: wall-clock reads and the process-global rand source.
+
+func clocky() time.Time {
+	return time.Now() // want "determinism: time.Now reads the wall clock; route timing through a seeded/simulated clock or annotate the reporting site"
+}
+
+func randy() int {
+	return rand.Intn(6) // want "determinism: rand.Intn draws from the unseeded global source; use rand.New(rand.NewSource(seed))"
+}
+
+// Floateq: exact floating-point comparison.
+
+func floaty(a, b float64) bool {
+	return a == b // want "floateq: == on floating-point operands; compare with an epsilon or on math.Float64bits"
+}
+
+// Layer purity: Forward stashes an activation on the receiver instead of
+// passing it through the cache.
+
+type leakyLayer struct {
+	last float64
+}
+
+func (l *leakyLayer) Forward(x float64) float64 {
+	l.last = x // want "layerpurity: Forward assigns to receiver state; layers are pure — pass activations through the returned cache"
+	return x
+}
+
+func (l *leakyLayer) Backward(g float64) float64 {
+	return g * l.last
+}
+
+// Unchecked error: an error result dropped on the floor.
+
+func droppy(f *os.File) {
+	fmt.Fprintf(f, "hi") // want "uncheckederr: result of fmt.Fprintf contains an ignored error"
+}
+
+// Suppressed: a well-formed //lint:ignore hides the finding entirely.
+
+//lint:ignore determinism fixture demonstrating a valid suppression
+func suppressed() time.Time { return time.Now() }
+
+// Malformed suppression: no reason, so the framework reports the comment
+// itself and the finding on the next line is NOT suppressed.
+
+//lint:ignore floateq
+func malformed(a, b float64) bool {
+	return a != b // want "floateq: != on floating-point operands; compare with an epsilon or on math.Float64bits"
+}

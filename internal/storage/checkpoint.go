@@ -130,22 +130,22 @@ func readCheckpoint(path string) (*checkpointHeader, *os.File, int64, error) {
 	}
 	pre := make([]byte, 12)
 	if _, err := f.ReadAt(pre, 0); err != nil {
-		f.Close()
+		_ = f.Close() // read-side close on the error path
 		return nil, nil, 0, err
 	}
 	if string(pre[:4]) != checkpointMagic {
-		f.Close()
+		_ = f.Close() // read-side close on the error path
 		return nil, nil, 0, fmt.Errorf("storage: %s is not a checkpoint", path)
 	}
 	hlen := int64(binary.LittleEndian.Uint64(pre[4:]))
 	hb := make([]byte, hlen)
 	if _, err := f.ReadAt(hb, 12); err != nil {
-		f.Close()
+		_ = f.Close() // read-side close on the error path
 		return nil, nil, 0, err
 	}
 	var hdr checkpointHeader
 	if err := json.Unmarshal(hb, &hdr); err != nil {
-		f.Close()
+		_ = f.Close() // read-side close on the error path
 		return nil, nil, 0, fmt.Errorf("storage: parse checkpoint header: %w", err)
 	}
 	return &hdr, f, 12 + hlen, nil

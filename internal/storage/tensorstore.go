@@ -290,7 +290,7 @@ func (s *TensorStore) Delete(key string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if f := s.files[key]; f != nil {
-		f.Close()
+		_ = f.Close() // the file is being deleted; close errors are moot
 		delete(s.files, key)
 	}
 	if s.cache != nil {

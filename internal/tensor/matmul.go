@@ -27,6 +27,7 @@ func MatMul(a, b *Tensor) *Tensor {
 			oi := out.data[i*n : (i+1)*n]
 			for p := 0; p < k; p++ {
 				av := ai[p]
+				//lint:ignore floateq exact-zero skip: sparsity fast path, not a tolerance check
 				if av == 0 {
 					continue
 				}
@@ -81,6 +82,7 @@ func MatMulAT(a, b *Tensor) *Tensor {
 			bp := b.data[p*n : (p+1)*n]
 			for i := lo; i < hi; i++ {
 				av := ap[i]
+				//lint:ignore floateq exact-zero skip: sparsity fast path, not a tolerance check
 				if av == 0 {
 					continue
 				}

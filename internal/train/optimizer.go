@@ -39,6 +39,7 @@ func NewSGD(lr, momentum float64) *SGD {
 func (o *SGD) Step(grads map[*graph.Param]*tensor.Tensor) {
 	for p, g := range grads {
 		w := p.Tensor()
+		//lint:ignore floateq Momentum==0 is the exact configured "plain SGD" sentinel
 		if o.Momentum == 0 {
 			tensor.AxpyInPlace(w, float32(-o.LR), g)
 			continue
@@ -59,6 +60,7 @@ func (o *SGD) Clone() Optimizer { return NewSGD(o.LR, o.Momentum) }
 
 // StateBytes implements Optimizer.
 func (o *SGD) StateBytes(params []*graph.Param) int64 {
+	//lint:ignore floateq Momentum==0 is the exact configured "plain SGD" sentinel
 	if o.Momentum == 0 {
 		return 0
 	}

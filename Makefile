@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check bench
+.PHONY: build test lint check bench trace-demo bench-json
 
 build:
 	$(GO) build ./...
@@ -23,3 +23,15 @@ check:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# trace-demo runs a small workload with tracing + metrics enabled, then
+# asserts both artifacts parse (same checks as TestTraceDemo). Load
+# demo.trace in chrome://tracing or ui.perfetto.dev.
+trace-demo:
+	$(GO) run ./cmd/nautilus-run -workload FTR-3 -cycles 1 -trace demo.trace -metrics demo_metrics.json
+	$(GO) test -run TestTraceDemo -count=1 .
+
+# bench-json measures observability overhead on the trainer hot loop
+# (no tracer vs nil sink vs active sink) and writes BENCH_obs.json.
+bench-json:
+	$(GO) run ./cmd/nautilus-bench -exp obs -obsjson BENCH_obs.json

@@ -15,14 +15,41 @@ import (
 	"os"
 
 	"nautilus/internal/experiments"
+	"nautilus/internal/obs"
 	"nautilus/internal/workloads"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3 fig6a fig6b fig6c fig7 fig7b fig8 fig9 fig10a fig10b fig11 hwsweep solver all")
+	exp := flag.String("exp", "all", "experiment: table3 fig6a fig6b fig6c fig7 fig7b fig8 fig9 fig10a fig10b fig11 hwsweep solver obs all")
 	fig7LRs := flag.Int("fig7lrs", 2, "learning rates per strategy in fig7's real-training run")
 	fig7Cycles := flag.Int("fig7cycles", 4, "labeling cycles in fig7's real-training run")
+	obsRuns := flag.Int("obsruns", 3, "averaged trainer passes per mode in the obs overhead experiment")
+	obsJSON := flag.String("obsjson", "", "write the obs overhead result as JSON to this file")
+	tracePath := flag.String("trace", "", "trace experiment execution spans to this file")
+	traceFormat := flag.String("trace-format", obs.FormatChrome, "trace file format: chrome or jsonl")
+	metricsPath := flag.String("metrics", "", "write metrics + conformance JSON to this file")
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	if *tracePath != "" || *metricsPath != "" {
+		var err error
+		tracer, err = obs.OpenTracer(*tracePath, *traceFormat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nautilus-bench:", err)
+			os.Exit(1)
+		}
+		experiments.SetObs(tracer)
+		defer func() {
+			if *metricsPath != "" {
+				if err := obs.WriteMetricsFile(*metricsPath, tracer); err != nil {
+					fmt.Fprintln(os.Stderr, "nautilus-bench:", err)
+				}
+			}
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "nautilus-bench:", err)
+			}
+		}()
+	}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -133,5 +160,21 @@ func main() {
 			return err
 		}
 		return experiments.PrintSolverStats(os.Stdout, st)
+	})
+	run("obs", func() error {
+		r, err := experiments.ObsOverhead(*obsRuns)
+		if err != nil {
+			return err
+		}
+		if err := experiments.PrintObsOverhead(os.Stdout, r); err != nil {
+			return err
+		}
+		if *obsJSON != "" {
+			if err := experiments.WriteObsOverheadJSON(*obsJSON, r); err != nil {
+				return err
+			}
+			fmt.Printf("overhead JSON written to %s\n", *obsJSON)
+		}
+		return nil
 	})
 }

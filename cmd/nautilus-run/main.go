@@ -6,6 +6,7 @@
 //
 //	nautilus-run -workload FTR-3 -approach nautilus
 //	nautilus-run -workload FTU -approach current_practice -cycles 4
+//	nautilus-run -workload FTR-3 -trace run.trace -metrics run.json
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 
 	"nautilus/internal/core"
 	"nautilus/internal/experiments"
+	"nautilus/internal/obs"
 	"nautilus/internal/workloads"
 )
 
@@ -25,6 +27,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for data and shuffling")
 	workDir := flag.String("workdir", "", "working directory (default: temp dir)")
 	compare := flag.Bool("compare", false, "run current_practice AND nautilus, reporting speedup and accuracy parity")
+	tracePath := flag.String("trace", "", "write a span trace to this file")
+	traceFormat := flag.String("trace-format", obs.FormatChrome, "trace file format: chrome (chrome://tracing / perfetto) or jsonl")
+	metricsPath := flag.String("metrics", "", "write metrics + conformance JSON to this file")
 	flag.Parse()
 
 	if *compare {
@@ -49,6 +54,11 @@ func main() {
 	cfg.HW = experiments.MiniHardware()
 	cfg.Seed = *seed
 	cfg.MaxRecords = 600
+	if *tracePath != "" || *metricsPath != "" {
+		tr, err := obs.OpenTracer(*tracePath, *traceFormat)
+		fatalIf(err)
+		cfg.Obs = tr
+	}
 
 	report, err := core.Run(inst, cfg, *seed, *cycles)
 	fatalIf(err)
@@ -62,12 +72,28 @@ func main() {
 	for _, c := range report.Cycles {
 		fmt.Printf("%-6d %10d %12v %9.4f  %s\n", c.Cycle, c.TrainSize, c.Duration.Round(1e6), c.BestAcc, c.BestModel)
 	}
-	fmt.Printf("\ntotal: %v | compute %.1f GFLOPs | disk read %.1f MB written %.1f MB\n",
+	hw := cfg.HW
+	fmt.Printf("\ntotal: %v | compute %.1f GFLOPs (%.1fs modeled) | disk read %.1f MB (%.1fs modeled) written %.1f MB\n",
 		report.Total.Round(1e6),
 		float64(report.Metrics.ComputeFLOPs)/1e9,
+		hw.Seconds(report.Metrics.ComputeFLOPs),
 		float64(report.Metrics.Disk.BytesRead())/1e6,
+		hw.IOSeconds(report.Metrics.Disk.BytesRead()),
 		float64(report.Metrics.Disk.BytesWritten())/1e6)
 	fmt.Printf("final best: %s (accuracy %.4f)\n", report.FinalBest.Model, report.FinalBest.ValAcc)
+
+	if cfg.Obs != nil {
+		fmt.Println()
+		fatalIf(obs.WriteSummary(os.Stdout, cfg.Obs, 12))
+		if *metricsPath != "" {
+			fatalIf(obs.WriteMetricsFile(*metricsPath, cfg.Obs))
+			fmt.Printf("metrics JSON written to %s\n", *metricsPath)
+		}
+		fatalIf(cfg.Obs.Close())
+		if *tracePath != "" {
+			fmt.Printf("trace written to %s (%s format)\n", *tracePath, *traceFormat)
+		}
+	}
 }
 
 // runCompare executes the workload under both Current Practice and

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"nautilus/internal/obs"
+	"nautilus/internal/opt"
+)
+
+// eq5PerRecord recomputes the plan's per-record costs directly from the
+// node-level actions and profiled layer costs — Equation 5 from first
+// principles, independent of the Plan accessor methods the trainer meters
+// through.
+func eq5PerRecord(p *opt.Plan) (trainFLOPs, forwardFLOPs, loadBytes int64) {
+	for n, a := range p.Actions {
+		layer := p.Prof.Layers[n]
+		switch a {
+		case opt.Computed:
+			trainFLOPs += layer.CompFLOPs
+			forwardFLOPs += layer.ForwardFLOPs
+		case opt.Loaded:
+			if !n.IsInput() {
+				loadBytes += layer.OutBytes
+			}
+		}
+	}
+	return
+}
+
+// TestConformanceMatchesCostModel is the cost-model conformance property:
+// after planning and actually executing a workload, the metered compute
+// FLOPs must exactly equal the plan's Equation 5 recomputation expanded by
+// the records trained, the metered load bytes must exactly equal the
+// plan's materialized-read volume, and the replayed live-tensor peak must
+// stay under the analytical B_mem estimate the optimizer planned against.
+func TestConformanceMatchesCostModel(t *testing.T) {
+	for _, approach := range []Approach{Nautilus, MatAll} {
+		approach := approach
+		t.Run(string(approach), func(t *testing.T) {
+			items, mm := tinyWorkload(t)
+			cfg := DefaultConfig(t.TempDir())
+			cfg.Approach = approach
+			cfg.HW = miniHW
+			cfg.MaxRecords = 600
+			tr := obs.New(nil) // no sink: registry + conformance only
+			cfg.Obs = tr
+			ms, err := New(items, mm, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ms.Close()
+			for _, snap := range snapshots(t, 2) {
+				if _, err := ms.Fit(snap); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			byName := map[string]*opt.FusedGroup{}
+			for _, g := range ms.Groups() {
+				byName[g.Name()] = g
+			}
+			reports := tr.Conformance().Report()
+			if len(reports) != len(byName) {
+				t.Fatalf("%d conformance groups, want %d", len(reports), len(byName))
+			}
+			for _, r := range reports {
+				g := byName[r.Group]
+				if g == nil {
+					t.Fatalf("conformance group %q not in plan", r.Group)
+				}
+				trainFLOPs, forwardFLOPs, loadBytes := eq5PerRecord(g.Plan)
+				if r.TrainRecords == 0 {
+					t.Fatalf("group %s metered no training records", r.Group)
+				}
+
+				wantFLOPs := trainFLOPs*r.TrainRecords + forwardFLOPs*r.ValidRecords
+				if r.ActualComputeFLOPs != wantFLOPs {
+					t.Errorf("group %s: metered %d FLOPs, Eq. 5 recomputation %d",
+						r.Group, r.ActualComputeFLOPs, wantFLOPs)
+				}
+				wantLoad := loadBytes * (r.TrainRecords + r.ValidRecords)
+				if r.ActualLoadBytes != wantLoad {
+					t.Errorf("group %s: metered %d load bytes, plan read volume %d",
+						r.Group, r.ActualLoadBytes, wantLoad)
+				}
+				if r.ComputeDelta != 0 || r.LoadDelta != 0 {
+					t.Errorf("group %s: nonzero deltas compute=%d load=%d",
+						r.Group, r.ComputeDelta, r.LoadDelta)
+				}
+
+				// MAT-ALL loads at the frontier, so its plans must actually
+				// read materialized bytes for the property to be non-vacuous.
+				if approach == MatAll && wantLoad == 0 {
+					t.Errorf("group %s: MAT-ALL plan loads nothing", r.Group)
+				}
+
+				// Peak-memory replay: the metered live-tensor high-water mark
+				// must respect the analytical bound the optimizer planned with.
+				if r.ActualPeakMemoryBytes <= 0 {
+					t.Errorf("group %s: no peak memory metered", r.Group)
+				}
+				if r.ActualPeakMemoryBytes > g.PeakMemBytes {
+					t.Errorf("group %s: metered peak %d exceeds analytical bound %d",
+						r.Group, r.ActualPeakMemoryBytes, g.PeakMemBytes)
+				}
+			}
+		})
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"nautilus/internal/exec"
 	"nautilus/internal/graph"
 	"nautilus/internal/mmg"
+	"nautilus/internal/obs"
 	"nautilus/internal/opt"
 	"nautilus/internal/profile"
 	"nautilus/internal/storage"
@@ -77,6 +78,11 @@ type Config struct {
 	PageCacheBytes int64
 	// Prefetch overlaps feed assembly with compute during training.
 	Prefetch bool
+	// Obs, when set, threads structured tracing, the metrics registry, and
+	// the cost-model conformance account through the planner, materializer,
+	// trainer, and tensor store. nil (the default) disables all
+	// instrumentation at nil-check cost.
+	Obs *obs.Tracer
 }
 
 // DefaultConfig returns the paper's experimental configuration.
@@ -169,6 +175,7 @@ func New(items []opt.WorkItem, mm *mmg.MultiModel, cfg Config) (*ModelSelection,
 	if cfg.PageCacheBytes > 0 {
 		store.EnableCache(cfg.PageCacheBytes)
 	}
+	store.SetObs(cfg.Obs)
 	if err := os.MkdirAll(filepath.Join(cfg.WorkDir, "checkpoints"), 0o755); err != nil {
 		return nil, err
 	}
@@ -178,7 +185,7 @@ func New(items []opt.WorkItem, mm *mmg.MultiModel, cfg Config) (*ModelSelection,
 		mm:      mm,
 		metrics: metrics,
 		store:   store,
-		trainer: &exec.Trainer{Store: store, Loss: cfg.Loss, Seed: cfg.Seed, Metrics: metrics, Prefetch: cfg.Prefetch},
+		trainer: &exec.Trainer{Store: store, Loss: cfg.Loss, Seed: cfg.Seed, Metrics: metrics, Prefetch: cfg.Prefetch, Obs: cfg.Obs},
 	}, nil
 }
 
@@ -205,6 +212,10 @@ func (ms *ModelSelection) Fit(snap data.Snapshot) (*FitResult, error) {
 	//lint:ignore determinism wall-clock measurement of real fit time, reported to the user
 	started := time.Now()
 	ms.cycle++
+	span := ms.cfg.Obs.Start("core/fit",
+		obs.Int("cycle", int64(ms.cycle)),
+		obs.Int("train_records", int64(snap.TrainSize())))
+	defer span.End()
 	reopt := false
 	if ms.groups == nil || snap.TrainSize() > ms.r {
 		if err := ms.optimize(snap.TrainSize()); err != nil {
@@ -212,6 +223,7 @@ func (ms *ModelSelection) Fit(snap data.Snapshot) (*FitResult, error) {
 		}
 		reopt = true
 	}
+	span.Attr(obs.Bool("reoptimized", reopt))
 	if ms.materializer != nil {
 		if err := ms.materializer.SyncSplit(exec.Train, snap.TrainX); err != nil {
 			return nil, err
@@ -253,6 +265,18 @@ func (ms *ModelSelection) Fit(snap data.Snapshot) (*FitResult, error) {
 	}
 	//lint:ignore determinism wall-clock measurement of real fit time, reported to the user
 	res.Duration = time.Since(started)
+	// Mirror the cumulative execution account into the metrics registry, so
+	// -metrics output carries the same totals exec.Metrics reports.
+	if reg := ms.cfg.Obs.Registry(); reg != nil {
+		reg.Gauge("exec.compute_flops").Set(ms.metrics.ComputeFLOPs)
+		reg.Gauge("exec.load_bytes").Set(ms.metrics.LoadBytes)
+		reg.Gauge("exec.train_steps").Set(int64(ms.metrics.TrainSteps))
+		reg.Gauge("exec.wall_ns").Set(ms.metrics.Wall.Nanoseconds())
+		if ms.metrics.Disk != nil {
+			reg.Gauge("exec.disk_read_bytes").Set(ms.metrics.Disk.BytesRead())
+			reg.Gauge("exec.disk_written_bytes").Set(ms.metrics.Disk.BytesWritten())
+		}
+	}
 	return res, nil
 }
 
@@ -271,6 +295,11 @@ type WorkloadPlan struct {
 func PlanWorkload(items []opt.WorkItem, mm *mmg.MultiModel, cfg Config, maxRecords int) (*WorkloadPlan, error) {
 	//lint:ignore determinism wall-clock measurement of optimizer solve time, reported in Stats
 	start := time.Now()
+	span := cfg.Obs.Start("plan/workload",
+		obs.Str("approach", string(cfg.Approach)),
+		obs.Int("models", int64(len(items))),
+		obs.Int("max_records", int64(maxRecords)))
+	defer span.End()
 	wp := &WorkloadPlan{MatSigs: map[graph.Signature]bool{}}
 
 	switch cfg.Approach {
@@ -296,11 +325,20 @@ func PlanWorkload(items []opt.WorkItem, mm *mmg.MultiModel, cfg Config, maxRecor
 				MaxRecords:      maxRecords,
 				Solver:          cfg.Solver,
 			}
+			ms := span.Child("plan/mat_opt", obs.Str("solver", cfg.Solver))
 			matRes, err := opt.OptimizeMaterialization(mm, items, matCfg)
 			if err != nil {
+				ms.End()
 				return nil, err
 			}
-			if err := verify.MatResult(matRes, items, matCfg); err != nil {
+			ms.Attr(obs.Int("nodes_explored", int64(matRes.NodesExplored)),
+				obs.Int("materialized", int64(len(matRes.Materialized))),
+				obs.Int("storage_bytes", matRes.StorageBytes))
+			ms.End()
+			vs := span.Child("plan/mat_verify")
+			err = verify.MatResult(matRes, items, matCfg)
+			vs.End()
+			if err != nil {
 				return nil, fmt.Errorf("core: materialization plan rejected: %w", err)
 			}
 			wp.MatSigs = matRes.Sigs
@@ -322,10 +360,17 @@ func PlanWorkload(items []opt.WorkItem, mm *mmg.MultiModel, cfg Config, maxRecor
 			}
 			wp.Groups = groups
 		} else {
+			fs := span.Child("plan/fuse_opt")
+			var fuseStats opt.FuseStats
 			groups, err := opt.FuseModels(items, wp.MatSigs, opt.FuseConfig{
 				MemBudgetBytes:     cfg.MemBudgetBytes,
 				OptimizerSlotBytes: 2, // Adam
+				Stats:              &fuseStats,
 			})
+			fs.Attr(obs.Int("rounds", int64(fuseStats.Rounds)),
+				obs.Int("pairs_evaluated", int64(fuseStats.PairsEvaluated)),
+				obs.Int("pairs_rejected", int64(fuseStats.PairsRejected)))
+			fs.End()
 			if err != nil {
 				return nil, err
 			}
@@ -340,7 +385,10 @@ func PlanWorkload(items []opt.WorkItem, mm *mmg.MultiModel, cfg Config, maxRecor
 	if cfg.Approach == Nautilus || cfg.Approach == NautilusNoMat {
 		memBudget = cfg.MemBudgetBytes
 	}
-	if err := verify.Groups(wp.Groups, items, memBudget, wp.MatSigs); err != nil {
+	gs := span.Child("plan/verify", obs.Int("groups", int64(len(wp.Groups))))
+	err := verify.Groups(wp.Groups, items, memBudget, wp.MatSigs)
+	gs.End()
+	if err != nil {
 		return nil, fmt.Errorf("core: training plan rejected: %w", err)
 	}
 	//lint:ignore determinism wall-clock measurement of optimizer solve time, reported in Stats
@@ -378,6 +426,9 @@ func (ms *ModelSelection) optimize(trainSize int) error {
 		if err != nil {
 			return err
 		}
+		if mz != nil {
+			mz.Obs = ms.cfg.Obs
+		}
 		ms.materializer = mz
 	}
 	stats := wp.Stats
@@ -398,10 +449,16 @@ func singletonGroups(items []opt.WorkItem, planFor func(*profile.ModelProfile) *
 		if err != nil {
 			return nil, err
 		}
+		plan := planFor(prof)
+		// Baseline groups aren't planned against B_mem, but the conformance
+		// report still wants the analytical estimate as the peak-memory
+		// reference, so compute it here like FuseModels does.
+		mem := opt.EstimatePeakMemory(plan, it.BatchSize, 2)
 		groups = append(groups, &opt.FusedGroup{
-			Items: []opt.WorkItem{it},
-			MM:    m,
-			Plan:  planFor(prof),
+			Items:        []opt.WorkItem{it},
+			MM:           m,
+			Plan:         plan,
+			PeakMemBytes: mem.Total(),
 		})
 	}
 	return groups, nil

@@ -22,7 +22,7 @@ var miniHW = profile.Hardware{FLOPSThroughput: 6e12, DiskThroughput: 6e10, Works
 // buildWorkload constructs n mini feature-transfer models over a fresh
 // hub. Head seeds are deterministic, so two calls produce behaviourally
 // identical (but independent) workloads.
-func buildWorkload(t *testing.T, n int) ([]opt.WorkItem, *mmg.MultiModel) {
+func buildWorkload(t testing.TB, n int) ([]opt.WorkItem, *mmg.MultiModel) {
 	t.Helper()
 	hub := models.NewBERTHub(models.BERTMini())
 	strats := []models.FeatureStrategy{models.FeatLastHidden, models.FeatSecondLastHidden}
@@ -48,7 +48,7 @@ func buildWorkload(t *testing.T, n int) ([]opt.WorkItem, *mmg.MultiModel) {
 }
 
 // nerSnapshot labels a couple of cycles of synthetic NER data.
-func nerSnapshot(t *testing.T, cycles int) data.Snapshot {
+func nerSnapshot(t testing.TB, cycles int) data.Snapshot {
 	t.Helper()
 	pool := data.SynthNER(data.NERConfig{Records: 400, Seq: 12, Vocab: 1024, Types: 4, Seed: 99})
 	lab := data.NewLabeler(pool, 40, 32)
@@ -59,7 +59,7 @@ func nerSnapshot(t *testing.T, cycles int) data.Snapshot {
 	return snap
 }
 
-func newTestStore(t *testing.T) (*storage.TensorStore, *Metrics) {
+func newTestStore(t testing.TB) (*storage.TensorStore, *Metrics) {
 	t.Helper()
 	m := NewMetrics()
 	s, err := storage.NewTensorStore(t.TempDir(), m.Disk)
@@ -197,7 +197,7 @@ func TestTrainGroupCurrentPracticeLearns(t *testing.T) {
 }
 
 // singleton builds a one-model group with the given materialized set.
-func singleton(t *testing.T, it opt.WorkItem, sigs map[graph.Signature]bool) *opt.FusedGroup {
+func singleton(t testing.TB, it opt.WorkItem, sigs map[graph.Signature]bool) *opt.FusedGroup {
 	t.Helper()
 	groups, err := opt.FuseModels([]opt.WorkItem{it}, sigs, opt.FuseConfig{MemBudgetBytes: 1 << 40, OptimizerSlotBytes: 2})
 	if err != nil {

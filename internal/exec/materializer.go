@@ -5,6 +5,7 @@ import (
 
 	"nautilus/internal/graph"
 	"nautilus/internal/mmg"
+	"nautilus/internal/obs"
 	"nautilus/internal/storage"
 	"nautilus/internal/tensor"
 )
@@ -38,6 +39,9 @@ type Materializer struct {
 	inputName string
 	// ChunkSize bounds how many records are forwarded at once.
 	ChunkSize int
+	// Obs, when set, wraps delta materialization in spans (per call and per
+	// forward chunk). nil disables instrumentation.
+	Obs *obs.Tracer
 }
 
 // NewMaterializer builds a materializer for the chosen signatures over the
@@ -82,21 +86,31 @@ func (mz *Materializer) MaterializedSigs() []graph.Signature {
 // same order as the snapshot accumulates them.
 func (mz *Materializer) AppendDelta(split Split, deltaX *tensor.Tensor) error {
 	n := deltaX.Dim(0)
+	span := mz.Obs.Start("mat/append_delta",
+		obs.Str("split", string(split)),
+		obs.Int("records", int64(n)),
+		obs.Int("outputs", int64(len(mz.outputs))))
+	defer span.End()
+	mz.Obs.Registry().Counter("materializer.records").Add(int64(n))
 	for lo := 0; lo < n; lo += mz.ChunkSize {
 		hi := lo + mz.ChunkSize
 		if hi > n {
 			hi = n
 		}
 		chunk := sliceRecords(deltaX, lo, hi)
+		cs := span.Child("mat/chunk", obs.Int("records", int64(hi-lo)))
 		tape, err := mz.matModel.Forward(map[string]*tensor.Tensor{mz.inputName: chunk}, false)
 		if err != nil {
+			cs.End()
 			return fmt.Errorf("exec: materialize: %w", err)
 		}
 		for node, sig := range mz.outputs {
 			if err := mz.store.Append(storeKey(sig, split), tape.Output(node)); err != nil {
+				cs.End()
 				return err
 			}
 		}
+		cs.End()
 	}
 	return nil
 }
@@ -117,6 +131,11 @@ func (mz *Materializer) SyncSplit(split Split, fullX *tensor.Tensor) error {
 		}
 	}
 	total := fullX.Dim(0)
+	sp := mz.Obs.Start("mat/sync",
+		obs.Str("split", string(split)),
+		obs.Int("have", int64(have)),
+		obs.Int("total", int64(total)))
+	defer sp.End()
 	if have >= total {
 		return nil
 	}

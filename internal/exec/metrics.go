@@ -32,10 +32,17 @@ func NewMetrics() *Metrics {
 	return &Metrics{Disk: &storage.Counters{}}
 }
 
-// Add accumulates o into m (for aggregating per-cycle metrics).
+// Add accumulates o into m (for aggregating per-cycle metrics). Disk
+// counters merge when both sides carry them; m adopts o's counter set when
+// it has none of its own.
 func (m *Metrics) Add(o *Metrics) {
 	m.ComputeFLOPs += o.ComputeFLOPs
 	m.LoadBytes += o.LoadBytes
 	m.TrainSteps += o.TrainSteps
 	m.Wall += o.Wall
+	if m.Disk == nil {
+		m.Disk = o.Disk
+		return
+	}
+	m.Disk.Merge(o.Disk)
 }

@@ -1,0 +1,49 @@
+package exec
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMetricsAddMergesDisk is the regression test for Add silently
+// dropping the Disk counters: aggregating per-cycle metrics must carry the
+// byte-level I/O account along with the four scalar fields.
+func TestMetricsAddMergesDisk(t *testing.T) {
+	a := NewMetrics()
+	a.ComputeFLOPs, a.LoadBytes, a.TrainSteps, a.Wall = 10, 20, 3, time.Second
+	a.Disk.AddRead(100)
+	a.Disk.AddWrite(7)
+
+	b := NewMetrics()
+	b.ComputeFLOPs, b.LoadBytes, b.TrainSteps, b.Wall = 1, 2, 4, time.Minute
+	b.Disk.AddRead(900)
+	b.Disk.AddWrite(3)
+	b.Disk.AddWrite(5)
+
+	a.Add(b)
+	if a.ComputeFLOPs != 11 || a.LoadBytes != 22 || a.TrainSteps != 7 || a.Wall != time.Second+time.Minute {
+		t.Errorf("scalar fields: %+v", a)
+	}
+	if got := a.Disk.BytesRead(); got != 1000 {
+		t.Errorf("BytesRead = %d, want 1000", got)
+	}
+	if got := a.Disk.BytesWritten(); got != 15 {
+		t.Errorf("BytesWritten = %d, want 15", got)
+	}
+	if r, w := a.Disk.Reads(), a.Disk.Writes(); r != 2 || w != 3 {
+		t.Errorf("ops = %d reads %d writes, want 2/3", r, w)
+	}
+
+	// A metrics value without its own counter set adopts the other side's.
+	c := &Metrics{}
+	c.Add(a)
+	if c.Disk != a.Disk {
+		t.Error("Add into Disk-less metrics should adopt the source counters")
+	}
+	// Nil on both sides stays nil without panicking.
+	d := &Metrics{}
+	d.Add(&Metrics{})
+	if d.Disk != nil {
+		t.Error("nil + nil Disk should stay nil")
+	}
+}

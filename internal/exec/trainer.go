@@ -7,6 +7,7 @@ import (
 
 	"nautilus/internal/data"
 	"nautilus/internal/graph"
+	"nautilus/internal/obs"
 	"nautilus/internal/opt"
 	"nautilus/internal/storage"
 	"nautilus/internal/tensor"
@@ -33,6 +34,14 @@ type Trainer struct {
 	// paper notes can hide load costs (Section 4.2.1). Results are
 	// bit-identical with or without it.
 	Prefetch bool
+	// Obs, when set, emits per-group/epoch/batch spans, registry metrics,
+	// the cost-model conformance account, and the live-tensor peak-memory
+	// replay. nil disables all instrumentation (nil-check cost only).
+	Obs *obs.Tracer
+	// OptSlotBytes is the optimizer-state overhead per trainable parameter
+	// byte assumed by the peak-memory replay; 0 defaults to 2 (Adam) when
+	// NewOptimizer is nil.
+	OptSlotBytes int64
 }
 
 // BranchResult reports one source model's training outcome.
@@ -50,6 +59,12 @@ type BranchResult struct {
 func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchResult, error) {
 	//lint:ignore determinism wall-clock measurement of training time for Metrics reporting
 	started := time.Now()
+	span := t.Obs.Start("train/group",
+		obs.Str("group", g.Name()),
+		obs.Int("branches", int64(len(g.Items))),
+		obs.Int("epochs", int64(g.Epochs())),
+		obs.Int("batch_size", int64(g.BatchSize())))
+	defer span.End()
 	planModel, feeds, err := opt.BuildPlanModel(g.Plan)
 	if err != nil {
 		return nil, err
@@ -84,11 +99,47 @@ func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchRes
 	n := snap.TrainSize()
 	var lastLoss float64
 
+	// Conformance account: the plan's per-record predictions (and its B_mem
+	// estimate) registered up front, actuals metered batch by batch.
+	gc := t.Obs.Conformance().Group(g.Name())
+	gc.SetPredicted(obs.CostPrediction{
+		ComputeFLOPsPerRecord: computePerRecord,
+		ForwardFLOPsPerRecord: g.Plan.ForwardFLOPsPerRecord(),
+		LoadBytesPerRecord:    loadPerRecord,
+		PeakMemoryBytes:       g.PeakMemBytes,
+	})
+	reg := t.Obs.Registry()
+	cFlops := reg.Counter("trainer.compute_flops")
+	cLoad := reg.Counter("trainer.load_bytes")
+	cSteps := reg.Counter("trainer.steps")
+	hWait := reg.Histogram("trainer.feed_wait_ns", feedWaitBuckets)
+
+	// Live-tensor replay of the Section 4.3.3 peak-memory estimate: params
+	// + optimizer slots as a standing base, forward activations seeded per
+	// batch, gradient tensors tracked through the tape's alloc observer.
+	var trk *obs.MemTracker
+	var memBase int64
+	if t.Obs.Enabled() {
+		trk = &obs.MemTracker{}
+		total, trainable := planModel.ParamCount()
+		slot := t.OptSlotBytes
+		if slot == 0 && t.NewOptimizer == nil {
+			slot = 2 // Adam: first and second moments
+		}
+		memBase = total*4 + trainable*4*slot
+	}
+	var es, bs *obs.Span
+	defer func() { bs.End(); es.End() }() // close spans left open by error returns
+
 	for epoch := 0; epoch < g.Epochs(); epoch++ {
+		es = span.Child("train/epoch", obs.Int("epoch", int64(epoch)))
 		batches := train.Batches(n, g.BatchSize(), rng)
-		nextFeeds := t.feedPipeline(planModel, feeds, snap, batches)
-		for _, idx := range batches {
+		nextFeeds := t.feedPipeline(planModel, feeds, snap, batches, span)
+		for bi, idx := range batches {
+			bs = es.Child("train/batch", obs.Int("batch", int64(bi)), obs.Int("records", int64(len(idx))))
+			ws := bs.Child("train/feed_wait")
 			fed := <-nextFeeds
+			hWait.Observe(ws.End().Nanoseconds())
 			if fed.err != nil {
 				return nil, fed.err
 			}
@@ -96,6 +147,10 @@ func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchRes
 			tape, err := planModel.Forward(feedsMap, true)
 			if err != nil {
 				return nil, err
+			}
+			if trk != nil {
+				trk.Reset(memBase + tape.LiveActivationBytes())
+				tape.SetAllocObserver(trk)
 			}
 			yb := train.Gather(snap.TrainY, idx)
 			outGrads := map[string]*tensor.Tensor{}
@@ -122,7 +177,19 @@ func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchRes
 				t.Metrics.LoadBytes += loadPerRecord * int64(len(idx))
 				t.Metrics.TrainSteps++
 			}
+			if trk != nil {
+				gc.ObservePeakMemory(trk.Peak())
+				reg.Gauge("trainer.peak_live_bytes").SetMax(trk.Peak())
+			}
+			gc.AddTrainRecords(int64(len(idx)))
+			gc.AddComputeFLOPs(computePerRecord * int64(len(idx)))
+			gc.AddLoadBytes(loadPerRecord * int64(len(idx)))
+			cFlops.Add(computePerRecord * int64(len(idx)))
+			cLoad.Add(loadPerRecord * int64(len(idx)))
+			cSteps.Add(1)
+			bs.End()
 		}
+		es.End()
 	}
 
 	// Validation per branch.
@@ -132,25 +199,29 @@ func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchRes
 	}
 	vn := snap.ValidSize()
 	if vn > 0 {
+		vs := span.Child("train/validate", obs.Int("records", int64(vn)))
+		forwardPerRecord := g.Plan.ForwardFLOPsPerRecord()
 		correctW := make([]float64, len(branches))
 		lossW := make([]float64, len(branches))
 		idxAll := make([]int, vn)
 		for i := range idxAll {
 			idxAll[i] = i
 		}
-		bs := g.BatchSize()
-		for lo := 0; lo < vn; lo += bs {
-			hi := lo + bs
+		batch := g.BatchSize()
+		for lo := 0; lo < vn; lo += batch {
+			hi := lo + batch
 			if hi > vn {
 				hi = vn
 			}
 			idx := idxAll[lo:hi]
 			feedsMap, err := t.batchFeeds(planModel, feeds, Valid, snap.ValidX, idx)
 			if err != nil {
+				vs.End()
 				return nil, err
 			}
 			tape, err := planModel.Forward(feedsMap, false)
 			if err != nil {
+				vs.End()
 				return nil, err
 			}
 			yb := train.Gather(snap.ValidY, idx)
@@ -163,10 +234,16 @@ func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchRes
 			}
 			if t.Metrics != nil {
 				// Validation pays the forward-only share of the plan.
-				t.Metrics.ComputeFLOPs += g.Plan.ForwardFLOPsPerRecord() * int64(len(idx))
+				t.Metrics.ComputeFLOPs += forwardPerRecord * int64(len(idx))
 				t.Metrics.LoadBytes += loadPerRecord * int64(len(idx))
 			}
+			gc.AddValidRecords(int64(len(idx)))
+			gc.AddComputeFLOPs(forwardPerRecord * int64(len(idx)))
+			gc.AddLoadBytes(loadPerRecord * int64(len(idx)))
+			cFlops.Add(forwardPerRecord * int64(len(idx)))
+			cLoad.Add(loadPerRecord * int64(len(idx)))
 		}
+		vs.End()
 		for i := range results {
 			results[i].ValAcc = correctW[i]
 			results[i].ValLoss = lossW[i]
@@ -203,6 +280,8 @@ func (t *Trainer) batchFeeds(planModel *graph.Model, feedSigs map[string]graph.S
 // is the disk-write reduction of Figure 11; pass full=true for the
 // Current Practice behaviour of checkpointing entire models.
 func (t *Trainer) Checkpoint(g *opt.FusedGroup, path string, full bool) error {
+	sp := t.Obs.Start("train/checkpoint", obs.Str("group", g.Name()), obs.Bool("full", full))
+	defer sp.End()
 	planModel, _, err := opt.BuildPlanModel(g.Plan)
 	if err != nil {
 		return err
@@ -220,30 +299,31 @@ type fedBatch struct {
 	err   error
 }
 
+// feedWaitBuckets sizes the feed-wait histogram (how long the compute loop
+// blocked on the next batch's feeds): 1µs to 100ms in decade steps. With
+// prefetch overlap working, observations should concentrate in the low
+// buckets.
+var feedWaitBuckets = []int64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
+
 // feedPipeline produces each batch's feeds in order. With Prefetch set, a
 // goroutine assembles feeds one batch ahead (buffered channel of 1) so
 // store reads overlap the previous batch's compute; otherwise feeds are
-// assembled lazily on receive.
-func (t *Trainer) feedPipeline(planModel *graph.Model, feedSigs map[string]graph.Signature, snap data.Snapshot, batches [][]int) <-chan fedBatch {
+// assembled lazily on receive. Assembly spans are children of the group
+// span on a separate track, so the trace shows the overlap (or its
+// absence) directly against the batch spans.
+func (t *Trainer) feedPipeline(planModel *graph.Model, feedSigs map[string]graph.Signature, snap data.Snapshot, batches [][]int, group *obs.Span) <-chan fedBatch {
+	buf := 0
 	if t.Prefetch {
-		ch := make(chan fedBatch, 1)
-		go func() {
-			defer close(ch)
-			for _, idx := range batches {
-				feeds, err := t.batchFeeds(planModel, feedSigs, Train, snap.TrainX, idx)
-				ch <- fedBatch{feeds: feeds, err: err}
-				if err != nil {
-					return
-				}
-			}
-		}()
-		return ch
+		buf = 1
 	}
-	ch := make(chan fedBatch)
+	ch := make(chan fedBatch, buf)
 	go func() {
 		defer close(ch)
-		for _, idx := range batches {
+		for bi, idx := range batches {
+			as := group.Child("train/feed_assemble", obs.Int("batch", int64(bi)), obs.Int("records", int64(len(idx))))
+			as.SetTrack(2)
 			feeds, err := t.batchFeeds(planModel, feedSigs, Train, snap.TrainX, idx)
+			as.End()
 			ch <- fedBatch{feeds: feeds, err: err}
 			if err != nil {
 				return

@@ -7,6 +7,7 @@ import (
 
 	"nautilus/internal/core"
 	"nautilus/internal/data"
+	"nautilus/internal/obs"
 	"nautilus/internal/profile"
 	"nautilus/internal/workloads"
 )
@@ -51,6 +52,9 @@ type Fig7Config struct {
 	// WorkDir hosts stores and checkpoints (a temp dir if empty).
 	WorkDir string
 	Seed    int64
+	// Obs, when set, instruments both approaches' runs; defaults to the
+	// package tracer installed via SetObs.
+	Obs *obs.Tracer
 }
 
 // DefaultFig7Config returns the trimmed default.
@@ -83,6 +87,9 @@ func Fig7(cfg Fig7Config) (*Fig7Result, error) {
 	if cfg.LRs == 0 {
 		cfg = DefaultFig7Config()
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obsTracer
+	}
 	lrs := make([]float64, cfg.LRs)
 	for i := range lrs {
 		lrs[i] = 5e-5 / float64(i+1)
@@ -106,6 +113,7 @@ func Fig7(cfg Fig7Config) (*Fig7Result, error) {
 		ccfg.HW = MiniHardware()
 		ccfg.Seed = cfg.Seed
 		ccfg.MaxRecords = 600
+		ccfg.Obs = cfg.Obs
 
 		pool := inst.NewPool(cfg.Seed)
 		perCycle, trainPer, _ := inst.CycleSchedule()

@@ -1,0 +1,12 @@
+package experiments
+
+import "nautilus/internal/obs"
+
+// obsTracer is the process-wide tracer the bench CLI attaches with SetObs;
+// real-training experiments thread it into their core configs so -trace /
+// -metrics cover experiment runs too. nil (the default) disables
+// instrumentation.
+var obsTracer *obs.Tracer
+
+// SetObs attaches a tracer to subsequent experiment runs.
+func SetObs(t *obs.Tracer) { obsTracer = t }

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"time"
+
+	"nautilus/internal/data"
+	"nautilus/internal/exec"
+	"nautilus/internal/models"
+	"nautilus/internal/obs"
+	"nautilus/internal/opt"
+	"nautilus/internal/profile"
+	"nautilus/internal/storage"
+	"nautilus/internal/train"
+)
+
+// ObsOverheadResult quantifies the cost of the observability layer on the
+// trainer hot loop: the same group trained with no tracer at all, with a
+// sinkless tracer (spans allocated, nothing emitted), and with an active
+// Chrome-trace sink writing to a discard writer.
+type ObsOverheadResult struct {
+	Runs          int     `json:"runs"`
+	NoObsSec      float64 `json:"no_obs_sec"`
+	NilSinkSec    float64 `json:"nil_sink_sec"`
+	ActiveSinkSec float64 `json:"active_sink_sec"`
+	// NilSinkOverheadPct is the acceptance metric: nil-tracer instrumentation
+	// cost relative to the uninstrumented trainer, in percent.
+	NilSinkOverheadPct    float64 `json:"nil_sink_overhead_pct"`
+	ActiveSinkOverheadPct float64 `json:"active_sink_overhead_pct"`
+	SpansPerRun           int64   `json:"spans_per_run"`
+}
+
+// obsOverheadWorkload builds one mini feature-transfer group plus a fresh
+// store, mirroring the exec package's training tests.
+func obsOverheadWorkload(dir string) (*opt.FusedGroup, *storage.TensorStore, error) {
+	hub := models.NewBERTHub(models.BERTMini())
+	m, err := hub.FeatureTransferModel("obsbench", models.FeatLastHidden, 9, 500)
+	if err != nil {
+		return nil, nil, err
+	}
+	prof, err := profile.Profile(m, MiniHardware())
+	if err != nil {
+		return nil, nil, err
+	}
+	item := opt.WorkItem{Model: m, Prof: prof, Epochs: 2, BatchSize: 8, LR: 1e-3}
+	groups, err := opt.FuseModels([]opt.WorkItem{item}, nil, opt.FuseConfig{
+		MemBudgetBytes: 1 << 40, OptimizerSlotBytes: 2,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	store, err := storage.NewTensorStore(dir, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return groups[0], store, nil
+}
+
+// ObsOverhead measures trainer wall time across the three instrumentation
+// modes, averaged over runs passes.
+func ObsOverhead(runs int) (*ObsOverheadResult, error) {
+	if runs <= 0 {
+		runs = 3
+	}
+	dir, err := os.MkdirTemp("", "nautilus-obsbench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	group, store, err := obsOverheadWorkload(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+	snap := obsSnapshot()
+
+	res := &ObsOverheadResult{Runs: runs}
+	type mode struct {
+		secs   *float64
+		tracer func() *obs.Tracer
+	}
+	modes := []mode{
+		{&res.NoObsSec, func() *obs.Tracer { return nil }},
+		{&res.NilSinkSec, func() *obs.Tracer { return obs.New(nil) }},
+		{&res.ActiveSinkSec, func() *obs.Tracer { return obs.New(obs.NewChromeTraceSink(nopWriteCloser{io.Discard})) }},
+	}
+	for _, md := range modes {
+		// One warmup pass outside the timed window settles allocator state.
+		tr := md.tracer()
+		trainer := &exec.Trainer{Store: store, Loss: train.SoftmaxCrossEntropy{}, Seed: 7, Obs: tr}
+		if _, err := trainer.TrainGroup(group, snap); err != nil {
+			return nil, err
+		}
+		//lint:ignore determinism wall-clock benchmark measurement is the experiment's output
+		start := time.Now()
+		for i := 0; i < runs; i++ {
+			if _, err := trainer.TrainGroup(group, snap); err != nil {
+				return nil, err
+			}
+		}
+		//lint:ignore determinism wall-clock benchmark measurement is the experiment's output
+		*md.secs = time.Since(start).Seconds() / float64(runs)
+		if tr != nil {
+			var spans int64
+			for _, st := range tr.SpanStats() {
+				spans += st.Count
+			}
+			res.SpansPerRun = spans / int64(runs+1)
+			if err := tr.Close(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.NilSinkOverheadPct = 100 * (res.NilSinkSec - res.NoObsSec) / res.NoObsSec
+	res.ActiveSinkOverheadPct = 100 * (res.ActiveSinkSec - res.NoObsSec) / res.NoObsSec
+	return res, nil
+}
+
+// obsSnapshot labels a couple of cycles of synthetic NER data for the
+// overhead benchmark.
+func obsSnapshot() data.Snapshot {
+	pool := data.SynthNER(data.NERConfig{Records: 400, Seq: 12, Vocab: 1024, Types: 4, Seed: 99})
+	lab := data.NewLabeler(pool, 40, 32)
+	var snap data.Snapshot
+	for i := 0; i < 2; i++ {
+		snap, _, _ = lab.NextCycle()
+	}
+	return snap
+}
+
+// nopWriteCloser adapts io.Discard for sinks that close their writer.
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
+
+// PrintObsOverhead renders the overhead comparison.
+func PrintObsOverhead(w io.Writer, r *ObsOverheadResult) error {
+	p := &printer{w: w}
+	p.printf("Observability overhead on the trainer hot loop (%d runs averaged)\n", r.Runs)
+	p.printf("%-14s %10s %10s\n", "mode", "sec/run", "overhead")
+	p.printf("%-14s %10.3f %10s\n", "no tracer", r.NoObsSec, "-")
+	p.printf("%-14s %10.3f %9.2f%%\n", "nil sink", r.NilSinkSec, r.NilSinkOverheadPct)
+	p.printf("%-14s %10.3f %9.2f%%\n", "active sink", r.ActiveSinkSec, r.ActiveSinkOverheadPct)
+	p.printf("spans per run (active): %d\n", r.SpansPerRun)
+	return p.err
+}
+
+// WriteObsOverheadJSON writes the result as indented JSON at path.
+func WriteObsOverheadJSON(path string, r *ObsOverheadResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

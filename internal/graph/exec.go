@@ -17,6 +17,35 @@ type Tape struct {
 
 	paramGrads map[*Param]*tensor.Tensor
 	inputGrads map[*Node]*tensor.Tensor
+
+	allocObs AllocObserver
+}
+
+// AllocObserver receives the byte-level tensor allocation and release
+// events of a backward pass, letting observers replay the executor's
+// live-tensor high-water mark (the B_mem cross-check against the
+// analytical estimate of Section 4.3.3). Forward activations are not
+// reported — they are all live for the whole tape lifetime and observers
+// seed themselves from LiveActivationBytes.
+type AllocObserver interface {
+	Alloc(bytes int64)
+	Free(bytes int64)
+}
+
+// SetAllocObserver installs (or, with nil, removes) the tape's allocation
+// observer. Call between Forward and Backward.
+func (t *Tape) SetAllocObserver(o AllocObserver) { t.allocObs = o }
+
+func (t *Tape) observeAlloc(x *tensor.Tensor) {
+	if t.allocObs != nil && x != nil {
+		t.allocObs.Alloc(int64(x.Len()) * 4)
+	}
+}
+
+func (t *Tape) observeFree(x *tensor.Tensor) {
+	if t.allocObs != nil && x != nil {
+		t.allocObs.Free(int64(x.Len()) * 4)
+	}
 }
 
 // Forward executes the model on the given feeds. Every input node of the
@@ -104,6 +133,7 @@ func (t *Tape) BackwardOpts(outGrads map[string]*tensor.Tensor, opts BackwardOpt
 			return fmt.Errorf("graph: output gradient for unknown node %q", name)
 		}
 		nodeGrads[n] = g.Clone()
+		t.observeAlloc(nodeGrads[n])
 	}
 
 	reach := m.Reachable()
@@ -116,12 +146,15 @@ func (t *Tape) BackwardOpts(outGrads map[string]*tensor.Tensor, opts BackwardOpt
 		if n.IsInput() {
 			if opts.InputGrads {
 				t.inputGrads[n] = g
+			} else {
+				t.observeFree(g)
 			}
 			continue
 		}
 		needParams := !n.Frozen() && !opts.SkipParamGrads
 		needInputs := anyParentNeedsGrad(n, needGrad)
 		if !needParams && !needInputs {
+			t.observeFree(g)
 			continue
 		}
 		in := make([]*tensor.Tensor, len(n.Parents))
@@ -142,6 +175,7 @@ func (t *Tape) BackwardOpts(outGrads map[string]*tensor.Tensor, opts BackwardOpt
 					tensor.AddInPlace(acc, gradParams[j])
 				} else {
 					t.paramGrads[p] = gradParams[j].Clone()
+					t.observeAlloc(t.paramGrads[p])
 				}
 			}
 		}
@@ -153,8 +187,11 @@ func (t *Tape) BackwardOpts(outGrads map[string]*tensor.Tensor, opts BackwardOpt
 				tensor.AddInPlace(acc, gradIn[j])
 			} else {
 				nodeGrads[p] = gradIn[j].Clone()
+				t.observeAlloc(nodeGrads[p])
 			}
 		}
+		// n's own gradient is dead once distributed to params and parents.
+		t.observeFree(g)
 	}
 	return nil
 }

@@ -542,3 +542,58 @@ func TestSummaryRendersTotals(t *testing.T) {
 		t.Error("adapter block should render as partially trainable")
 	}
 }
+
+// recordingObserver tallies backward-pass allocation events.
+type recordingObserver struct {
+	allocs, frees int
+	live, peak    int64
+}
+
+func (r *recordingObserver) Alloc(n int64) {
+	r.allocs++
+	r.live += n
+	if r.live > r.peak {
+		r.peak = r.live
+	}
+}
+
+func (r *recordingObserver) Free(n int64) {
+	r.frees++
+	r.live -= n
+}
+
+// TestAllocObserverBalancesGradients replays a backward pass through the
+// tape's allocation observer: every gradient tensor allocated during
+// backward is freed again except the accumulated parameter gradients, so
+// the observer's final live bytes equal exactly the param-grad footprint.
+func TestAllocObserverBalancesGradients(t *testing.T) {
+	m, _, _, _ := buildChain(t)
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.RandNormal(rng, 1, 2, 4)
+	tape, err := m.Forward(map[string]*tensor.Tensor{"in": x}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &recordingObserver{}
+	tape.SetAllocObserver(obs)
+	w := tensor.RandNormal(rng, 1, 2, 3)
+	if err := tape.Backward(map[string]*tensor.Tensor{"d3": w}); err != nil {
+		t.Fatal(err)
+	}
+	if obs.allocs == 0 {
+		t.Fatal("observer saw no allocations")
+	}
+	var paramGradBytes int64
+	for _, g := range tape.ParamGrads() {
+		paramGradBytes += int64(g.Len()) * 4
+	}
+	if obs.live != paramGradBytes {
+		t.Errorf("final live %d bytes, want param-grad footprint %d", obs.live, paramGradBytes)
+	}
+	if obs.peak < obs.live {
+		t.Errorf("peak %d below final live %d", obs.peak, obs.live)
+	}
+	if obs.frees == 0 {
+		t.Error("observer saw no frees (node gradients must be released)")
+	}
+}

@@ -7,10 +7,13 @@ import (
 	"go/parser"
 	"go/token"
 	"go/types"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked package as the analyzers see it:
@@ -31,8 +34,10 @@ type Package struct {
 
 // Loader loads and type-checks the packages of a single Go module using
 // only the standard library: module-internal imports are type-checked from
-// source by the loader itself; all other imports (stdlib) fall back to the
-// compiler-independent source importer.
+// source by the loader itself. Other imports (the standard library) are
+// read as compiled export data out of the Go build cache when available —
+// type-checked once by the toolchain and reused across lint runs — with
+// the compiler-independent source importer as the fallback.
 type Loader struct {
 	Fset *token.FileSet
 	// ModuleRoot is the absolute directory containing go.mod.
@@ -46,6 +51,11 @@ type Loader struct {
 	loading  map[string]bool
 	dirOf    map[string]string // import path → directory override
 	fallback types.ImporterFrom
+	gc       types.ImporterFrom
+	exports  *exportLookup
+	// noExportData forces the source-importer fallback for every non-module
+	// import (tests compare both importer modes through this).
+	noExportData bool
 }
 
 // NewLoader creates a loader rooted at the module containing dir (dir
@@ -85,7 +95,64 @@ func NewLoader(dir string) (*Loader, error) {
 		return nil, fmt.Errorf("lint: source importer unavailable")
 	}
 	l.fallback = src
+	l.exports = &exportLookup{root: root}
+	gc, ok := importer.ForCompiler(fset, "gc", l.exports.open).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: gc importer unavailable")
+	}
+	l.gc = gc
 	return l, nil
+}
+
+// exportLookup resolves import paths to compiled export-data files. The
+// map is built lazily by one `go list -export` invocation, which compiles
+// (or reuses) export data in the Go build cache — so repeated lint runs
+// skip re-type-checking the standard library from source entirely.
+type exportLookup struct {
+	root string
+
+	once  sync.Once
+	files map[string]string
+}
+
+// build populates the path → export-file map. Failures leave the map
+// empty; the loader then falls back to the source importer.
+func (e *exportLookup) build() {
+	e.files = map[string]string{}
+	cmd := exec.Command("go", "list", "-test", "-deps", "-export", "-f", "{{.ImportPath}}\t{{.Export}}", "./...")
+	cmd.Dir = e.root
+	out, err := cmd.Output()
+	if err != nil {
+		return
+	}
+	for _, line := range strings.Split(string(out), "\n") {
+		path, file, ok := strings.Cut(line, "\t")
+		if !ok || file == "" {
+			continue
+		}
+		// Test-augmented variants list as "pkg [pkg.test]"; their export
+		// data describes the in-package test build, not the plain import.
+		if strings.Contains(path, " ") {
+			continue
+		}
+		e.files[path] = file
+	}
+}
+
+// has reports whether export data exists for path.
+func (e *exportLookup) has(path string) bool {
+	e.once.Do(e.build)
+	return e.files[path] != ""
+}
+
+// open is the gc importer's lookup hook.
+func (e *exportLookup) open(path string) (io.ReadCloser, error) {
+	e.once.Do(e.build)
+	file := e.files[path]
+	if file == "" {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(file)
 }
 
 // modulePath extracts the module path from a go.mod file.
@@ -340,8 +407,8 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 }
 
 // ImportFrom implements types.ImporterFrom: module-internal paths are
-// loaded by this loader; everything else (the standard library) is
-// delegated to the source importer.
+// loaded by this loader; everything else (the standard library) reads
+// cached export data when available, falling back to the source importer.
 func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
 	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
 		pkg, err := l.load(path)
@@ -349,6 +416,11 @@ func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.
 			return nil, err
 		}
 		return pkg.Types, nil
+	}
+	if !l.noExportData && l.exports.has(path) {
+		if pkg, err := l.gc.ImportFrom(path, srcDir, 0); err == nil {
+			return pkg, nil
+		}
 	}
 	return l.fallback.ImportFrom(path, srcDir, 0)
 }

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkNilSpan pins the disabled-tracer fast path: a nil *Tracer must
+// cost only nil checks per instrumented site.
+func BenchmarkNilSpan(b *testing.B) {
+	var tr *Tracer
+	for i := 0; i < b.N; i++ {
+		s := tr.Start("batch", Int("i", int64(i)))
+		s.Child("feed_wait").End()
+		s.End()
+	}
+}
+
+// BenchmarkNilCounter pins the disabled registry path.
+func BenchmarkNilCounter(b *testing.B) {
+	var tr *Tracer
+	c := tr.Registry().Counter("flops")
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkActiveSpan measures the live path against a discarding Chrome
+// sink, for comparison with the nil path.
+func BenchmarkActiveSpan(b *testing.B) {
+	tr := New(NewChromeTraceSink(io.Discard))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := tr.Start("batch", Int("i", int64(i)))
+		s.Child("feed_wait").End()
+		s.End()
+	}
+}

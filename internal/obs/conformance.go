@@ -1,0 +1,252 @@
+package obs
+
+import "sync"
+
+// CostPrediction holds the optimizer's per-record cost-model outputs for
+// one fused group: Eq. 5 training compute, the forward-only validation
+// share, the materialized-read volume, and the Section 4.3.3 analytical
+// peak-memory estimate (a per-group total, not per-record).
+type CostPrediction struct {
+	ComputeFLOPsPerRecord int64 `json:"compute_flops_per_record"`
+	ForwardFLOPsPerRecord int64 `json:"forward_flops_per_record"`
+	LoadBytesPerRecord    int64 `json:"load_bytes_per_record"`
+	PeakMemoryBytes       int64 `json:"peak_memory_bytes"`
+}
+
+// Conformance accumulates predicted-vs-actual cost accounting per fused
+// group. The executor registers each group's plan predictions once and
+// meters actuals as it trains; Report renders the comparison.
+type Conformance struct {
+	mu     sync.Mutex
+	groups map[string]*GroupConformance
+	order  []string
+}
+
+// NewConformance returns an empty conformance report.
+func NewConformance() *Conformance {
+	return &Conformance{groups: map[string]*GroupConformance{}}
+}
+
+// Group returns the named group's accumulator, creating it on first use
+// (nil for a nil Conformance; the returned handle's methods are nil-safe).
+func (c *Conformance) Group(name string) *GroupConformance {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.groups[name]
+	if g == nil {
+		g = &GroupConformance{name: name}
+		c.groups[name] = g
+		c.order = append(c.order, name)
+	}
+	return g
+}
+
+// GroupConformance accumulates one group's predictions and actuals.
+type GroupConformance struct {
+	mu   sync.Mutex
+	name string
+	pred CostPrediction
+
+	trainRecords int64
+	validRecords int64
+	computeFLOPs int64
+	loadBytes    int64
+	peakMemory   int64 // high-water mark over all batches
+}
+
+// SetPredicted records the plan's cost predictions (last call wins).
+func (g *GroupConformance) SetPredicted(p CostPrediction) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.pred = p
+	g.mu.Unlock()
+}
+
+// AddTrainRecords meters n records through the training loop.
+func (g *GroupConformance) AddTrainRecords(n int64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.trainRecords += n
+	g.mu.Unlock()
+}
+
+// AddValidRecords meters n records through validation.
+func (g *GroupConformance) AddValidRecords(n int64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.validRecords += n
+	g.mu.Unlock()
+}
+
+// AddComputeFLOPs meters executed cost-model compute.
+func (g *GroupConformance) AddComputeFLOPs(f int64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.computeFLOPs += f
+	g.mu.Unlock()
+}
+
+// AddLoadBytes meters materialized intermediates read.
+func (g *GroupConformance) AddLoadBytes(b int64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.loadBytes += b
+	g.mu.Unlock()
+}
+
+// ObservePeakMemory raises the group's live-tensor high-water mark.
+func (g *GroupConformance) ObservePeakMemory(bytes int64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	if bytes > g.peakMemory {
+		g.peakMemory = bytes
+	}
+	g.mu.Unlock()
+}
+
+// GroupReport is one group's predicted-vs-actual comparison. Predicted
+// totals expand the per-record predictions by the metered record counts
+// (training records pay the Eq. 5 cost, validation records the forward
+// share; both pay the load volume), so Delta == 0 means the executor did
+// exactly what the plan costed.
+type GroupReport struct {
+	Group        string         `json:"group"`
+	Predicted    CostPrediction `json:"predicted"`
+	TrainRecords int64          `json:"train_records"`
+	ValidRecords int64          `json:"valid_records"`
+
+	PredictedComputeFLOPs int64   `json:"predicted_compute_flops"`
+	ActualComputeFLOPs    int64   `json:"actual_compute_flops"`
+	ComputeDelta          int64   `json:"compute_delta"`
+	ComputeErrPct         float64 `json:"compute_err_pct"`
+
+	PredictedLoadBytes int64   `json:"predicted_load_bytes"`
+	ActualLoadBytes    int64   `json:"actual_load_bytes"`
+	LoadDelta          int64   `json:"load_delta"`
+	LoadErrPct         float64 `json:"load_err_pct"`
+
+	PredictedPeakMemoryBytes int64   `json:"predicted_peak_memory_bytes"`
+	ActualPeakMemoryBytes    int64   `json:"actual_peak_memory_bytes"`
+	MemoryUsePct             float64 `json:"memory_use_pct"`
+}
+
+// Report renders every group's comparison in first-seen order (nil → nil).
+func (c *Conformance) Report() []GroupReport {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]GroupReport, 0, len(c.order))
+	for _, name := range c.order {
+		out = append(out, c.groups[name].report())
+	}
+	return out
+}
+
+func (g *GroupConformance) report() GroupReport {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r := GroupReport{
+		Group:        g.name,
+		Predicted:    g.pred,
+		TrainRecords: g.trainRecords,
+		ValidRecords: g.validRecords,
+
+		PredictedComputeFLOPs: g.pred.ComputeFLOPsPerRecord*g.trainRecords + g.pred.ForwardFLOPsPerRecord*g.validRecords,
+		ActualComputeFLOPs:    g.computeFLOPs,
+
+		PredictedLoadBytes: g.pred.LoadBytesPerRecord * (g.trainRecords + g.validRecords),
+		ActualLoadBytes:    g.loadBytes,
+
+		PredictedPeakMemoryBytes: g.pred.PeakMemoryBytes,
+		ActualPeakMemoryBytes:    g.peakMemory,
+	}
+	r.ComputeDelta = r.ActualComputeFLOPs - r.PredictedComputeFLOPs
+	r.LoadDelta = r.ActualLoadBytes - r.PredictedLoadBytes
+	r.ComputeErrPct = errPct(r.ComputeDelta, r.PredictedComputeFLOPs)
+	r.LoadErrPct = errPct(r.LoadDelta, r.PredictedLoadBytes)
+	if r.PredictedPeakMemoryBytes > 0 {
+		r.MemoryUsePct = 100 * float64(r.ActualPeakMemoryBytes) / float64(r.PredictedPeakMemoryBytes)
+	}
+	return r
+}
+
+func errPct(delta, predicted int64) float64 {
+	if predicted == 0 {
+		if delta == 0 {
+			return 0
+		}
+		return 100
+	}
+	return 100 * float64(delta) / float64(predicted)
+}
+
+// MemTracker replays the executor's tensor allocations to a live-bytes
+// high-water mark — the cross-check of the analytical B_mem estimate
+// against real execution. It implements graph's AllocObserver interface.
+// Not safe for concurrent use: one tracker serves one training loop.
+type MemTracker struct {
+	live int64
+	peak int64
+}
+
+// Reset starts a new measurement window with the given already-live base
+// bytes (parameters, optimizer state, forward activations).
+func (m *MemTracker) Reset(base int64) {
+	if m == nil {
+		return
+	}
+	m.live = base
+	m.peak = base
+}
+
+// Alloc records n bytes coming live.
+func (m *MemTracker) Alloc(n int64) {
+	if m == nil {
+		return
+	}
+	m.live += n
+	if m.live > m.peak {
+		m.peak = m.live
+	}
+}
+
+// Free records n bytes released.
+func (m *MemTracker) Free(n int64) {
+	if m == nil {
+		return
+	}
+	m.live -= n
+}
+
+// Live returns current live bytes.
+func (m *MemTracker) Live() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.live
+}
+
+// Peak returns the high-water mark since the last Reset.
+func (m *MemTracker) Peak() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.peak
+}

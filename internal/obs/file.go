@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+// Trace file formats accepted by OpenTracer.
+const (
+	FormatChrome = "chrome"
+	FormatJSONL  = "jsonl"
+)
+
+// OpenTracer builds a tracer writing spans to the given file: format
+// "chrome" emits a Chrome trace-event JSON (load in chrome://tracing or
+// ui.perfetto.dev), "jsonl" one JSON object per span. An empty path yields
+// a sinkless tracer (registry + conformance only, no span output); Close
+// flushes and closes the file.
+func OpenTracer(path, format string) (*Tracer, error) {
+	if path == "" {
+		return New(nil), nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: create trace file: %w", err)
+	}
+	switch format {
+	case FormatChrome, "":
+		return New(NewChromeTraceSink(f)), nil
+	case FormatJSONL:
+		return New(NewJSONLSink(f)), nil
+	default:
+		_ = f.Close() // nothing written yet; the format error wins
+		return nil, fmt.Errorf("obs: unknown trace format %q (want %s or %s)", format, FormatChrome, FormatJSONL)
+	}
+}
+
+// WriteMetricsFile renders the tracer's full metrics report (registry
+// snapshot, conformance, span stats) as indented JSON at path.
+func WriteMetricsFile(path string, t *Tracer) error {
+	data, err := MetricsJSON(t)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+)
+
+// SpanStat aggregates every span of one name: count, total (inclusive)
+// time, exclusive time (total minus time spent in child spans), and the
+// longest single occurrence.
+type SpanStat struct {
+	Name      string        `json:"name"`
+	Count     int64         `json:"count"`
+	Total     time.Duration `json:"total_ns"`
+	Exclusive time.Duration `json:"exclusive_ns"`
+	Max       time.Duration `json:"max_ns"`
+}
+
+// SpanStats returns per-name statistics over all ended spans, sorted by
+// exclusive time descending (nil tracer → nil).
+func (t *Tracer) SpanStats() []SpanStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SpanStat, 0, len(t.stats))
+	for _, st := range t.stats {
+		out = append(out, *st)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Exclusive != out[j].Exclusive {
+			return out[i].Exclusive > out[j].Exclusive
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// errWriter accumulates the first write error so report rendering can
+// check once at the end instead of after every line.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// WriteSummary prints the human-readable observability summary: the top
+// spans by exclusive time, then the cost-model conformance table.
+func WriteSummary(w io.Writer, t *Tracer, topN int) error {
+	if t == nil {
+		return nil
+	}
+	stats := t.SpanStats()
+	if len(stats) > 0 {
+		var grand time.Duration
+		for _, st := range stats {
+			grand += st.Exclusive
+		}
+		if topN > 0 && len(stats) > topN {
+			stats = stats[:topN]
+		}
+		ew := &errWriter{w: w}
+		ew.printf("-- top spans by exclusive time --\n")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		tew := &errWriter{w: tw}
+		tew.printf("span\tcount\ttotal\texclusive\texcl%%\tmax\n")
+		for _, st := range stats {
+			pct := 0.0
+			if grand > 0 {
+				pct = 100 * float64(st.Exclusive) / float64(grand)
+			}
+			tew.printf("%s\t%d\t%v\t%v\t%.1f%%\t%v\n",
+				st.Name, st.Count, st.Total.Round(time.Microsecond),
+				st.Exclusive.Round(time.Microsecond), pct, st.Max.Round(time.Microsecond))
+		}
+		for _, err := range []error{ew.err, tew.err, tw.Flush()} {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return WriteConformance(w, t.Conformance())
+}
+
+// WriteConformance prints the predicted-vs-actual cost-model comparison,
+// one block per fused group.
+func WriteConformance(w io.Writer, c *Conformance) error {
+	reports := c.Report()
+	if len(reports) == 0 {
+		return nil
+	}
+	ew := &errWriter{w: w}
+	ew.printf("-- cost-model conformance (predicted vs actual) --\n")
+	for _, r := range reports {
+		ew.printf("group %s (%d train + %d valid records)\n", r.Group, r.TrainRecords, r.ValidRecords)
+		ew.printf("  compute FLOPs  predicted %d  actual %d  delta %+d (%.2f%%)\n",
+			r.PredictedComputeFLOPs, r.ActualComputeFLOPs, r.ComputeDelta, r.ComputeErrPct)
+		ew.printf("  load bytes     predicted %d  actual %d  delta %+d (%.2f%%)\n",
+			r.PredictedLoadBytes, r.ActualLoadBytes, r.LoadDelta, r.LoadErrPct)
+		ew.printf("  peak memory    bound %d  metered %d (%.1f%% of bound)\n",
+			r.PredictedPeakMemoryBytes, r.ActualPeakMemoryBytes, r.MemoryUsePct)
+	}
+	return ew.err
+}
+
+// MetricsReport is the -metrics JSON document: the registry snapshot, the
+// conformance report, and per-name span statistics.
+type MetricsReport struct {
+	Metrics     *Snapshot     `json:"metrics"`
+	Conformance []GroupReport `json:"conformance"`
+	Spans       []SpanStat    `json:"spans"`
+}
+
+// MetricsJSON marshals the tracer's registry, conformance report, and span
+// statistics as an indented JSON document.
+func MetricsJSON(t *Tracer) ([]byte, error) {
+	if t == nil {
+		return nil, fmt.Errorf("obs: metrics JSON of nil tracer")
+	}
+	return json.MarshalIndent(MetricsReport{
+		Metrics:     t.Registry().Snapshot(),
+		Conformance: t.Conformance().Report(),
+		Spans:       t.SpanStats(),
+	}, "", "  ")
+}

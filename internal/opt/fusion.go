@@ -17,6 +17,21 @@ type FuseConfig struct {
 	// OptimizerSlotBytes is the optimizer state overhead per trainable
 	// parameter byte (2 for Adam).
 	OptimizerSlotBytes int64
+	// Stats, when set, receives Algorithm 1 search counters.
+	Stats *FuseStats
+}
+
+// FuseStats counts the work of one FuseModels run (Algorithm 1).
+type FuseStats struct {
+	// Rounds is the number of greedy iterations that merged a pair.
+	Rounds int
+	// PairsEvaluated counts fused candidate groups actually built
+	// (profile + reuse-plan solve + memory estimate); cached pairs don't
+	// recount.
+	PairsEvaluated int
+	// PairsRejected counts pairs dismissed for non-positive gain or a
+	// B_mem violation.
+	PairsRejected int
 }
 
 // FusedGroup is one entry of the optimized training plan: one or more
@@ -43,6 +58,15 @@ func (g *FusedGroup) Epochs() int { return g.Items[0].Epochs }
 
 // CostPerRecord returns the group's per-record training cost.
 func (g *FusedGroup) CostPerRecord() int64 { return g.Plan.CostPerRecord }
+
+// Name identifies the group in traces and conformance reports: the first
+// member's model name, plus the count of further fused members.
+func (g *FusedGroup) Name() string {
+	if len(g.Items) == 1 {
+		return g.Items[0].Model.Name
+	}
+	return fmt.Sprintf("%s+%d", g.Items[0].Model.Name, len(g.Items)-1)
+}
 
 // FuseModels implements Algorithm 1 (FuseModels): greedy pairwise fusion.
 // Starting from each model's optimal reuse plan given the materialized set
@@ -91,10 +115,16 @@ func FuseModels(items []WorkItem, matSigs map[graph.Signature]bool, cfg FuseConf
 						return nil, err
 					}
 					fusedCache[key] = fused
+					if cfg.Stats != nil {
+						cfg.Stats.PairsEvaluated++
+					}
 				}
 				gain := perEpochCost(gi) + perEpochCost(gj) - perEpochCost(fused)
 				if gain <= 0 || fused.PeakMemBytes > cfg.MemBudgetBytes {
 					rejected[key] = true
+					if cfg.Stats != nil {
+						cfg.Stats.PairsRejected++
+					}
 					continue
 				}
 				if gain > bestGain {
@@ -105,6 +135,9 @@ func FuseModels(items []WorkItem, matSigs map[graph.Signature]bool, cfg FuseConf
 		}
 		if bestGroup == nil {
 			break
+		}
+		if cfg.Stats != nil {
+			cfg.Stats.Rounds++
 		}
 		// Replace the pair with the fused group.
 		next := groups[:0:0]

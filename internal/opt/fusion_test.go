@@ -347,3 +347,46 @@ func TestFuseModelsPropertyNeverWorse(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFuseStatsAndGroupName pins the Algorithm 1 search counters and the
+// group naming used by traces and conformance reports.
+func TestFuseStatsAndGroupName(t *testing.T) {
+	items, mm := miniWorkload(t, 4)
+	res, err := OptimizeMaterialization(mm, items, MatConfig{DiskBudgetBytes: 1 << 40, MaxRecords: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := &FuseStats{}
+	groups, err := FuseModels(items, res.Sigs, FuseConfig{MemBudgetBytes: 1 << 40, OptimizerSlotBytes: 2, Stats: stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merges := len(items) - len(groups)
+	if stats.Rounds != merges {
+		t.Errorf("Rounds = %d, want one per merge (%d)", stats.Rounds, merges)
+	}
+	if stats.PairsEvaluated < merges {
+		t.Errorf("PairsEvaluated = %d, below the %d merges performed", stats.PairsEvaluated, merges)
+	}
+	for _, g := range groups {
+		want := g.Items[0].Model.Name
+		if len(g.Items) > 1 {
+			want = fmt.Sprintf("%s+%d", want, len(g.Items)-1)
+		}
+		if g.Name() != want {
+			t.Errorf("group name %q, want %q", g.Name(), want)
+		}
+	}
+
+	// With a 1-byte budget, every evaluated pair is rejected.
+	stats2 := &FuseStats{}
+	if _, err := FuseModels(items, res.Sigs, FuseConfig{MemBudgetBytes: 1, OptimizerSlotBytes: 2, Stats: stats2}); err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Rounds != 0 {
+		t.Errorf("Rounds = %d under 1-byte budget, want 0", stats2.Rounds)
+	}
+	if stats2.PairsRejected != stats2.PairsEvaluated || stats2.PairsEvaluated == 0 {
+		t.Errorf("rejected %d of %d evaluated; all should be rejected", stats2.PairsRejected, stats2.PairsEvaluated)
+	}
+}

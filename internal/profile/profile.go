@@ -54,6 +54,13 @@ func (h Hardware) Seconds(flops int64) float64 {
 	return float64(flops) / h.FLOPSThroughput
 }
 
+// IOSeconds converts a byte volume into wall-clock seconds at the
+// configured disk throughput — the I/O-side twin of Seconds, used when
+// reports attribute time between compute and load.
+func (h Hardware) IOSeconds(bytes int64) float64 {
+	return float64(bytes) / h.DiskThroughput
+}
+
 // LayerProfile carries the per-record cost-model metrics of one node.
 type LayerProfile struct {
 	Node     *graph.Node

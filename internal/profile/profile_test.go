@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"math"
 	"testing"
 
 	"nautilus/internal/graph"
@@ -121,6 +122,19 @@ func TestHardwareSeconds(t *testing.T) {
 	hw := Hardware{FLOPSThroughput: 2e12}
 	if got := hw.Seconds(4e12); got != 2 {
 		t.Errorf("Seconds = %v, want 2", got)
+	}
+}
+
+func TestHardwareIOSeconds(t *testing.T) {
+	hw := Hardware{FLOPSThroughput: 2e12, DiskThroughput: 500e6}
+	if got := hw.IOSeconds(1e9); got != 2 {
+		t.Errorf("IOSeconds = %v, want 2", got)
+	}
+	// IOSeconds and Seconds∘LoadFLOPs express the same time: loading b
+	// bytes takes as long as the compute those FLOP-equivalents displace.
+	b := int64(123456789)
+	if got, want := hw.Seconds(hw.LoadFLOPs(b)), hw.IOSeconds(b); math.Abs(got-want) > 1e-9*want {
+		t.Errorf("Seconds(LoadFLOPs(b)) = %v, IOSeconds(b) = %v", got, want)
 	}
 }
 

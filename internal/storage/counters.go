@@ -47,6 +47,17 @@ func (c *Counters) Reads() int64 { return c.reads.Load() }
 // Writes returns the number of write operations.
 func (c *Counters) Writes() int64 { return c.writes.Load() }
 
+// Merge accumulates o's totals into c. Either side may be nil.
+func (c *Counters) Merge(o *Counters) {
+	if c == nil || o == nil {
+		return
+	}
+	c.bytesRead.Add(o.bytesRead.Load())
+	c.bytesWritten.Add(o.bytesWritten.Load())
+	c.reads.Add(o.reads.Load())
+	c.writes.Add(o.writes.Load())
+}
+
 // Reset zeroes all counters.
 func (c *Counters) Reset() {
 	c.bytesRead.Store(0)

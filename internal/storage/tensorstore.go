@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"nautilus/internal/obs"
 	"nautilus/internal/tensor"
 )
 
@@ -26,9 +27,18 @@ type TensorStore struct {
 	dir      string
 	counters *Counters
 	cache    *rowCache
+	obs      *obs.Tracer
 
 	mu    sync.Mutex
 	files map[string]*os.File
+}
+
+// SetObs attaches an observability tracer: reads and writes emit spans
+// with byte counts plus registry counters. nil detaches (the default).
+func (s *TensorStore) SetObs(tr *obs.Tracer) {
+	s.mu.Lock()
+	s.obs = tr
+	s.mu.Unlock()
 }
 
 // NewTensorStore opens (creating if needed) a store rooted at dir. counters
@@ -123,6 +133,8 @@ func readHeader(f *os.File) ([]int, error) {
 func (s *TensorStore) Append(key string, recs *tensor.Tensor) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	sp := s.obs.Start("store/append", obs.Str("key", key), obs.Int("records", int64(recs.Dim(0))))
+	defer sp.End()
 	f, err := s.open(key)
 	if err != nil {
 		return err
@@ -159,6 +171,8 @@ func (s *TensorStore) Append(key string, recs *tensor.Tensor) error {
 		return fmt.Errorf("storage: append %q: %w", key, err)
 	}
 	s.counters.AddWrite(int64(len(buf)))
+	sp.Attr(obs.Int("bytes", int64(len(buf))))
+	s.obs.Registry().Counter("store.append.bytes").Add(int64(len(buf)))
 	return nil
 }
 
@@ -207,6 +221,8 @@ func (s *TensorStore) RecordShape(key string) ([]int, error) {
 func (s *TensorStore) ReadRows(key string, idx []int) (*tensor.Tensor, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	sp := s.obs.Start("store/read", obs.Str("key", key), obs.Int("rows", int64(len(idx))))
+	defer sp.End()
 	f, err := s.open(key)
 	if err != nil {
 		return nil, err
@@ -246,8 +262,21 @@ func (s *TensorStore) ReadRows(key string, idx []int) (*tensor.Tensor, error) {
 	if coldBytes > 0 {
 		s.counters.AddRead(coldBytes)
 	}
+	if s.obs.Enabled() {
+		coldRows := int(coldBytes / recBytes)
+		sp.Attr(obs.Int("cold_bytes", coldBytes))
+		reg := s.obs.Registry()
+		reg.Counter("store.read.cold_bytes").Add(coldBytes)
+		reg.Counter("store.read.cache_hits").Add(int64(len(idx) - coldRows))
+		reg.Counter("store.read.cache_misses").Add(int64(coldRows))
+		reg.Histogram("store.read.cold_bytes_per_call", readBytesBuckets).Observe(coldBytes)
+	}
 	return out, nil
 }
+
+// readBytesBuckets sizes the per-call cold-read histogram: 4 KB to 4 MB in
+// decade-ish steps, tuned to mini-batch gather volumes.
+var readBytesBuckets = []int64{0, 4 << 10, 64 << 10, 512 << 10, 4 << 20}
 
 // ReadRange reads records [lo, hi).
 func (s *TensorStore) ReadRange(key string, lo, hi int) (*tensor.Tensor, error) {

@@ -1,0 +1,126 @@
+// End-to-end check of the observability surface: run the nautilus-run CLI
+// with -trace and -metrics on a small workload and assert both artifacts
+// parse and carry the promised guarantees (valid Chrome trace, zero
+// compute/load deltas, metered peak under the B_mem estimate). `make
+// trace-demo` runs the same flow interactively.
+package nautilus_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// chromeTrace mirrors the trace-event envelope chrome://tracing loads.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// metricsDoc mirrors obs.MetricsReport's JSON shape.
+type metricsDoc struct {
+	Metrics struct {
+		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]int64 `json:"gauges"`
+	} `json:"metrics"`
+	Conformance []struct {
+		Group                    string `json:"group"`
+		ComputeDelta             int64  `json:"compute_delta"`
+		LoadDelta                int64  `json:"load_delta"`
+		ActualComputeFLOPs       int64  `json:"actual_compute_flops"`
+		PredictedPeakMemoryBytes int64  `json:"predicted_peak_memory_bytes"`
+		ActualPeakMemoryBytes    int64  `json:"actual_peak_memory_bytes"`
+	} `json:"conformance"`
+	Spans []struct {
+		Name  string `json:"name"`
+		Count int64  `json:"count"`
+	} `json:"spans"`
+}
+
+func TestTraceDemo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real training via go run")
+	}
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "demo.trace")
+	metricsPath := filepath.Join(dir, "demo_metrics.json")
+	cmd := exec.Command("go", "run", "./cmd/nautilus-run",
+		"-workload", "FTR-3", "-cycles", "1",
+		"-trace", tracePath, "-metrics", metricsPath)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("nautilus-run failed: %v\n%s", err, out)
+	}
+
+	// The trace must be a loadable Chrome trace-event file with complete
+	// spans across planner, materializer, trainer, and store.
+	traceBytes, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace chromeTrace
+	if err := json.Unmarshal(traceBytes, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace holds no events")
+	}
+	names := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q has phase %q, want complete-span X", ev.Name, ev.Ph)
+		}
+		if ev.Dur < 0 || ev.Ts < 0 {
+			t.Errorf("event %q has negative timing ts=%v dur=%v", ev.Name, ev.Ts, ev.Dur)
+		}
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"plan/workload", "plan/mat_opt", "plan/fuse_opt",
+		"mat/append_delta", "train/group", "train/epoch", "train/batch", "store/read", "core/fit"} {
+		if !names[want] {
+			t.Errorf("trace missing %s spans", want)
+		}
+	}
+
+	// The metrics JSON must carry per-group conformance with exactly-zero
+	// compute and load deltas and a metered peak under the planned bound.
+	metricsBytes, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc metricsDoc
+	if err := json.Unmarshal(metricsBytes, &doc); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	if len(doc.Conformance) == 0 {
+		t.Fatal("metrics carry no conformance groups")
+	}
+	for _, g := range doc.Conformance {
+		if g.ComputeDelta != 0 || g.LoadDelta != 0 {
+			t.Errorf("group %s: nonzero deltas compute=%d load=%d", g.Group, g.ComputeDelta, g.LoadDelta)
+		}
+		if g.ActualComputeFLOPs == 0 {
+			t.Errorf("group %s: no compute metered", g.Group)
+		}
+		if g.ActualPeakMemoryBytes <= 0 || g.ActualPeakMemoryBytes > g.PredictedPeakMemoryBytes {
+			t.Errorf("group %s: metered peak %d outside (0, bound %d]",
+				g.Group, g.ActualPeakMemoryBytes, g.PredictedPeakMemoryBytes)
+		}
+	}
+	if len(doc.Metrics.Counters) == 0 || len(doc.Spans) == 0 {
+		t.Error("metrics JSON missing registry counters or span stats")
+	}
+	if doc.Metrics.Gauges["exec.compute_flops"] == 0 {
+		t.Error("exec.compute_flops gauge not mirrored into the registry")
+	}
+}

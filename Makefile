@@ -9,17 +9,19 @@ test:
 	$(GO) test ./...
 
 # nautilus-lint is the repo's own stdlib static-analysis suite
-# (internal/lint): determinism, floateq, layerpurity, uncheckederr.
+# (internal/lint): allochygiene, determinism, floateq, layerpurity,
+# uncheckederr.
 lint:
 	$(GO) run ./cmd/nautilus-lint ./...
 
 # check is the full pre-merge gate: vet + build + invariant lint + the
-# race detector over the concurrent execution layers.
+# race detector over the concurrent planning and execution layers.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) run ./cmd/nautilus-lint ./...
 	$(GO) test -race ./internal/exec/... ./internal/train/...
+	$(GO) test -race ./internal/core/...
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -32,6 +34,8 @@ trace-demo:
 	$(GO) test -run TestTraceDemo -count=1 .
 
 # bench-json measures observability overhead on the trainer hot loop
-# (no tracer vs nil sink vs active sink) and writes BENCH_obs.json.
+# (no tracer vs nil sink vs active sink) and the incremental-replan
+# savings after AddCandidates, writing BENCH_obs.json + BENCH_replan.json.
 bench-json:
 	$(GO) run ./cmd/nautilus-bench -exp obs -obsjson BENCH_obs.json
+	$(GO) run ./cmd/nautilus-bench -exp replan -replanjson BENCH_replan.json

@@ -20,11 +20,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3 fig6a fig6b fig6c fig7 fig7b fig8 fig9 fig10a fig10b fig11 hwsweep solver obs all")
+	exp := flag.String("exp", "all", "experiment: table3 fig6a fig6b fig6c fig7 fig7b fig8 fig9 fig10a fig10b fig11 hwsweep solver obs replan all")
 	fig7LRs := flag.Int("fig7lrs", 2, "learning rates per strategy in fig7's real-training run")
 	fig7Cycles := flag.Int("fig7cycles", 4, "labeling cycles in fig7's real-training run")
 	obsRuns := flag.Int("obsruns", 3, "averaged trainer passes per mode in the obs overhead experiment")
 	obsJSON := flag.String("obsjson", "", "write the obs overhead result as JSON to this file")
+	replanJSON := flag.String("replanjson", "", "write the replan benchmark result as JSON to this file")
 	tracePath := flag.String("trace", "", "trace experiment execution spans to this file")
 	traceFormat := flag.String("trace-format", obs.FormatChrome, "trace file format: chrome or jsonl")
 	metricsPath := flag.String("metrics", "", "write metrics + conformance JSON to this file")
@@ -174,6 +175,22 @@ func main() {
 				return err
 			}
 			fmt.Printf("overhead JSON written to %s\n", *obsJSON)
+		}
+		return nil
+	})
+	run("replan", func() error {
+		r, err := experiments.Replan()
+		if err != nil {
+			return err
+		}
+		if err := experiments.PrintReplan(os.Stdout, r); err != nil {
+			return err
+		}
+		if *replanJSON != "" {
+			if err := experiments.WriteReplanJSON(*replanJSON, r); err != nil {
+				return err
+			}
+			fmt.Printf("replan JSON written to %s\n", *replanJSON)
 		}
 		return nil
 	})

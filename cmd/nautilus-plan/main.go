@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"nautilus/internal/experiments"
 	"nautilus/internal/opt"
 	"nautilus/internal/profile"
+	"nautilus/internal/verify"
 	"nautilus/internal/workloads"
 )
 
@@ -103,8 +105,23 @@ func main() {
 }
 
 func fatalIf(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "nautilus-plan:", err)
-		os.Exit(1)
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "nautilus-plan:", err)
+	var pe *verify.PlanError
+	if errors.As(err, &pe) {
+		fmt.Fprintf(os.Stderr, "nautilus-plan: plan rejected: kind=%s", pe.Kind)
+		if pe.Group != "" {
+			fmt.Fprintf(os.Stderr, " group=%s", pe.Group)
+		}
+		if pe.Model != "" {
+			fmt.Fprintf(os.Stderr, " model=%s", pe.Model)
+		}
+		if pe.Node != "" {
+			fmt.Fprintf(os.Stderr, " node=%s", pe.Node)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	os.Exit(1)
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"nautilus/internal/core"
 	"nautilus/internal/experiments"
 	"nautilus/internal/obs"
+	"nautilus/internal/verify"
 	"nautilus/internal/workloads"
 )
 
@@ -129,8 +131,23 @@ func runCompare(workload string, seed int64, cycles int) {
 }
 
 func fatalIf(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "nautilus-run:", err)
-		os.Exit(1)
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "nautilus-run:", err)
+	var pe *verify.PlanError
+	if errors.As(err, &pe) {
+		fmt.Fprintf(os.Stderr, "nautilus-run: plan rejected: kind=%s", pe.Kind)
+		if pe.Group != "" {
+			fmt.Fprintf(os.Stderr, " group=%s", pe.Group)
+		}
+		if pe.Model != "" {
+			fmt.Fprintf(os.Stderr, " model=%s", pe.Model)
+		}
+		if pe.Node != "" {
+			fmt.Fprintf(os.Stderr, " node=%s", pe.Node)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	os.Exit(1)
 }

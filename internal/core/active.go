@@ -47,7 +47,7 @@ func EntropyScores(m *graph.Model, inputName string, x *tensor.Tensor, batch int
 // BestModel returns the work item of the named candidate, for scoring the
 // unlabeled pool with the previous cycle's winner.
 func (ms *ModelSelection) BestModel(name string) (*graph.Model, bool) {
-	for _, it := range ms.items {
+	for _, it := range ms.planner.items {
 		if it.Model.Name == name {
 			return it.Model, true
 		}

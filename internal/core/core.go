@@ -27,7 +27,6 @@ import (
 	"nautilus/internal/profile"
 	"nautilus/internal/storage"
 	"nautilus/internal/train"
-	"nautilus/internal/verify"
 )
 
 // Approach selects the execution strategy for a workload.
@@ -135,37 +134,34 @@ type FitResult struct {
 
 // ModelSelection is the Nautilus model-selection object. Create one per
 // workload, then call Fit once per labeling cycle with the accumulated
-// snapshot.
+// snapshot. Planning state (candidates, r, the current plan) lives in an
+// embedded planner session; ModelSelection owns execution: the tensor
+// store, the materializer, and the trainer.
 type ModelSelection struct {
-	cfg   Config
-	items []opt.WorkItem
-	mm    *mmg.MultiModel
+	cfg     Config
+	planner *Planner
 
 	metrics *exec.Metrics
 	store   *storage.TensorStore
 	trainer *exec.Trainer
 
-	r            int
-	groups       []*opt.FusedGroup
-	matSigs      map[graph.Signature]bool
 	materializer *exec.Materializer
-	init         *InitStats
+	lastDelta    *PlanDelta
 	cycle        int
 }
 
-// New creates a model-selection object for the candidate set.
+// New creates a model-selection object for the candidate set. Invalid
+// budget/solver configuration is rejected with a typed *ConfigError.
 func New(items []opt.WorkItem, mm *mmg.MultiModel, cfg Config) (*ModelSelection, error) {
-	if len(items) == 0 {
-		return nil, fmt.Errorf("core: empty candidate set")
-	}
 	if cfg.Loss == nil {
 		cfg.Loss = train.SoftmaxCrossEntropy{}
 	}
 	if cfg.Approach == "" {
 		cfg.Approach = Nautilus
 	}
-	if cfg.MaxRecords <= 0 {
-		cfg.MaxRecords = 1000
+	planner, err := NewPlanner(items, mm, cfg)
+	if err != nil {
+		return nil, err
 	}
 	metrics := exec.NewMetrics()
 	store, err := storage.NewTensorStore(filepath.Join(cfg.WorkDir, "store"), metrics.Disk)
@@ -181,8 +177,7 @@ func New(items []opt.WorkItem, mm *mmg.MultiModel, cfg Config) (*ModelSelection,
 	}
 	return &ModelSelection{
 		cfg:     cfg,
-		items:   items,
-		mm:      mm,
+		planner: planner,
 		metrics: metrics,
 		store:   store,
 		trainer: &exec.Trainer{Store: store, Loss: cfg.Loss, Seed: cfg.Seed, Metrics: metrics, Prefetch: cfg.Prefetch, Obs: cfg.Obs},
@@ -195,14 +190,38 @@ func (ms *ModelSelection) Close() error { return ms.store.Close() }
 // Metrics exposes accumulated execution accounting.
 func (ms *ModelSelection) Metrics() *exec.Metrics { return ms.metrics }
 
+// Planner exposes the planning session (candidates, r, current plan).
+func (ms *ModelSelection) Planner() *Planner { return ms.planner }
+
 // InitStats returns the optimizer statistics of the last (re-)optimization.
-func (ms *ModelSelection) InitStats() *InitStats { return ms.init }
+func (ms *ModelSelection) InitStats() *InitStats {
+	if ms.planner.wp == nil {
+		return nil
+	}
+	stats := ms.planner.wp.Stats
+	return &stats
+}
 
 // Groups exposes the optimized training plan for inspection.
-func (ms *ModelSelection) Groups() []*opt.FusedGroup { return ms.groups }
+func (ms *ModelSelection) Groups() []*opt.FusedGroup {
+	if ms.planner.wp == nil {
+		return nil
+	}
+	return ms.planner.wp.Groups
+}
 
 // MaterializedSignatures returns the chosen set V.
-func (ms *ModelSelection) MaterializedSignatures() map[graph.Signature]bool { return ms.matSigs }
+func (ms *ModelSelection) MaterializedSignatures() map[graph.Signature]bool {
+	if ms.planner.wp == nil {
+		return nil
+	}
+	return ms.planner.wp.MatSigs
+}
+
+// LastDelta returns the plan delta of the most recent replan (nil before
+// the first Fit): which signatures were kept, newly materialized, and
+// garbage-collected, and how much of verification ran incrementally.
+func (ms *ModelSelection) LastDelta() *PlanDelta { return ms.lastDelta }
 
 // Fit runs one model-selection cycle on the snapshot: it (re-)optimizes if
 // needed (first call, or the exponential backoff limit was crossed),
@@ -216,12 +235,9 @@ func (ms *ModelSelection) Fit(snap data.Snapshot) (*FitResult, error) {
 		obs.Int("cycle", int64(ms.cycle)),
 		obs.Int("train_records", int64(snap.TrainSize())))
 	defer span.End()
-	reopt := false
-	if ms.groups == nil || snap.TrainSize() > ms.r {
-		if err := ms.optimize(snap.TrainSize()); err != nil {
-			return nil, err
-		}
-		reopt = true
+	reopt, err := ms.ensurePlanned(snap.TrainSize())
+	if err != nil {
+		return nil, err
 	}
 	span.Attr(obs.Bool("reoptimized", reopt))
 	if ms.materializer != nil {
@@ -234,14 +250,14 @@ func (ms *ModelSelection) Fit(snap data.Snapshot) (*FitResult, error) {
 	}
 
 	// Model selection restarts every candidate from its initial weights.
-	for _, it := range ms.items {
+	for _, it := range ms.planner.items {
 		for _, p := range it.Model.TrainableParams() {
 			p.Reset()
 		}
 	}
 
 	res := &FitResult{Cycle: ms.cycle, ReOptimized: reopt}
-	for gi, g := range ms.groups {
+	for gi, g := range ms.planner.wp.Groups {
 		branches, err := ms.trainer.TrainGroup(g, snap)
 		if err != nil {
 			return nil, err
@@ -258,11 +274,7 @@ func (ms *ModelSelection) Fit(snap data.Snapshot) (*FitResult, error) {
 		}
 	}
 	sort.Slice(res.Results, func(i, j int) bool { return res.Results[i].Model < res.Results[j].Model })
-	for _, r := range res.Results {
-		if r.ValAcc > res.Best.ValAcc {
-			res.Best = r
-		}
-	}
+	res.Best = bestResult(res.Results)
 	//lint:ignore determinism wall-clock measurement of real fit time, reported to the user
 	res.Duration = time.Since(started)
 	// Mirror the cumulative execution account into the metrics registry, so
@@ -291,175 +303,48 @@ type WorkloadPlan struct {
 // PlanWorkload produces the training plan for the given approach: the
 // materialized set V and the grouped reuse plans. Both the live system
 // (ModelSelection) and the paper-scale simulator consume it, so simulated
-// experiments replay exactly the decisions the real system makes.
+// experiments replay exactly the decisions the real system makes. It is a
+// one-shot front door to the staged planner session (no config validation:
+// experiments legitimately sweep degenerate budgets).
 func PlanWorkload(items []opt.WorkItem, mm *mmg.MultiModel, cfg Config, maxRecords int) (*WorkloadPlan, error) {
-	//lint:ignore determinism wall-clock measurement of optimizer solve time, reported in Stats
-	start := time.Now()
-	span := cfg.Obs.Start("plan/workload",
-		obs.Str("approach", string(cfg.Approach)),
-		obs.Int("models", int64(len(items))),
-		obs.Int("max_records", int64(maxRecords)))
-	defer span.End()
-	wp := &WorkloadPlan{MatSigs: map[graph.Signature]bool{}}
-
-	switch cfg.Approach {
-	case CurrentPractice:
-		groups, err := singletonGroups(items, opt.CurrentPracticePlan)
-		if err != nil {
-			return nil, err
-		}
-		wp.Groups = groups
-	case MatAll:
-		for _, n := range mm.MaterializableNodes() {
-			wp.MatSigs[mm.Sig[n]] = true
-		}
-		groups, err := singletonGroups(items, opt.ForcedLoadPlan)
-		if err != nil {
-			return nil, err
-		}
-		wp.Groups = groups
-	case Nautilus, NautilusNoFuse, NautilusNoMat:
-		if cfg.Approach != NautilusNoMat {
-			matCfg := opt.MatConfig{
-				DiskBudgetBytes: cfg.DiskBudgetBytes,
-				MaxRecords:      maxRecords,
-				Solver:          cfg.Solver,
-			}
-			ms := span.Child("plan/mat_opt", obs.Str("solver", cfg.Solver))
-			matRes, err := opt.OptimizeMaterialization(mm, items, matCfg)
-			if err != nil {
-				ms.End()
-				return nil, err
-			}
-			ms.Attr(obs.Int("nodes_explored", int64(matRes.NodesExplored)),
-				obs.Int("materialized", int64(len(matRes.Materialized))),
-				obs.Int("storage_bytes", matRes.StorageBytes))
-			ms.End()
-			vs := span.Child("plan/mat_verify")
-			err = verify.MatResult(matRes, items, matCfg)
-			vs.End()
-			if err != nil {
-				return nil, fmt.Errorf("core: materialization plan rejected: %w", err)
-			}
-			wp.MatSigs = matRes.Sigs
-			wp.Stats.Materialized = len(matRes.Materialized)
-			wp.Stats.StorageBytes = matRes.StorageBytes
-			wp.Stats.MatSolveNodes = matRes.NodesExplored
-		}
-		if cfg.Approach == NautilusNoFuse {
-			sigs := wp.MatSigs
-			groups, err := singletonGroups(items, func(prof *profile.ModelProfile) *opt.Plan {
-				plan, err := opt.SolveReusePlan(prof, sigs)
-				if err != nil {
-					panic(err) // profile is valid by construction
-				}
-				return plan
-			})
-			if err != nil {
-				return nil, err
-			}
-			wp.Groups = groups
-		} else {
-			fs := span.Child("plan/fuse_opt")
-			var fuseStats opt.FuseStats
-			groups, err := opt.FuseModels(items, wp.MatSigs, opt.FuseConfig{
-				MemBudgetBytes:     cfg.MemBudgetBytes,
-				OptimizerSlotBytes: 2, // Adam
-				Stats:              &fuseStats,
-			})
-			fs.Attr(obs.Int("rounds", int64(fuseStats.Rounds)),
-				obs.Int("pairs_evaluated", int64(fuseStats.PairsEvaluated)),
-				obs.Int("pairs_rejected", int64(fuseStats.PairsRejected)))
-			fs.End()
-			if err != nil {
-				return nil, err
-			}
-			wp.Groups = groups
-		}
-	default:
-		return nil, fmt.Errorf("core: unknown approach %q", cfg.Approach)
-	}
-	// Static plan verification: reject illegal solver output before anything
-	// trains or touches storage. Only fused approaches planned against B_mem.
-	var memBudget int64
-	if cfg.Approach == Nautilus || cfg.Approach == NautilusNoMat {
-		memBudget = cfg.MemBudgetBytes
-	}
-	gs := span.Child("plan/verify", obs.Int("groups", int64(len(wp.Groups))))
-	err := verify.Groups(wp.Groups, items, memBudget, wp.MatSigs)
-	gs.End()
-	if err != nil {
-		return nil, fmt.Errorf("core: training plan rejected: %w", err)
-	}
-	//lint:ignore determinism wall-clock measurement of optimizer solve time, reported in Stats
-	wp.Stats.OptimizeTime = time.Since(start)
-	wp.Stats.Groups = len(wp.Groups)
-	return wp, nil
+	p := newPlanner(items, mm, cfg)
+	p.r = maxRecords
+	wp, _, err := p.Replan()
+	return wp, err
 }
 
-// optimize (re-)runs the workload optimization for the configured
-// approach, growing r by exponential backoff until it covers trainSize
-// (Section 4.2.3).
-func (ms *ModelSelection) optimize(trainSize int) error {
-	if ms.r == 0 {
-		ms.r = ms.cfg.MaxRecords
+// ensurePlanned reacts to dataset growth and pending evolution events: it
+// grows r by exponential backoff (Section 4.2.3), replans if anything is
+// dirty, and reconciles on-disk artifacts against the plan delta. Returns
+// whether a replan ran.
+func (ms *ModelSelection) ensurePlanned(trainSize int) (bool, error) {
+	ms.planner.GrowData(trainSize)
+	if !ms.planner.NeedsReplan() {
+		return false, nil
 	}
-	for ms.r < trainSize {
-		ms.r *= 2
-	}
-	wp, err := PlanWorkload(ms.items, ms.mm, ms.cfg, ms.r)
+	wp, delta, err := ms.planner.Replan()
 	if err != nil {
-		return err
+		return false, err
 	}
-	ms.groups = wp.Groups
-	ms.matSigs = wp.MatSigs
-
-	// Rebuild the materializer for the (possibly changed) set V.
-	if ms.materializer != nil {
-		if err := ms.materializer.Reset(); err != nil {
-			return err
-		}
-		ms.materializer = nil
+	if err := ms.applyPlan(wp, delta); err != nil {
+		return false, err
 	}
-	if len(ms.matSigs) > 0 {
-		mz, err := exec.NewMaterializer(ms.store, ms.mm, ms.matSigs)
-		if err != nil {
-			return err
-		}
-		if mz != nil {
-			mz.Obs = ms.cfg.Obs
-		}
-		ms.materializer = mz
-	}
-	stats := wp.Stats
-	ms.init = &stats
-	return nil
+	return true, nil
 }
 
-// singletonGroups wraps every item as its own group with the given plan
-// builder applied to the item's (single-model) merged graph.
-func singletonGroups(items []opt.WorkItem, planFor func(*profile.ModelProfile) *opt.Plan) ([]*opt.FusedGroup, error) {
-	var groups []*opt.FusedGroup
-	for _, it := range items {
-		m, err := mmg.Build(it.Model)
-		if err != nil {
-			return nil, err
-		}
-		prof, err := profile.Profile(m.Graph, it.Prof.HW)
-		if err != nil {
-			return nil, err
-		}
-		plan := planFor(prof)
-		// Baseline groups aren't planned against B_mem, but the conformance
-		// report still wants the analytical estimate as the peak-memory
-		// reference, so compute it here like FuseModels does.
-		mem := opt.EstimatePeakMemory(plan, it.BatchSize, 2)
-		groups = append(groups, &opt.FusedGroup{
-			Items:        []opt.WorkItem{it},
-			MM:           m,
-			Plan:         plan,
-			PeakMemBytes: mem.Total(),
-		})
+// bestResult picks the cycle winner: highest validation accuracy, ties
+// broken deterministically by model name. results must be name-sorted;
+// seeding from the first entry keeps Best populated even when every
+// candidate scores ValAcc <= 0.
+func bestResult(results []CandidateResult) CandidateResult {
+	if len(results) == 0 {
+		return CandidateResult{}
 	}
-	return groups, nil
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.ValAcc > best.ValAcc {
+			best = r
+		}
+	}
+	return best
 }

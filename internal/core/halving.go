@@ -45,10 +45,8 @@ func (ms *ModelSelection) FitHalving(snap data.Snapshot, cfg HalvingConfig) (*Ha
 	}
 	ms.cycle++
 	// Ensure materialization is in place (same path as Fit).
-	if ms.groups == nil || snap.TrainSize() > ms.r {
-		if err := ms.optimize(snap.TrainSize()); err != nil {
-			return nil, err
-		}
+	if _, err := ms.ensurePlanned(snap.TrainSize()); err != nil {
+		return nil, err
 	}
 	if ms.materializer != nil {
 		if err := ms.materializer.SyncSplit(exec.Train, snap.TrainX); err != nil {
@@ -61,7 +59,7 @@ func (ms *ModelSelection) FitHalving(snap data.Snapshot, cfg HalvingConfig) (*Ha
 
 	res := &HalvingResult{}
 	res.Cycle = ms.cycle
-	survivors := append([]opt.WorkItem(nil), ms.items...)
+	survivors := append([]opt.WorkItem(nil), ms.planner.items...)
 
 	for rung, epochs := range cfg.RungEpochs {
 		res.RungSurvivors = append(res.RungSurvivors, len(survivors))
@@ -76,7 +74,7 @@ func (ms *ModelSelection) FitHalving(snap data.Snapshot, cfg HalvingConfig) (*Ha
 			it.Epochs = epochs
 			rungItems[i] = it
 		}
-		groups, err := opt.FuseModels(rungItems, ms.matSigs, opt.FuseConfig{
+		groups, err := opt.FuseModels(rungItems, ms.MaterializedSignatures(), opt.FuseConfig{
 			MemBudgetBytes:     ms.cfg.MemBudgetBytes,
 			OptimizerSlotBytes: 2,
 		})
@@ -95,7 +93,13 @@ func (ms *ModelSelection) FitHalving(snap data.Snapshot, cfg HalvingConfig) (*Ha
 				})
 			}
 		}
-		sort.Slice(rungResults, func(i, j int) bool { return rungResults[i].ValAcc > rungResults[j].ValAcc })
+		sort.Slice(rungResults, func(i, j int) bool {
+			//lint:ignore floateq deterministic tie-break requires exact equality of reported scores
+			if rungResults[i].ValAcc != rungResults[j].ValAcc {
+				return rungResults[i].ValAcc > rungResults[j].ValAcc
+			}
+			return rungResults[i].Model < rungResults[j].Model
+		})
 
 		if rung == len(cfg.RungEpochs)-1 {
 			res.Results = rungResults

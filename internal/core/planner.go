@@ -1,0 +1,498 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"nautilus/internal/exec"
+	"nautilus/internal/graph"
+	"nautilus/internal/mmg"
+	"nautilus/internal/obs"
+	"nautilus/internal/opt"
+	"nautilus/internal/profile"
+	"nautilus/internal/verify"
+)
+
+// ConfigError reports an invalid Config field at construction time, before
+// the bad value can fail obscurely deep inside a solver.
+type ConfigError struct {
+	// Field is the Config field name.
+	Field string
+	// Reason explains the rejection.
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("core: invalid config: %s %s", e.Field, e.Reason)
+}
+
+// validateConfig rejects Config values the planner cannot run with. The
+// Approach field is deliberately not checked here: baselines and tests
+// construct objects with approaches resolved at plan time, and an unknown
+// approach fails the first Replan instead.
+func validateConfig(cfg Config) error {
+	if cfg.DiskBudgetBytes <= 0 {
+		return &ConfigError{Field: "DiskBudgetBytes", Reason: fmt.Sprintf("must be positive (B_disk), got %d", cfg.DiskBudgetBytes)}
+	}
+	if cfg.MemBudgetBytes <= 0 {
+		return &ConfigError{Field: "MemBudgetBytes", Reason: fmt.Sprintf("must be positive (B_mem), got %d", cfg.MemBudgetBytes)}
+	}
+	if cfg.MaxRecords <= 0 {
+		return &ConfigError{Field: "MaxRecords", Reason: fmt.Sprintf("must be positive (initial r), got %d", cfg.MaxRecords)}
+	}
+	switch cfg.Solver {
+	case "", "bnb", "milp":
+	default:
+		return &ConfigError{Field: "Solver", Reason: fmt.Sprintf("unknown solver %q (want \"bnb\" or \"milp\")", cfg.Solver)}
+	}
+	return nil
+}
+
+// PlanDelta describes how one replan changed the materialized set V
+// relative to the previous plan: which signatures survive (their on-disk
+// artifacts are reused as-is), which are new (materialized from row zero),
+// and which are orphaned (garbage-collected). Signature slices are sorted.
+type PlanDelta struct {
+	Kept     []graph.Signature
+	New      []graph.Signature
+	Orphaned []graph.Signature
+	// GroupsTotal and GroupsChecked report incremental verification work:
+	// of GroupsTotal groups in the new plan, only GroupsChecked were
+	// re-verified (the rest were fingerprint-identical to already-verified
+	// groups).
+	GroupsTotal   int
+	GroupsChecked int
+	// DeletedKeys and FreedBytes report the artifact GC that applied this
+	// delta (zero until the delta is applied to a store).
+	DeletedKeys []string
+	FreedBytes  int64
+}
+
+// Planner is the planning session behind a model-selection workload: it
+// owns the candidate set, the expected-maximum record count r, and the
+// current WorkloadPlan, and reacts to evolution events — GrowData,
+// AddCandidates, RemoveCandidate — by marking the plan dirty and, on the
+// next Replan, computing a plan delta against the previous plan instead of
+// rebuilding the world. Verification is memoized across replans: groups
+// whose reuse plan is unchanged are not re-checked.
+//
+// A Planner is not safe for concurrent use; ModelSelection drives one per
+// workload.
+type Planner struct {
+	cfg   Config
+	items []opt.WorkItem
+	mm    *mmg.MultiModel
+
+	r     int
+	wp    *WorkloadPlan
+	dirty bool
+	// verified memoizes group fingerprints already verified under this
+	// config's budgets (see verify.GroupsIncremental).
+	verified map[string]bool
+}
+
+// NewPlanner creates a planning session for the candidate set, validating
+// the configuration (typed *ConfigError on rejection).
+func NewPlanner(items []opt.WorkItem, mm *mmg.MultiModel, cfg Config) (*Planner, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("core: empty candidate set")
+	}
+	if err := validateConfig(cfg); err != nil {
+		return nil, err
+	}
+	return newPlanner(items, mm, cfg), nil
+}
+
+// newPlanner skips config validation — the PlanWorkload compatibility path,
+// where experiments legitimately sweep degenerate budgets (e.g. B_disk 0
+// meaning unlimited in Figure 10's sweep).
+func newPlanner(items []opt.WorkItem, mm *mmg.MultiModel, cfg Config) *Planner {
+	return &Planner{cfg: cfg, items: items, mm: mm, verified: map[string]bool{}}
+}
+
+// Items returns the current candidate set.
+func (p *Planner) Items() []opt.WorkItem { return p.items }
+
+// MultiModel returns the current merged multi-model graph.
+func (p *Planner) MultiModel() *mmg.MultiModel { return p.mm }
+
+// MaxRecords returns the current expected-maximum record count r.
+func (p *Planner) MaxRecords() int { return p.r }
+
+// Plan returns the current workload plan (nil before the first Replan).
+func (p *Planner) Plan() *WorkloadPlan { return p.wp }
+
+// NeedsReplan reports whether an evolution event invalidated the current
+// plan (or no plan exists yet).
+func (p *Planner) NeedsReplan() bool { return p.wp == nil || p.dirty }
+
+// GrowData reacts to dataset growth (Section 4.2.3): when trainSize exceeds
+// the planned-for r, r doubles (exponential backoff) until it covers the
+// data and the plan is marked dirty. Returns whether r grew.
+func (p *Planner) GrowData(trainSize int) bool {
+	if p.r == 0 {
+		p.r = p.cfg.MaxRecords
+	}
+	grew := false
+	for p.r < trainSize {
+		p.r *= 2
+		grew = true
+	}
+	if grew {
+		p.dirty = true
+	}
+	return grew
+}
+
+// AddCandidates grows the workload with new candidates mid-run (the
+// "evolving model selection workloads" extension of Section 7). Every new
+// candidate's model is statically verified first; a malformed model rejects
+// the whole evolution with a typed *verify.PlanError (errors.As) and leaves
+// the session unchanged.
+func (p *Planner) AddCandidates(items ...opt.WorkItem) error {
+	if len(items) == 0 {
+		return nil
+	}
+	for _, it := range items {
+		if err := verify.Model(it.Model); err != nil {
+			return fmt.Errorf("core: candidate %q rejected: %w", it.Model.Name, err)
+		}
+	}
+	return p.setItems(append(append([]opt.WorkItem(nil), p.items...), items...))
+}
+
+// RemoveCandidate drops a candidate by model name.
+func (p *Planner) RemoveCandidate(name string) error {
+	var next []opt.WorkItem
+	found := false
+	for _, it := range p.items {
+		if it.Model.Name == name {
+			found = true
+			continue
+		}
+		next = append(next, it)
+	}
+	if !found {
+		return fmt.Errorf("core: no candidate named %q", name)
+	}
+	if len(next) == 0 {
+		return fmt.Errorf("core: removing %q would empty the workload", name)
+	}
+	return p.setItems(next)
+}
+
+// setItems swaps the candidate set, rebuilds the merged graph eagerly (so
+// graph-level conflicts surface at the evolution event, not the next Fit),
+// and marks the plan dirty.
+func (p *Planner) setItems(items []opt.WorkItem) error {
+	models := make([]*graph.Model, len(items))
+	for i, it := range items {
+		models[i] = it.Model
+	}
+	multi, err := mmg.Build(models...)
+	if err != nil {
+		return err
+	}
+	p.items = items
+	p.mm = multi
+	p.dirty = true
+	return nil
+}
+
+// Replan computes a fresh WorkloadPlan through the staged pipeline —
+// materialization solve, grouping (fusion or singleton), incremental
+// verification — and returns it with the delta against the previous plan.
+// On success the plan becomes current and the dirty flag clears; on error
+// the previous plan stays in place.
+func (p *Planner) Replan() (*WorkloadPlan, *PlanDelta, error) {
+	switch p.cfg.Approach {
+	case CurrentPractice, MatAll, Nautilus, NautilusNoFuse, NautilusNoMat:
+	default:
+		return nil, nil, fmt.Errorf("core: unknown approach %q", p.cfg.Approach)
+	}
+	//lint:ignore determinism wall-clock measurement of optimizer solve time, reported in Stats
+	start := time.Now()
+	span := p.cfg.Obs.Start("plan/workload",
+		obs.Str("approach", string(p.cfg.Approach)),
+		obs.Int("models", int64(len(p.items))),
+		obs.Int("max_records", int64(p.r)))
+	defer span.End()
+
+	wp := &WorkloadPlan{MatSigs: map[graph.Signature]bool{}}
+	if err := p.stageMatSigs(span, wp); err != nil {
+		return nil, nil, err
+	}
+	if err := p.stageGroups(span, wp); err != nil {
+		return nil, nil, err
+	}
+	checked, err := p.stageVerify(span, wp)
+	if err != nil {
+		return nil, nil, err
+	}
+	//lint:ignore determinism wall-clock measurement of optimizer solve time, reported in Stats
+	wp.Stats.OptimizeTime = time.Since(start)
+	wp.Stats.Groups = len(wp.Groups)
+
+	delta := diffPlans(p.wp, wp)
+	delta.GroupsTotal = len(wp.Groups)
+	delta.GroupsChecked = checked
+	span.Attr(obs.Int("kept", int64(len(delta.Kept))),
+		obs.Int("new", int64(len(delta.New))),
+		obs.Int("orphaned", int64(len(delta.Orphaned))))
+	p.wp = wp
+	p.dirty = false
+	return wp, delta, nil
+}
+
+// stageMatSigs runs the materialization stage: solve for the chosen set V
+// (Section 4.2) and statically verify the solver's output.
+func (p *Planner) stageMatSigs(span *obs.Span, wp *WorkloadPlan) error {
+	switch p.cfg.Approach {
+	case CurrentPractice, NautilusNoMat:
+		return nil // nothing materialized
+	case MatAll:
+		for _, n := range p.mm.MaterializableNodes() {
+			wp.MatSigs[p.mm.Sig[n]] = true
+		}
+		return nil
+	}
+	matCfg := opt.MatConfig{
+		DiskBudgetBytes: p.cfg.DiskBudgetBytes,
+		MaxRecords:      p.r,
+		Solver:          p.cfg.Solver,
+	}
+	ms := span.Child("plan/mat_opt", obs.Str("solver", p.cfg.Solver))
+	matRes, err := opt.OptimizeMaterialization(p.mm, p.items, matCfg)
+	if err != nil {
+		ms.End()
+		return err
+	}
+	ms.Attr(obs.Int("nodes_explored", int64(matRes.NodesExplored)),
+		obs.Int("materialized", int64(len(matRes.Materialized))),
+		obs.Int("storage_bytes", matRes.StorageBytes))
+	ms.End()
+	vs := span.Child("plan/mat_verify")
+	err = verify.MatResult(matRes, p.items, matCfg)
+	vs.End()
+	if err != nil {
+		return fmt.Errorf("core: materialization plan rejected: %w", err)
+	}
+	wp.MatSigs = matRes.Sigs
+	wp.Stats.Materialized = len(matRes.Materialized)
+	wp.Stats.StorageBytes = matRes.StorageBytes
+	wp.Stats.MatSolveNodes = matRes.NodesExplored
+	return nil
+}
+
+// stageGroups runs the grouping stage: model fusion (Algorithm 1) for the
+// fused approaches, parallel singleton construction for the rest.
+func (p *Planner) stageGroups(span *obs.Span, wp *WorkloadPlan) error {
+	switch p.cfg.Approach {
+	case CurrentPractice:
+		groups, err := singletonGroups(p.items, func(prof *profile.ModelProfile) (*opt.Plan, error) {
+			return opt.CurrentPracticePlan(prof), nil
+		})
+		if err != nil {
+			return err
+		}
+		wp.Groups = groups
+		return nil
+	case MatAll:
+		groups, err := singletonGroups(p.items, func(prof *profile.ModelProfile) (*opt.Plan, error) {
+			return opt.ForcedLoadPlan(prof), nil
+		})
+		if err != nil {
+			return err
+		}
+		wp.Groups = groups
+		return nil
+	case NautilusNoFuse:
+		sigs := wp.MatSigs
+		groups, err := singletonGroups(p.items, func(prof *profile.ModelProfile) (*opt.Plan, error) {
+			return opt.SolveReusePlan(prof, sigs)
+		})
+		if err != nil {
+			return err
+		}
+		wp.Groups = groups
+		return nil
+	}
+	fs := span.Child("plan/fuse_opt")
+	var fuseStats opt.FuseStats
+	groups, err := opt.FuseModels(p.items, wp.MatSigs, opt.FuseConfig{
+		MemBudgetBytes:     p.cfg.MemBudgetBytes,
+		OptimizerSlotBytes: 2, // Adam
+		Stats:              &fuseStats,
+	})
+	fs.Attr(obs.Int("rounds", int64(fuseStats.Rounds)),
+		obs.Int("pairs_evaluated", int64(fuseStats.PairsEvaluated)),
+		obs.Int("pairs_rejected", int64(fuseStats.PairsRejected)))
+	fs.End()
+	if err != nil {
+		return err
+	}
+	wp.Groups = groups
+	return nil
+}
+
+// stageVerify statically verifies the training plan, re-checking only
+// groups not already verified under this session (incremental across
+// evolution events). It returns how many groups were actually checked.
+func (p *Planner) stageVerify(span *obs.Span, wp *WorkloadPlan) (int, error) {
+	// Only fused approaches planned against B_mem.
+	var memBudget int64
+	if p.cfg.Approach == Nautilus || p.cfg.Approach == NautilusNoMat {
+		memBudget = p.cfg.MemBudgetBytes
+	}
+	gs := span.Child("plan/verify", obs.Int("groups", int64(len(wp.Groups))))
+	checked, err := verify.GroupsIncremental(wp.Groups, p.items, memBudget, wp.MatSigs, p.verified)
+	gs.Attr(obs.Int("groups_checked", int64(checked)),
+		obs.Int("groups_skipped", int64(len(wp.Groups)-checked)))
+	gs.End()
+	if err != nil {
+		return checked, fmt.Errorf("core: training plan rejected: %w", err)
+	}
+	return checked, nil
+}
+
+// diffPlans computes the V-delta from old to new (old may be nil: first
+// plan, everything is new).
+func diffPlans(old, new_ *WorkloadPlan) *PlanDelta {
+	d := &PlanDelta{}
+	var oldSigs map[graph.Signature]bool
+	if old != nil {
+		oldSigs = old.MatSigs
+	}
+	for sig := range oldSigs {
+		if new_.MatSigs[sig] {
+			d.Kept = append(d.Kept, sig)
+		} else {
+			d.Orphaned = append(d.Orphaned, sig)
+		}
+	}
+	for sig := range new_.MatSigs {
+		if !oldSigs[sig] {
+			d.New = append(d.New, sig)
+		}
+	}
+	sortSigs(d.Kept)
+	sortSigs(d.New)
+	sortSigs(d.Orphaned)
+	return d
+}
+
+func sortSigs(s []graph.Signature) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// OldSigs reconstructs the previous plan's materialized set from the delta.
+func (d *PlanDelta) OldSigs() map[graph.Signature]bool {
+	out := make(map[graph.Signature]bool, len(d.Kept)+len(d.Orphaned))
+	for _, s := range d.Kept {
+		out[s] = true
+	}
+	for _, s := range d.Orphaned {
+		out[s] = true
+	}
+	return out
+}
+
+// singletonGroups wraps every item as its own group with the given plan
+// builder applied to the item's (single-model) merged graph. Candidates are
+// independent, so construction fans out across goroutines; results keep the
+// input order and the lowest-index error wins.
+func singletonGroups(items []opt.WorkItem, planFor func(*profile.ModelProfile) (*opt.Plan, error)) ([]*opt.FusedGroup, error) {
+	groups := make([]*opt.FusedGroup, len(items))
+	errs := make([]error, len(items))
+	sem := make(chan struct{}, parallelism())
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func(i int, it opt.WorkItem) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			m, err := mmg.Build(it.Model)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			prof, err := profile.Profile(m.Graph, it.Prof.HW)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			plan, err := planFor(prof)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			// Baseline groups aren't planned against B_mem, but the conformance
+			// report still wants the analytical estimate as the peak-memory
+			// reference, so compute it here like FuseModels does.
+			mem := opt.EstimatePeakMemory(plan, it.BatchSize, 2)
+			groups[i] = &opt.FusedGroup{
+				Items:        []opt.WorkItem{it},
+				MM:           m,
+				Plan:         plan,
+				PeakMemBytes: mem.Total(),
+			}
+		}(i, items[i])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return groups, nil
+}
+
+// parallelism bounds planner fan-out (profiling, singleton construction).
+func parallelism() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// applyPlan reconciles on-disk artifacts with a freshly replanned V and
+// rebuilds the materializer: artifacts for kept signatures stay (records
+// intact), orphaned ones are garbage-collected, new ones start empty. The
+// GC outcome is recorded on the delta and in the plan/delta span.
+func (ms *ModelSelection) applyPlan(wp *WorkloadPlan, delta *PlanDelta) error {
+	sp := ms.cfg.Obs.Start("plan/delta",
+		obs.Int("kept", int64(len(delta.Kept))),
+		obs.Int("new", int64(len(delta.New))),
+		obs.Int("orphaned", int64(len(delta.Orphaned))),
+		obs.Int("groups_total", int64(delta.GroupsTotal)),
+		obs.Int("groups_checked", int64(delta.GroupsChecked)))
+	defer sp.End()
+	st, err := exec.ReconcileArtifacts(ms.store, delta.OldSigs(), wp.MatSigs)
+	if err != nil {
+		return err
+	}
+	delta.DeletedKeys = st.DeletedKeys
+	delta.FreedBytes = st.FreedBytes
+	sp.Attr(obs.Int("deleted_keys", int64(len(st.DeletedKeys))),
+		obs.Int("freed_bytes", st.FreedBytes))
+
+	ms.materializer = nil
+	if len(wp.MatSigs) > 0 {
+		mz, err := exec.NewMaterializer(ms.store, ms.planner.mm, wp.MatSigs)
+		if err != nil {
+			return err
+		}
+		if mz != nil {
+			mz.Obs = ms.cfg.Obs
+		}
+		ms.materializer = mz
+	}
+	ms.lastDelta = delta
+	return nil
+}

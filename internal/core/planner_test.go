@@ -1,0 +1,274 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nautilus/internal/graph"
+	"nautilus/internal/layers"
+	"nautilus/internal/mmg"
+	"nautilus/internal/obs"
+	"nautilus/internal/opt"
+	"nautilus/internal/verify"
+)
+
+// msOver builds a Nautilus model-selection object over an explicit item
+// subset (the evolution tests grow and shrink the workload around it).
+func msOver(t *testing.T, items []opt.WorkItem, tr *obs.Tracer) *ModelSelection {
+	t.Helper()
+	models := make([]*graph.Model, len(items))
+	for i, it := range items {
+		models[i] = it.Model
+	}
+	mm, err := mmg.Build(models...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(t.TempDir())
+	cfg.HW = miniHW
+	cfg.MaxRecords = 600
+	cfg.Obs = tr
+	sel, err := New(items, mm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sel.Close() })
+	return sel
+}
+
+// storeCounts snapshots every artifact key's record count.
+func storeCounts(t *testing.T, ms *ModelSelection) map[string]int {
+	t.Helper()
+	keys, err := ms.store.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, k := range keys {
+		n, err := ms.store.Count(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[k] = n
+	}
+	return counts
+}
+
+func TestConfigValidationRejectsBadBudgets(t *testing.T) {
+	items, mm := tinyWorkload(t)
+	cases := []struct {
+		name  string
+		mut   func(*Config)
+		field string
+	}{
+		{"zero disk budget", func(c *Config) { c.DiskBudgetBytes = 0 }, "DiskBudgetBytes"},
+		{"negative mem budget", func(c *Config) { c.MemBudgetBytes = -1 }, "MemBudgetBytes"},
+		{"zero max records", func(c *Config) { c.MaxRecords = 0 }, "MaxRecords"},
+		{"unknown solver", func(c *Config) { c.Solver = "simplex" }, "Solver"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(t.TempDir())
+			cfg.HW = miniHW
+			tc.mut(&cfg)
+			_, err := New(items, mm, cfg)
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("New = %v, want *ConfigError", err)
+			}
+			if ce.Field != tc.field {
+				t.Errorf("ConfigError.Field = %q, want %q", ce.Field, tc.field)
+			}
+		})
+	}
+	// Every named solver passes validation.
+	for _, solver := range []string{"", "bnb", "milp"} {
+		cfg := DefaultConfig(t.TempDir())
+		cfg.HW = miniHW
+		cfg.Solver = solver
+		ms, err := New(items, mm, cfg)
+		if err != nil {
+			t.Fatalf("solver %q rejected: %v", solver, err)
+		}
+		ms.Close()
+	}
+}
+
+func TestBestResultSelection(t *testing.T) {
+	// All-zero accuracies (e.g. a degenerate cycle) must still name a best
+	// candidate: the alphabetically first, since results are name-sorted.
+	zero := []CandidateResult{{Model: "a"}, {Model: "b"}, {Model: "c"}}
+	if best := bestResult(zero); best.Model != "a" {
+		t.Errorf("all-zero best = %q, want %q", best.Model, "a")
+	}
+	// Ties break toward the earlier (alphabetically first) name.
+	tied := []CandidateResult{{Model: "a", ValAcc: 0.5}, {Model: "b", ValAcc: 0.5}}
+	if best := bestResult(tied); best.Model != "a" {
+		t.Errorf("tied best = %q, want %q", best.Model, "a")
+	}
+	// A strictly higher score wins regardless of order.
+	win := []CandidateResult{{Model: "a", ValAcc: 0.2}, {Model: "b", ValAcc: 0.7}}
+	if best := bestResult(win); best.Model != "b" {
+		t.Errorf("best = %q, want %q", best.Model, "b")
+	}
+	if best := bestResult(nil); best.Model != "" {
+		t.Errorf("empty results best = %+v, want zero value", best)
+	}
+}
+
+// TestEvolutionCycleReconcilesArtifacts drives a full evolving-workload
+// cycle — AddCandidates, Fit, RemoveCandidate, Fit — and checks artifact
+// reconciliation on disk: kept artifacts survive with their record counts
+// intact (no duplicate appends), orphaned artifacts are deleted.
+func TestEvolutionCycleReconcilesArtifacts(t *testing.T) {
+	items, _ := tinyWorkload(t) // t0,t1: last-hidden; t2,t3: concat-last-4
+	snap := snapshots(t, 1)[0]
+	ms := msOver(t, items[:3], nil)
+
+	if _, err := ms.Fit(snap); err != nil {
+		t.Fatal(err)
+	}
+	before := storeCounts(t, ms)
+	if len(before) == 0 {
+		t.Fatal("expected materialized artifacts at mini hardware ratios")
+	}
+
+	// Grow: t3 shares t2's concat-last-4 feature, so the replan keeps V and
+	// every artifact must survive untouched.
+	if err := ms.AddCandidates(items[3]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ms.Fit(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 4 {
+		t.Fatalf("%d results after AddCandidates, want 4", len(res.Results))
+	}
+	delta := ms.LastDelta()
+	if delta == nil {
+		t.Fatal("no plan delta recorded for the evolution replan")
+	}
+	if len(delta.Kept) == 0 {
+		t.Errorf("delta kept no signatures: %+v", delta)
+	}
+	after := storeCounts(t, ms)
+	for key, n := range before {
+		if got, ok := after[key]; !ok {
+			t.Errorf("kept artifact %s deleted by reconciliation", key)
+		} else if got != n {
+			t.Errorf("artifact %s has %d records after evolution, want %d (duplicate appends?)", key, got, n)
+		}
+	}
+
+	// Shrink: dropping both concat-last-4 candidates orphans their shared
+	// feature — its artifacts must be garbage-collected from disk.
+	if err := ms.RemoveCandidate("t2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.RemoveCandidate("t3"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = ms.Fit(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 2 {
+		t.Fatalf("%d results after removals, want 2", len(res.Results))
+	}
+	delta = ms.LastDelta()
+	if len(delta.Orphaned) == 0 {
+		t.Fatalf("removing all concat-last-4 candidates orphaned nothing: %+v", delta)
+	}
+	if len(delta.DeletedKeys) == 0 || delta.FreedBytes <= 0 {
+		t.Fatalf("orphaned signatures freed no artifacts: %+v", delta)
+	}
+	for _, key := range delta.DeletedKeys {
+		if _, err := os.Stat(filepath.Join(ms.store.Dir(), key+".nts")); !os.IsNotExist(err) {
+			t.Errorf("orphaned artifact %s still on disk (stat err %v)", key, err)
+		}
+	}
+	final := storeCounts(t, ms)
+	for key, n := range final {
+		if before[key] != n {
+			t.Errorf("surviving artifact %s has %d records, want %d", key, n, before[key])
+		}
+	}
+}
+
+// TestIncrementalReplanWritesLessThanFull checks the point of plan deltas:
+// the Fit after AddCandidates materializes only the delta's new signatures,
+// writing strictly fewer bytes than planning the same workload cold.
+func TestIncrementalReplanWritesLessThanFull(t *testing.T) {
+	items, _ := tinyWorkload(t)
+	snap := snapshots(t, 1)[0]
+
+	trInc := obs.New(nil)
+	inc := msOver(t, items[:2], trInc)
+	if _, err := inc.Fit(snap); err != nil {
+		t.Fatal(err)
+	}
+	base := trInc.Registry().Counter("store.append.bytes").Value()
+	// t2 introduces the concat-last-4 feature: a genuinely new signature.
+	if err := inc.AddCandidates(items[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Fit(snap); err != nil {
+		t.Fatal(err)
+	}
+	incBytes := trInc.Registry().Counter("store.append.bytes").Value() - base
+
+	trFull := obs.New(nil)
+	full := msOver(t, items[:3], trFull)
+	if _, err := full.Fit(snap); err != nil {
+		t.Fatal(err)
+	}
+	fullBytes := trFull.Registry().Counter("store.append.bytes").Value()
+
+	if fullBytes == 0 {
+		t.Fatal("cold run materialized nothing; the comparison is vacuous")
+	}
+	if incBytes >= fullBytes {
+		t.Errorf("incremental replan wrote %d bytes, not below full replan's %d", incBytes, fullBytes)
+	}
+}
+
+func TestAddCandidatesRejectsMalformedModel(t *testing.T) {
+	ms := newMS(t, Nautilus)
+	before := ms.Candidates()
+
+	bad := graph.NewModel("bad")
+	in := bad.AddInput("in", 8)
+	d := bad.AddNode("d", layers.NewDense(5, 4, layers.ActNone, 1), in) // wants width 5, gets 8
+	bad.SetOutputs(d)
+
+	err := ms.AddCandidates(opt.WorkItem{Model: bad, Epochs: 1, BatchSize: 8})
+	var pe *verify.PlanError
+	if !errors.As(err, &pe) {
+		t.Fatalf("AddCandidates = %v, want *verify.PlanError", err)
+	}
+	if pe.Kind != verify.KindModel {
+		t.Errorf("PlanError.Kind = %q, want %q", pe.Kind, verify.KindModel)
+	}
+	after := ms.Candidates()
+	if len(after) != len(before) {
+		t.Errorf("rejected evolution changed the candidate set: %v -> %v", before, after)
+	}
+}
+
+func TestRemoveCandidateErrors(t *testing.T) {
+	ms := newMS(t, Nautilus)
+	if err := ms.RemoveCandidate("nope"); err == nil {
+		t.Error("removing an unknown candidate should error")
+	}
+	for _, name := range []string{"t0", "t1", "t2"} {
+		if err := ms.RemoveCandidate(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ms.RemoveCandidate("t3"); err == nil {
+		t.Error("emptying the workload should error")
+	}
+}

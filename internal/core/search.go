@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"nautilus/internal/graph"
 	"nautilus/internal/mmg"
@@ -83,22 +84,45 @@ func buildItems(assignments []map[string]any, init ModelInitFunc, hw profile.Har
 	if len(assignments) == 0 {
 		return nil, nil, fmt.Errorf("core: empty search space")
 	}
-	var items []opt.WorkItem
-	var ms []*graph.Model
+	// Initialization runs user code sequentially (init functions may share
+	// state); profiling is pure graph analysis, so candidates fan out across
+	// goroutines with results kept in input order.
+	items := make([]opt.WorkItem, len(assignments))
+	ms := make([]*graph.Model, len(assignments))
+	hypers := make([]Hyper, len(assignments))
 	for i, a := range assignments {
 		m, hyper, err := init(a)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: init candidate %d (%v): %w", i, a, err)
 		}
-		prof, err := profile.Profile(m, hw)
+		ms[i] = m
+		hypers[i] = hyper
+	}
+	errs := make([]error, len(assignments))
+	sem := make(chan struct{}, parallelism())
+	var wg sync.WaitGroup
+	for i := range ms {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			prof, err := profile.Profile(ms[i], hw)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: profile candidate %q: %w", ms[i].Name, err)
+				return
+			}
+			items[i] = opt.WorkItem{
+				Model: ms[i], Prof: prof,
+				Epochs: hypers[i].Epochs, BatchSize: hypers[i].BatchSize, LR: hypers[i].LR,
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: profile candidate %q: %w", m.Name, err)
+			return nil, nil, err
 		}
-		items = append(items, opt.WorkItem{
-			Model: m, Prof: prof,
-			Epochs: hyper.Epochs, BatchSize: hyper.BatchSize, LR: hyper.LR,
-		})
-		ms = append(ms, m)
 	}
 	multi, err := mmg.Build(ms...)
 	if err != nil {
@@ -109,60 +133,26 @@ func buildItems(assignments []map[string]any, init ModelInitFunc, hw profile.Har
 
 // AddCandidates grows the workload with new candidates mid-run (the
 // "evolving model selection workloads" extension of Section 7): the
-// multi-model graph is rebuilt and the next Fit re-runs the optimization,
-// keeping existing materialized artifacts that the new plan still uses.
+// multi-model graph is rebuilt, the next Fit replans incrementally, and
+// materialized artifacts the new plan still uses survive on disk. A
+// malformed candidate model rejects the evolution with a typed
+// *verify.PlanError (errors.As).
 func (ms *ModelSelection) AddCandidates(items ...opt.WorkItem) error {
-	if len(items) == 0 {
-		return nil
-	}
-	next := append(append([]opt.WorkItem(nil), ms.items...), items...)
-	return ms.resetWorkload(next)
+	return ms.planner.AddCandidates(items...)
 }
 
-// RemoveCandidate drops a candidate by model name; the next Fit
-// re-optimizes the remaining workload.
+// RemoveCandidate drops a candidate by model name; the next Fit replans
+// the remaining workload and garbage-collects artifacts only it used.
 func (ms *ModelSelection) RemoveCandidate(name string) error {
-	var next []opt.WorkItem
-	found := false
-	for _, it := range ms.items {
-		if it.Model.Name == name {
-			found = true
-			continue
-		}
-		next = append(next, it)
-	}
-	if !found {
-		return fmt.Errorf("core: no candidate named %q", name)
-	}
-	if len(next) == 0 {
-		return fmt.Errorf("core: removing %q would empty the workload", name)
-	}
-	return ms.resetWorkload(next)
+	return ms.planner.RemoveCandidate(name)
 }
 
 // Candidates returns the current candidate model names.
 func (ms *ModelSelection) Candidates() []string {
-	names := make([]string, len(ms.items))
-	for i, it := range ms.items {
+	names := make([]string, len(ms.planner.items))
+	for i, it := range ms.planner.items {
 		names[i] = it.Model.Name
 	}
 	sort.Strings(names)
 	return names
-}
-
-// resetWorkload swaps the candidate set and invalidates the optimized
-// plan; the materialized store is reconciled on the next optimize pass.
-func (ms *ModelSelection) resetWorkload(items []opt.WorkItem) error {
-	models := make([]*graph.Model, len(items))
-	for i, it := range items {
-		models[i] = it.Model
-	}
-	multi, err := mmg.Build(models...)
-	if err != nil {
-		return err
-	}
-	ms.items = items
-	ms.mm = multi
-	ms.groups = nil // force re-optimization on next Fit
-	return nil
 }

@@ -2,6 +2,9 @@ package exec
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 
 	"nautilus/internal/graph"
 	"nautilus/internal/mmg"
@@ -23,6 +26,26 @@ const (
 // one split.
 func storeKey(sig graph.Signature, split Split) string {
 	return sig.String() + "." + string(split)
+}
+
+// keySig recovers the expression signature from a materializer store key
+// (the inverse of storeKey). ok is false for keys this package did not
+// write — reconciliation leaves those untouched.
+func keySig(key string) (graph.Signature, bool) {
+	i := strings.IndexByte(key, '.')
+	if i != 16 {
+		return 0, false
+	}
+	switch Split(key[i+1:]) {
+	case Train, Valid:
+	default:
+		return 0, false
+	}
+	v, err := strconv.ParseUint(key[:i], 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return graph.Signature(v), true
 }
 
 // Materializer computes the chosen intermediate outputs for newly labeled
@@ -85,11 +108,32 @@ func (mz *Materializer) MaterializedSigs() []graph.Signature {
 // of one split and appends them to the store. Records must arrive in the
 // same order as the snapshot accumulates them.
 func (mz *Materializer) AppendDelta(split Split, deltaX *tensor.Tensor) error {
+	return mz.appendNodes(split, mz.outputNodes(), deltaX)
+}
+
+// outputNodes lists the chosen nodes sorted by name for deterministic
+// forwarding and append order.
+func (mz *Materializer) outputNodes() []*graph.Node {
+	nodes := make([]*graph.Node, 0, len(mz.outputs))
+	for n := range mz.outputs {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+	return nodes
+}
+
+// appendNodes forwards deltaX through the ancestors of the given subset of
+// chosen nodes only, appending each node's output to its artifact.
+func (mz *Materializer) appendNodes(split Split, nodes []*graph.Node, deltaX *tensor.Tensor) error {
+	model := mz.matModel
+	if len(nodes) < len(mz.outputs) {
+		model = mz.matModel.WithOutputs(nodes...)
+	}
 	n := deltaX.Dim(0)
 	span := mz.Obs.Start("mat/append_delta",
 		obs.Str("split", string(split)),
 		obs.Int("records", int64(n)),
-		obs.Int("outputs", int64(len(mz.outputs))))
+		obs.Int("outputs", int64(len(nodes))))
 	defer span.End()
 	mz.Obs.Registry().Counter("materializer.records").Add(int64(n))
 	for lo := 0; lo < n; lo += mz.ChunkSize {
@@ -99,13 +143,13 @@ func (mz *Materializer) AppendDelta(split Split, deltaX *tensor.Tensor) error {
 		}
 		chunk := sliceRecords(deltaX, lo, hi)
 		cs := span.Child("mat/chunk", obs.Int("records", int64(hi-lo)))
-		tape, err := mz.matModel.Forward(map[string]*tensor.Tensor{mz.inputName: chunk}, false)
+		tape, err := model.Forward(map[string]*tensor.Tensor{mz.inputName: chunk}, false)
 		if err != nil {
 			cs.End()
 			return fmt.Errorf("exec: materialize: %w", err)
 		}
-		for node, sig := range mz.outputs {
-			if err := mz.store.Append(storeKey(sig, split), tape.Output(node)); err != nil {
+		for _, node := range nodes {
+			if err := mz.store.Append(storeKey(mz.outputs[node], split), tape.Output(node)); err != nil {
 				cs.End()
 				return err
 			}
@@ -115,31 +159,47 @@ func (mz *Materializer) AppendDelta(split Split, deltaX *tensor.Tensor) error {
 	return nil
 }
 
-// SyncSplit brings the store up to date with a full split tensor: it
-// counts what is already materialized and appends only the missing tail.
-// Called once per model-selection cycle, it realizes incremental feature
-// materialization without explicit delta plumbing.
+// SyncSplit brings the store up to date with a full split tensor. Each
+// chosen output is synced independently: artifacts kept across a
+// reconciliation already hold every record and get nothing re-appended,
+// while newly chosen signatures (empty artifacts) catch up from row zero.
+// Outputs at the same record count share one forward pass over the missing
+// tail. Called once per model-selection cycle, it realizes incremental
+// feature materialization without explicit delta plumbing.
 func (mz *Materializer) SyncSplit(split Split, fullX *tensor.Tensor) error {
-	have := -1
-	for _, sig := range mz.outputs {
-		n, err := mz.store.Count(storeKey(sig, split))
+	total := fullX.Dim(0)
+	byHave := map[int][]*graph.Node{}
+	minHave := total
+	for _, node := range mz.outputNodes() {
+		n, err := mz.store.Count(storeKey(mz.outputs[node], split))
 		if err != nil {
 			return err
 		}
-		if have < 0 || n < have {
-			have = n
+		if n < minHave {
+			minHave = n
 		}
+		if n >= total {
+			continue // already up to date
+		}
+		byHave[n] = append(byHave[n], node)
 	}
-	total := fullX.Dim(0)
 	sp := mz.Obs.Start("mat/sync",
 		obs.Str("split", string(split)),
-		obs.Int("have", int64(have)),
-		obs.Int("total", int64(total)))
+		obs.Int("have", int64(minHave)),
+		obs.Int("total", int64(total)),
+		obs.Int("cohorts", int64(len(byHave))))
 	defer sp.End()
-	if have >= total {
-		return nil
+	haves := make([]int, 0, len(byHave))
+	for have := range byHave {
+		haves = append(haves, have)
 	}
-	return mz.AppendDelta(split, sliceRecords(fullX, have, total))
+	sort.Ints(haves)
+	for _, have := range haves {
+		if err := mz.appendNodes(split, byHave[have], sliceRecords(fullX, have, total)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Count returns how many records of a split are materialized for sig.
@@ -147,8 +207,8 @@ func (mz *Materializer) Count(sig graph.Signature, split Split) (int, error) {
 	return mz.store.Count(storeKey(sig, split))
 }
 
-// Reset drops all artifacts of this materializer (used when the
-// exponential-backoff re-optimization changes the materialized set).
+// Reset drops all artifacts of this materializer (used when a plan is torn
+// down wholesale; evolution events reconcile instead).
 func (mz *Materializer) Reset() error {
 	for _, sig := range mz.outputs {
 		for _, split := range []Split{Train, Valid} {
@@ -158,6 +218,65 @@ func (mz *Materializer) Reset() error {
 		}
 	}
 	return nil
+}
+
+// ReconcileStats reports what an artifact reconciliation kept and
+// collected.
+type ReconcileStats struct {
+	// KeptSigs, NewSigs, and OrphanedSigs partition old ∪ new V: signatures
+	// in both plans, only the new one, and only the old one.
+	KeptSigs     int
+	NewSigs      int
+	OrphanedSigs int
+	// DeletedKeys are the store keys GC removed (sorted).
+	DeletedKeys []string
+	// FreedBytes is the on-disk footprint of the deleted artifacts.
+	FreedBytes int64
+}
+
+// ReconcileArtifacts garbage-collects materialized artifacts after a
+// replan: every artifact whose signature left the materialized set V is
+// deleted, every artifact still in V stays on disk with its records intact
+// (the plan-delta reuse at the heart of evolving-workload replanning).
+// Store keys not written by this package are never touched. oldSigs may be
+// nil (first plan: nothing to collect).
+func ReconcileArtifacts(store *storage.TensorStore, oldSigs, newSigs map[graph.Signature]bool) (*ReconcileStats, error) {
+	st := &ReconcileStats{}
+	for sig := range oldSigs {
+		if newSigs[sig] {
+			st.KeptSigs++
+		} else {
+			st.OrphanedSigs++
+		}
+	}
+	for sig := range newSigs {
+		if !oldSigs[sig] {
+			st.NewSigs++
+		}
+	}
+	deleted, freed, err := store.GC(func(key string) bool {
+		sig, ok := keySig(key)
+		if !ok {
+			return true // not a materializer artifact
+		}
+		return newSigs[sig]
+	})
+	if err != nil {
+		return nil, fmt.Errorf("exec: reconcile artifacts: %w", err)
+	}
+	st.DeletedKeys = deleted
+	st.FreedBytes = freed
+	return st, nil
+}
+
+// Reconcile garbage-collects every artifact not maintained by this
+// materializer, comparing against the previous plan's materialized set.
+func (mz *Materializer) Reconcile(oldSigs map[graph.Signature]bool) (*ReconcileStats, error) {
+	newSigs := make(map[graph.Signature]bool, len(mz.outputs))
+	for _, sig := range mz.outputs {
+		newSigs[sig] = true
+	}
+	return ReconcileArtifacts(mz.store, oldSigs, newSigs)
 }
 
 // sliceRecords copies records [lo,hi) along dim 0.

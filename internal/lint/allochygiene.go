@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AllocHygieneAnalyzer flags per-iteration tensor/buffer allocations inside
+// loops when the allocation size is loop-invariant and the buffer never
+// escapes the iteration — the pattern behind avoidable per-batch garbage in
+// training hot loops. Such a buffer can be hoisted above the loop and
+// reused.
+//
+// Scope is deliberately narrow to stay high-precision: only direct
+// assignments `x := make([]float32|float64, ...)` or `x := tensor.New(...)`
+// are considered, the allocation's arguments must not mention variables
+// declared inside the loop (a varying size genuinely needs a fresh
+// allocation), and any use of the buffer that could outlive the iteration —
+// stored into a struct/map/slice, appended, returned, sent, captured in a
+// composite literal or closure, aliased, or passed to a non-builtin call —
+// disqualifies the finding.
+var AllocHygieneAnalyzer = &Analyzer{
+	Name: "allochygiene",
+	Doc:  "flags hoistable per-iteration buffer allocations in loops",
+	Run:  runAllocHygiene,
+}
+
+func runAllocHygiene(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			checkLoopAllocs(p, n, body)
+			return true
+		})
+	}
+}
+
+// checkLoopAllocs inspects one loop's direct body (nested loops are visited
+// by their own pass, so each allocation is judged against its innermost
+// enclosing loop).
+func checkLoopAllocs(p *Pass, loop ast.Node, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false // judged against its own innermost scope
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || lhs.Name == "_" {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		what := allocKind(p, call)
+		if what == "" {
+			return true
+		}
+		if !loopInvariantArgs(p, loop, call.Args) {
+			return true
+		}
+		obj := p.Pkg.Info.ObjectOf(lhs)
+		if obj == nil || obj.Pos() != lhs.Pos() {
+			return true // not the defining assignment
+		}
+		if escapesIteration(p, body, obj, lhs) {
+			return true
+		}
+		p.Reportf(as.Pos(), "per-iteration %s with loop-invariant size; hoist the buffer out of the loop and reuse it", what)
+		return true
+	})
+}
+
+// allocKind classifies the call as a flaggable allocation: "" if not one,
+// otherwise a short description for the diagnostic.
+func allocKind(p *Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name != "make" {
+			return ""
+		}
+		if _, isBuiltin := p.Pkg.Info.ObjectOf(fun).(*types.Builtin); !isBuiltin {
+			return ""
+		}
+		sl, ok := p.Pkg.Info.TypeOf(call).Underlying().(*types.Slice)
+		if !ok {
+			return ""
+		}
+		basic, ok := sl.Elem().Underlying().(*types.Basic)
+		if !ok {
+			return ""
+		}
+		switch basic.Kind() {
+		case types.Float32:
+			return "make([]float32)"
+		case types.Float64:
+			return "make([]float64)"
+		}
+		return ""
+	case *ast.SelectorExpr:
+		pkgIdent, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return ""
+		}
+		pn, ok := p.Pkg.Info.ObjectOf(pkgIdent).(*types.PkgName)
+		if !ok || pn.Imported().Path() != "nautilus/internal/tensor" {
+			return ""
+		}
+		if fun.Sel.Name == "New" || fun.Sel.Name == "Zeros" {
+			return "tensor." + fun.Sel.Name
+		}
+	}
+	return ""
+}
+
+// loopInvariantArgs reports whether no variable mentioned in the allocation
+// arguments is declared inside the loop (sizes depending on the loop
+// variable genuinely need per-iteration allocations).
+func loopInvariantArgs(p *Pass, loop ast.Node, args []ast.Expr) bool {
+	invariant := true
+	for _, a := range args {
+		ast.Inspect(a, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if v, ok := p.Pkg.Info.ObjectOf(id).(*types.Var); ok && within(v.Pos(), loop) {
+				invariant = false
+			}
+			return invariant
+		})
+	}
+	return invariant
+}
+
+func within(pos token.Pos, n ast.Node) bool {
+	return pos >= n.Pos() && pos <= n.End()
+}
+
+// escapesIteration reports whether any use of obj in the loop body could
+// let the buffer outlive the iteration. The whitelist covers the ways a
+// scratch buffer is legitimately consumed in place: indexing, slicing,
+// ranging, receiver of a method/field selection, len/cap/copy, rebinding,
+// and nil comparison. Everything else — including passing the buffer to an
+// arbitrary function, which may retain it — counts as an escape.
+func escapesIteration(p *Pass, body *ast.BlockStmt, obj types.Object, def *ast.Ident) bool {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def || p.Pkg.Info.ObjectOf(id) != obj {
+			return true
+		}
+		if !useIsLocal(p, parents, id) {
+			escaped = true
+		}
+		return !escaped
+	})
+	return escaped
+}
+
+// useIsLocal classifies one use of the buffer identifier.
+func useIsLocal(p *Pass, parents map[ast.Node]ast.Node, id *ast.Ident) bool {
+	var child ast.Node = id
+	parent := parents[id]
+	for {
+		if pe, ok := parent.(*ast.ParenExpr); ok {
+			child = pe
+			parent = parents[pe]
+			continue
+		}
+		break
+	}
+	switch pn := parent.(type) {
+	case *ast.IndexExpr:
+		return pn.X == child // buf[i] read or written
+	case *ast.SliceExpr:
+		return pn.X == child // buf[lo:hi]
+	case *ast.SelectorExpr:
+		return pn.X == child // buf.Method(...) / buf.Field
+	case *ast.RangeStmt:
+		return pn.X == child // for range buf
+	case *ast.AssignStmt:
+		for _, l := range pn.Lhs {
+			if l == child {
+				return true // rebinding the plain ident drops the old buffer
+			}
+		}
+		return false // RHS use aliases the buffer
+	case *ast.CallExpr:
+		fn, ok := pn.Fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if _, isBuiltin := p.Pkg.Info.ObjectOf(fn).(*types.Builtin); !isBuiltin {
+			return false
+		}
+		switch fn.Name {
+		case "len", "cap", "copy", "clear", "min", "max", "print", "println":
+			return true
+		}
+		return false // append and conversions leak the backing array
+	case *ast.BinaryExpr:
+		return true // comparisons (buf == nil) don't retain
+	}
+	return false
+}

@@ -79,6 +79,7 @@ func (d Diagnostic) String() string {
 // DefaultAnalyzers returns the full Nautilus analyzer suite.
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
+		AllocHygieneAnalyzer,
 		DeterminismAnalyzer,
 		FloatEqAnalyzer,
 		LayerPurityAnalyzer,

@@ -43,6 +43,31 @@ func (l *leakyLayer) Backward(g float64) float64 {
 	return g * l.last
 }
 
+// Allocation hygiene: a fixed-size scratch buffer allocated every
+// iteration, used purely in place — hoistable above the loop.
+
+func allocy(n, dim int) float32 {
+	var sum float32
+	for i := 0; i < n; i++ {
+		buf := make([]float32, dim) // want "allochygiene: per-iteration make([]float32) with loop-invariant size; hoist the buffer out of the loop and reuse it"
+		buf[0] = float32(i)
+		sum += buf[0]
+	}
+	return sum
+}
+
+// Not flagged: the size depends on the loop variable (a fresh allocation is
+// genuinely needed) or the buffer escapes the iteration.
+
+func allocyOK(n int, sink [][]float64) {
+	for i := 1; i < n; i++ {
+		varying := make([]float64, i) // size is loop-variant
+		varying[0] = 1
+		escaping := make([]float64, n)
+		sink[i] = escaping // stored beyond the iteration
+	}
+}
+
 // Unchecked error: an error result dropped on the floor.
 
 func droppy(f *os.File) {

@@ -146,9 +146,10 @@ func TestMILPMatchesBruteForce(t *testing.T) {
 		// Brute force.
 		bestObj := math.Inf(1)
 		feasible := false
+		x := make([]float64, n)
 		for mask := 0; mask < 1<<n; mask++ {
-			x := make([]float64, n)
 			for v := 0; v < n; v++ {
+				x[v] = 0
 				if mask&(1<<v) != 0 {
 					x[v] = 1
 				}

@@ -1,0 +1,43 @@
+package opt
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Fingerprint returns a stable hash of everything group verification
+// depends on: member model names, batch size, epoch count, the reuse plan's
+// per-node actions, its reported cost, the peak-memory estimate, and the
+// signatures the plan loads. Two groups with equal fingerprints are
+// verification-equivalent (up to membership of the loaded signatures in V,
+// which the caller must check against the current materialized set) — the
+// planner session uses this to skip re-verifying groups that an evolution
+// event left untouched.
+func (g *FusedGroup) Fingerprint() string {
+	h := fnv.New64a()
+	names := make([]string, len(g.Items))
+	for i, it := range g.Items {
+		names[i] = fmt.Sprintf("%s|b%d|e%d", it.Model.Name, it.BatchSize, it.Epochs)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintln(h, n)
+	}
+	if g.Plan != nil {
+		acts := make([]string, 0, len(g.Plan.Actions))
+		for n, a := range g.Plan.Actions {
+			acts = append(acts, n.Name+"="+a.String())
+		}
+		sort.Strings(acts)
+		for _, a := range acts {
+			fmt.Fprintln(h, a)
+		}
+		fmt.Fprintf(h, "cost=%d\n", g.Plan.CostPerRecord)
+		for _, n := range g.Plan.LoadedNodes() {
+			fmt.Fprintf(h, "load=%s\n", g.Plan.Prof.Sigs[n])
+		}
+	}
+	fmt.Fprintf(h, "mem=%d\n", g.PeakMemBytes)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

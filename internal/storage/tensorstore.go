@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 
@@ -329,6 +330,60 @@ func (s *TensorStore) Delete(key string) error {
 		return err
 	}
 	return nil
+}
+
+// Keys lists every key with a file in the store, sorted.
+func (s *TensorStore) Keys() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: list store dir: %w", err)
+	}
+	var keys []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".nts") {
+			continue
+		}
+		keys = append(keys, strings.TrimSuffix(e.Name(), ".nts"))
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// GC deletes every stored file whose key fails keep, returning the deleted
+// keys (sorted) and the bytes freed. It is the reconciliation primitive for
+// evolving workloads: when a replan drops signatures from the materialized
+// set V, only their artifacts are collected and everything still in V stays
+// on disk.
+func (s *TensorStore) GC(keep func(key string) bool) (deleted []string, freed int64, err error) {
+	keys, err := s.Keys()
+	if err != nil {
+		return nil, 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sp := s.obs.Start("store/gc")
+	defer sp.End()
+	for _, key := range keys {
+		if keep(key) {
+			continue
+		}
+		if st, serr := os.Stat(s.path(key)); serr == nil {
+			freed += st.Size()
+		}
+		if f := s.files[key]; f != nil {
+			_ = f.Close() // the file is being deleted; close errors are moot
+			delete(s.files, key)
+		}
+		if s.cache != nil {
+			s.cache.invalidate(key)
+		}
+		if rerr := os.Remove(s.path(key)); rerr != nil && !os.IsNotExist(rerr) {
+			return deleted, freed, fmt.Errorf("storage: gc %q: %w", key, rerr)
+		}
+		deleted = append(deleted, key)
+	}
+	sp.Attr(obs.Int("deleted", int64(len(deleted))), obs.Int("freed_bytes", freed))
+	return deleted, freed, nil
 }
 
 // Close releases all open file handles.

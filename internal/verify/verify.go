@@ -5,13 +5,13 @@
 // Definition 4.3 (shared frozen sub-expressions), Definition 4.5 (reuse
 // plans), and the B_disk / B_mem budgets. Solver bugs that violate them
 // would otherwise surface as silent wrong training results or storage blow-
-// ups deep inside execution; this package turns them into descriptive
-// errors at planning time. core.PlanWorkload (and through it every Fit
-// cycle) runs these checks on each plan it emits.
+// ups deep inside execution; this package turns them into typed PlanErrors
+// at planning time. core.PlanWorkload (and through it every Fit cycle) runs
+// these checks on each plan it emits; the planner session re-checks only
+// groups whose plan changed via GroupsIncremental.
 package verify
 
 import (
-	"fmt"
 	"sort"
 
 	"nautilus/internal/graph"
@@ -25,7 +25,7 @@ import (
 // materializable).
 func Model(m *graph.Model) error {
 	if m == nil {
-		return fmt.Errorf("verify: nil model")
+		return planErrf(KindModel, "verify: nil model")
 	}
 	if err := acyclic(m); err != nil {
 		return err
@@ -42,11 +42,13 @@ func Model(m *graph.Model) error {
 			continue
 		}
 		if !n.Frozen() {
-			return fmt.Errorf("verify: model %q: node %q marked materializable but is trainable (Definition 2.4)", m.Name, n.Name)
+			return planErrf(KindModel, "verify: model %q: node %q marked materializable but is trainable (Definition 2.4)", m.Name, n.Name).
+				withModel(m.Name).withNode(n.Name)
 		}
 		for _, p := range n.Parents {
 			if !mat[p] {
-				return fmt.Errorf("verify: model %q: node %q marked materializable but parent %q is not (Definition 2.4)", m.Name, n.Name, p.Name)
+				return planErrf(KindModel, "verify: model %q: node %q marked materializable but parent %q is not (Definition 2.4)", m.Name, n.Name, p.Name).
+					withModel(m.Name).withNode(n.Name)
 			}
 		}
 	}
@@ -65,7 +67,8 @@ func acyclic(m *graph.Model) error {
 	visit = func(n *graph.Node) error {
 		switch color[n] {
 		case gray:
-			return fmt.Errorf("verify: model %q: cycle through node %q", m.Name, n.Name)
+			return planErrf(KindModel, "verify: model %q: cycle through node %q", m.Name, n.Name).
+				withModel(m.Name).withNode(n.Name)
 		case black:
 			return nil
 		}
@@ -91,12 +94,12 @@ func acyclic(m *graph.Model) error {
 func validateShapes(m *graph.Model) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("verify: model %q: %v", m.Name, r)
+			err = planErrf(KindModel, "verify: model %q: %v", m.Name, r).withModel(m.Name)
 		}
 	}()
-	_, err = m.Validate()
-	if err != nil {
-		err = fmt.Errorf("verify: model %q: %w", m.Name, err)
+	if _, verr := m.Validate(); verr != nil {
+		err = planErrf(KindModel, "verify: model %q: %v", m.Name, verr).withModel(m.Name)
+		err.(*PlanError).Err = verr
 	}
 	return err
 }
@@ -113,7 +116,7 @@ func validateShapes(m *graph.Model) (err error) {
 // recomputed Σ computed·c_comp + loaded·c_load of Equation 5.
 func Plan(p *opt.Plan, loadable map[graph.Signature]bool) error {
 	if p == nil {
-		return fmt.Errorf("verify: nil plan")
+		return planErrf(KindLegality, "verify: nil plan")
 	}
 	m := p.Model()
 	if err := Model(m); err != nil {
@@ -124,19 +127,22 @@ func Plan(p *opt.Plan, loadable map[graph.Signature]bool) error {
 	for _, n := range m.Reachable() {
 		a, ok := p.Actions[n]
 		if !ok {
-			return fmt.Errorf("verify: plan(%s): node %q has no action", m.Name, n.Name)
+			return planErrf(KindLegality, "verify: plan(%s): node %q has no action", m.Name, n.Name).
+				withModel(m.Name).withNode(n.Name)
 		}
 		switch a {
 		case opt.Pruned:
 			// Legality is judged from the consumers' side below.
 		case opt.Computed:
 			if n.IsInput() {
-				return fmt.Errorf("verify: plan(%s): input %q marked computed", m.Name, n.Name)
+				return planErrf(KindLegality, "verify: plan(%s): input %q marked computed", m.Name, n.Name).
+					withModel(m.Name).withNode(n.Name)
 			}
 			cost += p.Prof.Layers[n].CompFLOPs
 			for _, par := range n.Parents {
 				if p.Actions[par] == opt.Pruned {
-					return fmt.Errorf("verify: plan(%s): node %q is computed but its input %q is pruned", m.Name, n.Name, par.Name)
+					return planErrf(KindLegality, "verify: plan(%s): node %q is computed but its input %q is pruned", m.Name, n.Name, par.Name).
+						withModel(m.Name).withNode(n.Name)
 				}
 			}
 		case opt.Loaded:
@@ -145,22 +151,27 @@ func Plan(p *opt.Plan, loadable map[graph.Signature]bool) error {
 				continue // dataset inputs are always loadable
 			}
 			if !mat[n] {
-				return fmt.Errorf("verify: plan(%s): node %q is loaded but not materializable (Definition 2.4)", m.Name, n.Name)
+				return planErrf(KindLegality, "verify: plan(%s): node %q is loaded but not materializable (Definition 2.4)", m.Name, n.Name).
+					withModel(m.Name).withNode(n.Name)
 			}
 			if loadable != nil && !loadable[p.Prof.Sigs[n]] {
-				return fmt.Errorf("verify: plan(%s): node %q (sig %s) is loaded but not in the materialized set V", m.Name, n.Name, p.Prof.Sigs[n])
+				return planErrf(KindLegality, "verify: plan(%s): node %q (sig %s) is loaded but not in the materialized set V", m.Name, n.Name, p.Prof.Sigs[n]).
+					withModel(m.Name).withNode(n.Name)
 			}
 		default:
-			return fmt.Errorf("verify: plan(%s): node %q has unknown action %v", m.Name, n.Name, a)
+			return planErrf(KindLegality, "verify: plan(%s): node %q has unknown action %v", m.Name, n.Name, a).
+				withModel(m.Name).withNode(n.Name)
 		}
 	}
 	for _, o := range m.Outputs {
 		if p.Actions[o] == opt.Pruned {
-			return fmt.Errorf("verify: plan(%s): output %q is pruned", m.Name, o.Name)
+			return planErrf(KindLegality, "verify: plan(%s): output %q is pruned", m.Name, o.Name).
+				withModel(m.Name).withNode(o.Name)
 		}
 	}
 	if cost != p.CostPerRecord {
-		return fmt.Errorf("verify: plan(%s): CostPerRecord %d does not match recomputed cost %d (Equation 5)", m.Name, p.CostPerRecord, cost)
+		return planErrf(KindCost, "verify: plan(%s): CostPerRecord %d does not match recomputed cost %d (Equation 5)", m.Name, p.CostPerRecord, cost).
+			withModel(m.Name)
 	}
 	return nil
 }
@@ -173,42 +184,47 @@ func Plan(p *opt.Plan, loadable map[graph.Signature]bool) error {
 // budget are known — peak memory within B_mem.
 func Group(g *opt.FusedGroup, memBudgetBytes int64, loadable map[graph.Signature]bool) error {
 	if g == nil {
-		return fmt.Errorf("verify: nil fusion group")
+		return planErrf(KindFusion, "verify: nil fusion group")
 	}
 	if len(g.Items) == 0 {
-		return fmt.Errorf("verify: fusion group has no items")
+		return planErrf(KindFusion, "verify: fusion group has no items")
 	}
 	name := g.Items[0].Model.Name
 	batch, epochs := g.Items[0].BatchSize, g.Items[0].Epochs
 	for _, it := range g.Items[1:] {
 		if it.BatchSize != batch {
-			return fmt.Errorf("verify: group(%s): mixed batch sizes %d and %d (item %q)", name, batch, it.BatchSize, it.Model.Name)
+			return planErrf(KindFusion, "verify: group(%s): mixed batch sizes %d and %d (item %q)", name, batch, it.BatchSize, it.Model.Name).
+				withGroup(name).withModel(it.Model.Name)
 		}
 		if it.Epochs != epochs {
-			return fmt.Errorf("verify: group(%s): mixed epoch counts %d and %d (item %q)", name, epochs, it.Epochs, it.Model.Name)
+			return planErrf(KindFusion, "verify: group(%s): mixed epoch counts %d and %d (item %q)", name, epochs, it.Epochs, it.Model.Name).
+				withGroup(name).withModel(it.Model.Name)
 		}
 	}
 	if g.MM == nil {
-		return fmt.Errorf("verify: group(%s): missing merged graph", name)
+		return planErrf(KindFusion, "verify: group(%s): missing merged graph", name).withGroup(name)
 	}
 	for _, it := range g.Items {
 		if g.MM.NodeOf[it.Model] == nil {
-			return fmt.Errorf("verify: group(%s): item %q is not part of the merged graph", name, it.Model.Name)
+			return planErrf(KindFusion, "verify: group(%s): item %q is not part of the merged graph", name, it.Model.Name).
+				withGroup(name).withModel(it.Model.Name)
 		}
 	}
 	if err := Plan(g.Plan, loadable); err != nil {
-		return fmt.Errorf("group(%s): %w", name, err)
+		return wrapGroup(name, err)
 	}
 	mat := g.MM.Graph.Materializable()
 	for _, n := range g.MM.Graph.Nodes() {
 		if g.MM.SharedCount(n) > 1 && !mat[n] && !n.IsInput() {
-			return fmt.Errorf("verify: group(%s): merged node %q is shared by %d models but not materializable (Definition 4.3)", name, n.Name, g.MM.SharedCount(n))
+			return planErrf(KindFusion, "verify: group(%s): merged node %q is shared by %d models but not materializable (Definition 4.3)", name, n.Name, g.MM.SharedCount(n)).
+				withGroup(name).withNode(n.Name)
 		}
 	}
 	// B_mem constrains fusion decisions (Algorithm 1); a singleton group is
 	// the unfused baseline and stands even if it alone exceeds the budget.
 	if len(g.Items) > 1 && memBudgetBytes > 0 && g.PeakMemBytes > memBudgetBytes {
-		return fmt.Errorf("verify: group(%s): estimated peak memory %d exceeds B_mem %d", name, g.PeakMemBytes, memBudgetBytes)
+		return planErrf(KindBudget, "verify: group(%s): estimated peak memory %d exceeds B_mem %d", name, g.PeakMemBytes, memBudgetBytes).
+			withGroup(name)
 	}
 	return nil
 }
@@ -216,11 +232,63 @@ func Group(g *opt.FusedGroup, memBudgetBytes int64, loadable map[graph.Signature
 // Groups checks a full training plan: every group legal and the groups a
 // partition of the workload — each work item trained exactly once.
 func Groups(groups []*opt.FusedGroup, items []opt.WorkItem, memBudgetBytes int64, loadable map[graph.Signature]bool) error {
+	_, err := GroupsIncremental(groups, items, memBudgetBytes, loadable, nil)
+	return err
+}
+
+// GroupsIncremental is Groups with memoized per-group checks, the planner
+// session's re-verification path for workload evolution: a group whose
+// opt.FusedGroup Fingerprint is already in seen — and whose loaded
+// signatures all remain members of loadable — was verified under an earlier
+// plan with an identical reuse plan, so re-checking it cannot change the
+// outcome and is skipped. Every group actually checked (and passing) has
+// its fingerprint added to seen. The workload-partition check always runs
+// in full (it is global and cheap).
+//
+// seen must be scoped to one budget configuration: the fingerprint does not
+// encode B_mem, so reuse a seen set only while the budgets are unchanged.
+// Pass nil to disable memoization (full verification, seen not updated).
+//
+// It returns the number of groups fully re-checked this call.
+func GroupsIncremental(groups []*opt.FusedGroup, items []opt.WorkItem, memBudgetBytes int64, loadable map[graph.Signature]bool, seen map[string]bool) (checked int, err error) {
+	for _, g := range groups {
+		fp := ""
+		if seen != nil && g != nil && g.Plan != nil {
+			fp = g.Fingerprint()
+			if seen[fp] && loadedCovered(g, loadable) {
+				continue
+			}
+		}
+		checked++
+		if err := Group(g, memBudgetBytes, loadable); err != nil {
+			return checked, err
+		}
+		if fp != "" {
+			seen[fp] = true
+		}
+	}
+	return checked, partition(groups, items)
+}
+
+// loadedCovered reports whether every materialized intermediate the group's
+// plan loads is still a member of loadable — the only Group invariant that
+// can silently flip for an unchanged plan when V evolves.
+func loadedCovered(g *opt.FusedGroup, loadable map[graph.Signature]bool) bool {
+	if loadable == nil {
+		return true
+	}
+	for _, n := range g.Plan.LoadedNodes() {
+		if !loadable[g.Plan.Prof.Sigs[n]] {
+			return false
+		}
+	}
+	return true
+}
+
+// partition checks that the groups train each work item exactly once.
+func partition(groups []*opt.FusedGroup, items []opt.WorkItem) error {
 	seen := map[*graph.Model]int{}
 	for _, g := range groups {
-		if err := Group(g, memBudgetBytes, loadable); err != nil {
-			return err
-		}
 		for _, it := range g.Items {
 			seen[it.Model]++
 		}
@@ -238,10 +306,10 @@ func Groups(groups []*opt.FusedGroup, items []opt.WorkItem, memBudgetBytes int64
 	sort.Strings(missing)
 	sort.Strings(dup)
 	if len(missing) > 0 {
-		return fmt.Errorf("verify: plan trains no group for model(s) %v", missing)
+		return planErrf(KindPartition, "verify: plan trains no group for model(s) %v", missing)
 	}
 	if len(dup) > 0 {
-		return fmt.Errorf("verify: plan trains model(s) %v more than once", dup)
+		return planErrf(KindPartition, "verify: plan trains model(s) %v more than once", dup)
 	}
 	return nil
 }
@@ -252,36 +320,36 @@ func Groups(groups []*opt.FusedGroup, items []opt.WorkItem, memBudgetBytes int64
 // the chosen set, and the reported total cost matches Equation 6.
 func MatResult(res *opt.MatResult, items []opt.WorkItem, cfg opt.MatConfig) error {
 	if res == nil {
-		return fmt.Errorf("verify: nil materialization result")
+		return planErrf(KindLegality, "verify: nil materialization result")
 	}
 	sigs := map[graph.Signature]bool{}
 	var storage int64
 	for _, c := range res.Materialized {
 		if sigs[c.Sig] {
-			return fmt.Errorf("verify: materialized set lists sig %s twice", c.Sig)
+			return planErrf(KindLegality, "verify: materialized set lists sig %s twice", c.Sig).withNode(c.Node.Name)
 		}
 		sigs[c.Sig] = true
 		if !res.Sigs[c.Sig] {
-			return fmt.Errorf("verify: materialized node %q (sig %s) missing from Sigs index", c.Node.Name, c.Sig)
+			return planErrf(KindLegality, "verify: materialized node %q (sig %s) missing from Sigs index", c.Node.Name, c.Sig).withNode(c.Node.Name)
 		}
 		storage += c.BytesPerRec * int64(cfg.MaxRecords)
 	}
 	for s := range res.Sigs {
 		if res.Sigs[s] && !sigs[s] {
-			return fmt.Errorf("verify: Sigs index lists sig %s absent from the materialized set", s)
+			return planErrf(KindLegality, "verify: Sigs index lists sig %s absent from the materialized set", s)
 		}
 	}
 	if storage != res.StorageBytes {
-		return fmt.Errorf("verify: StorageBytes %d does not match recomputed footprint %d", res.StorageBytes, storage)
+		return planErrf(KindCost, "verify: StorageBytes %d does not match recomputed footprint %d", res.StorageBytes, storage)
 	}
 	if cfg.DiskBudgetBytes > 0 && storage > cfg.DiskBudgetBytes {
-		return fmt.Errorf("verify: storage footprint %d exceeds B_disk %d", storage, cfg.DiskBudgetBytes)
+		return planErrf(KindBudget, "verify: storage footprint %d exceeds B_disk %d", storage, cfg.DiskBudgetBytes)
 	}
 	var total int64
 	for _, it := range items {
 		plan, ok := res.Plans[it.Model]
 		if !ok {
-			return fmt.Errorf("verify: no reuse plan for model %q", it.Model.Name)
+			return planErrf(KindPartition, "verify: no reuse plan for model %q", it.Model.Name).withModel(it.Model.Name)
 		}
 		if err := Plan(plan, res.Sigs); err != nil {
 			return err
@@ -289,7 +357,7 @@ func MatResult(res *opt.MatResult, items []opt.WorkItem, cfg opt.MatConfig) erro
 		total += plan.CostPerRecord * int64(cfg.MaxRecords) * int64(it.Epochs)
 	}
 	if total != res.TotalCostFLOPs {
-		return fmt.Errorf("verify: TotalCostFLOPs %d does not match recomputed cost %d (Equation 6)", res.TotalCostFLOPs, total)
+		return planErrf(KindCost, "verify: TotalCostFLOPs %d does not match recomputed cost %d (Equation 6)", res.TotalCostFLOPs, total)
 	}
 	return nil
 }

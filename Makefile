@@ -22,6 +22,7 @@ check:
 	$(GO) run ./cmd/nautilus-lint ./...
 	$(GO) test -race ./internal/exec/... ./internal/train/...
 	$(GO) test -race ./internal/core/...
+	$(GO) test -race ./internal/tensor/... ./internal/graph/...
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -34,8 +35,10 @@ trace-demo:
 	$(GO) test -run TestTraceDemo -count=1 .
 
 # bench-json measures observability overhead on the trainer hot loop
-# (no tracer vs nil sink vs active sink) and the incremental-replan
-# savings after AddCandidates, writing BENCH_obs.json + BENCH_replan.json.
+# (no tracer vs nil sink vs active sink), the incremental-replan savings
+# after AddCandidates, and the hot-path engine (parallel kernels + step
+# arena), writing BENCH_obs.json + BENCH_replan.json + BENCH_kernels.json.
 bench-json:
 	$(GO) run ./cmd/nautilus-bench -exp obs -obsjson BENCH_obs.json
 	$(GO) run ./cmd/nautilus-bench -exp replan -replanjson BENCH_replan.json
+	$(GO) run ./cmd/nautilus-bench -exp kernels -kernelsjson BENCH_kernels.json

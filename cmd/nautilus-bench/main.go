@@ -20,12 +20,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3 fig6a fig6b fig6c fig7 fig7b fig8 fig9 fig10a fig10b fig11 hwsweep solver obs replan all")
+	exp := flag.String("exp", "all", "experiment: table3 fig6a fig6b fig6c fig7 fig7b fig8 fig9 fig10a fig10b fig11 hwsweep solver obs replan kernels all")
 	fig7LRs := flag.Int("fig7lrs", 2, "learning rates per strategy in fig7's real-training run")
 	fig7Cycles := flag.Int("fig7cycles", 4, "labeling cycles in fig7's real-training run")
 	obsRuns := flag.Int("obsruns", 3, "averaged trainer passes per mode in the obs overhead experiment")
 	obsJSON := flag.String("obsjson", "", "write the obs overhead result as JSON to this file")
 	replanJSON := flag.String("replanjson", "", "write the replan benchmark result as JSON to this file")
+	kernelsRuns := flag.Int("kernelsruns", 3, "averaged training passes per regime in the kernels experiment")
+	kernelsJSON := flag.String("kernelsjson", "", "write the kernels benchmark result as JSON to this file")
 	tracePath := flag.String("trace", "", "trace experiment execution spans to this file")
 	traceFormat := flag.String("trace-format", obs.FormatChrome, "trace file format: chrome or jsonl")
 	metricsPath := flag.String("metrics", "", "write metrics + conformance JSON to this file")
@@ -191,6 +193,22 @@ func main() {
 				return err
 			}
 			fmt.Printf("replan JSON written to %s\n", *replanJSON)
+		}
+		return nil
+	})
+	run("kernels", func() error {
+		r, err := experiments.Kernels(*kernelsRuns)
+		if err != nil {
+			return err
+		}
+		if err := experiments.PrintKernels(os.Stdout, r); err != nil {
+			return err
+		}
+		if *kernelsJSON != "" {
+			if err := experiments.WriteKernelsJSON(*kernelsJSON, r); err != nil {
+				return err
+			}
+			fmt.Printf("kernels JSON written to %s\n", *kernelsJSON)
 		}
 		return nil
 	})

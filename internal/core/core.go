@@ -26,6 +26,7 @@ import (
 	"nautilus/internal/opt"
 	"nautilus/internal/profile"
 	"nautilus/internal/storage"
+	"nautilus/internal/tensor"
 	"nautilus/internal/train"
 )
 
@@ -77,6 +78,11 @@ type Config struct {
 	PageCacheBytes int64
 	// Prefetch overlaps feed assembly with compute during training.
 	Prefetch bool
+	// Arena recycles step-scoped tensors across mini-batches and
+	// materialization chunks through a shared size-class buffer pool,
+	// eliminating steady-state allocator traffic on the training hot path.
+	// Results are bit-identical either way.
+	Arena bool
 	// Obs, when set, threads structured tracing, the metrics registry, and
 	// the cost-model conformance account through the planner, materializer,
 	// trainer, and tensor store. nil (the default) disables all
@@ -97,6 +103,7 @@ func DefaultConfig(workDir string) Config {
 		Loss:            train.SoftmaxCrossEntropy{},
 		PageCacheBytes:  2 << 30,
 		Prefetch:        true,
+		Arena:           true,
 	}
 }
 
@@ -148,6 +155,7 @@ type ModelSelection struct {
 	materializer *exec.Materializer
 	lastDelta    *PlanDelta
 	cycle        int
+	arena        *tensor.Arena
 }
 
 // New creates a model-selection object for the candidate set. Invalid
@@ -175,12 +183,20 @@ func New(items []opt.WorkItem, mm *mmg.MultiModel, cfg Config) (*ModelSelection,
 	if err := os.MkdirAll(filepath.Join(cfg.WorkDir, "checkpoints"), 0o755); err != nil {
 		return nil, err
 	}
+	if cfg.HW.Workers > 0 {
+		tensor.SetMaxWorkers(cfg.HW.Workers)
+	}
+	var arena *tensor.Arena
+	if cfg.Arena {
+		arena = tensor.NewArena()
+	}
 	return &ModelSelection{
 		cfg:     cfg,
 		planner: planner,
 		metrics: metrics,
 		store:   store,
-		trainer: &exec.Trainer{Store: store, Loss: cfg.Loss, Seed: cfg.Seed, Metrics: metrics, Prefetch: cfg.Prefetch, Obs: cfg.Obs},
+		arena:   arena,
+		trainer: &exec.Trainer{Store: store, Loss: cfg.Loss, Seed: cfg.Seed, Metrics: metrics, Prefetch: cfg.Prefetch, Arena: arena, Obs: cfg.Obs},
 	}, nil
 }
 

@@ -490,6 +490,8 @@ func (ms *ModelSelection) applyPlan(wp *WorkloadPlan, delta *PlanDelta) error {
 		}
 		if mz != nil {
 			mz.Obs = ms.cfg.Obs
+			mz.Prefetch = ms.cfg.Prefetch
+			mz.Arena = ms.arena
 		}
 		ms.materializer = mz
 	}

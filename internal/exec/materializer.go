@@ -62,6 +62,14 @@ type Materializer struct {
 	inputName string
 	// ChunkSize bounds how many records are forwarded at once.
 	ChunkSize int
+	// Prefetch overlaps the forward pass of chunk t+1 with the store
+	// appends of chunk t (a one-chunk pipeline mirroring the trainer's
+	// feed prefetcher). Results are bit-identical with or without it.
+	Prefetch bool
+	// Arena, when set, recycles each chunk's tensors (input slice, forward
+	// intermediates, caches) once its appends finish; the store copies rows
+	// into its own buffers synchronously, so release is safe.
+	Arena *tensor.Arena
 	// Obs, when set, wraps delta materialization in spans (per call and per
 	// forward chunk). nil disables instrumentation.
 	Obs *obs.Tracer
@@ -92,6 +100,7 @@ func NewMaterializer(store *storage.TensorStore, mm *mmg.MultiModel, sigs map[gr
 		outputs:   outputs,
 		inputName: inputs[0].Name,
 		ChunkSize: 64,
+		Prefetch:  true,
 	}, nil
 }
 
@@ -123,7 +132,11 @@ func (mz *Materializer) outputNodes() []*graph.Node {
 }
 
 // appendNodes forwards deltaX through the ancestors of the given subset of
-// chosen nodes only, appending each node's output to its artifact.
+// chosen nodes only, appending each node's output to its artifact. With
+// Prefetch set, a goroutine forwards chunk t+1 while the caller appends
+// chunk t to the store, so compute overlaps artifact IO; each chunk runs in
+// its own arena scope, released after its appends (the store copies rows
+// synchronously).
 func (mz *Materializer) appendNodes(split Split, nodes []*graph.Node, deltaX *tensor.Tensor) error {
 	model := mz.matModel
 	if len(nodes) < len(mz.outputs) {
@@ -136,27 +149,66 @@ func (mz *Materializer) appendNodes(split Split, nodes []*graph.Node, deltaX *te
 		obs.Int("outputs", int64(len(nodes))))
 	defer span.End()
 	mz.Obs.Registry().Counter("materializer.records").Add(int64(n))
-	for lo := 0; lo < n; lo += mz.ChunkSize {
-		hi := lo + mz.ChunkSize
-		if hi > n {
-			hi = n
+	chunks := mz.forwardPipeline(model, span, deltaX, n)
+	// On early error return, drain the pipeline so its goroutine finishes
+	// and already-computed scopes are recycled.
+	defer func() {
+		for c := range chunks {
+			c.scope.Release()
 		}
-		chunk := sliceRecords(deltaX, lo, hi)
-		cs := span.Child("mat/chunk", obs.Int("records", int64(hi-lo)))
-		tape, err := model.Forward(map[string]*tensor.Tensor{mz.inputName: chunk}, false)
-		if err != nil {
-			cs.End()
-			return fmt.Errorf("exec: materialize: %w", err)
+	}()
+	for c := range chunks {
+		if c.err != nil {
+			return fmt.Errorf("exec: materialize: %w", c.err)
 		}
 		for _, node := range nodes {
-			if err := mz.store.Append(storeKey(mz.outputs[node], split), tape.Output(node)); err != nil {
-				cs.End()
+			if err := mz.store.Append(storeKey(mz.outputs[node], split), c.tape.Output(node)); err != nil {
+				c.scope.Release()
 				return err
 			}
 		}
-		cs.End()
+		c.scope.Release()
 	}
 	return nil
+}
+
+// matChunk is one forwarded chunk in flight between the forward goroutine
+// and the appending caller.
+type matChunk struct {
+	tape  *graph.Tape
+	scope *tensor.Scope
+	err   error
+}
+
+// forwardPipeline forwards deltaX chunk by chunk, one chunk ahead of the
+// consumer when Prefetch is set (buffered channel of 1). Chunk spans sit on
+// a separate trace track so the overlap against appends is visible.
+func (mz *Materializer) forwardPipeline(model *graph.Model, span *obs.Span, deltaX *tensor.Tensor, n int) <-chan matChunk {
+	buf := 0
+	if mz.Prefetch {
+		buf = 1
+	}
+	ch := make(chan matChunk, buf)
+	go func() {
+		defer close(ch)
+		for lo := 0; lo < n; lo += mz.ChunkSize {
+			hi := lo + mz.ChunkSize
+			if hi > n {
+				hi = n
+			}
+			cs := span.Child("mat/chunk", obs.Int("records", int64(hi-lo)))
+			cs.SetTrack(2)
+			scope := mz.Arena.Scope()
+			chunk := sliceRecordsIn(deltaX, lo, hi, allocOf(scope))
+			tape, err := model.ForwardOpts(map[string]*tensor.Tensor{mz.inputName: chunk}, graph.ForwardOptions{Alloc: allocOf(scope)})
+			cs.End()
+			ch <- matChunk{tape: tape, scope: scope, err: err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return ch
 }
 
 // SyncSplit brings the store up to date with a full split tensor. Each
@@ -281,10 +333,20 @@ func (mz *Materializer) Reconcile(oldSigs map[graph.Signature]bool) (*ReconcileS
 
 // sliceRecords copies records [lo,hi) along dim 0.
 func sliceRecords(t *tensor.Tensor, lo, hi int) *tensor.Tensor {
+	return sliceRecordsIn(t, lo, hi, nil)
+}
+
+// sliceRecordsIn is sliceRecords allocating from a (nil = heap).
+func sliceRecordsIn(t *tensor.Tensor, lo, hi int, a tensor.Alloc) *tensor.Tensor {
 	shape := append([]int(nil), t.Shape()...)
 	rec := t.Len() / shape[0]
 	shape[0] = hi - lo
-	out := tensor.New(shape...)
+	var out *tensor.Tensor
+	if a != nil {
+		out = a.Get(shape...)
+	} else {
+		out = tensor.New(shape...)
+	}
 	copy(out.Data(), t.Data()[lo*rec:hi*rec])
 	return out
 }

@@ -34,6 +34,14 @@ type Trainer struct {
 	// paper notes can hide load costs (Section 4.2.1). Results are
 	// bit-identical with or without it.
 	Prefetch bool
+	// Arena, when set, recycles every step-scoped tensor (feeds, forward
+	// intermediates, layer caches, gradients) across mini-batches: each
+	// batch runs inside a tensor.Scope released once its optimizer step
+	// retires, so steady-state training stops allocating. Results are
+	// bit-identical with or without it, and the peak-memory conformance
+	// replay is unaffected (it meters logical tensor lifetimes, not
+	// physical buffers).
+	Arena *tensor.Arena
 	// Obs, when set, emits per-group/epoch/batch spans, registry metrics,
 	// the cost-model conformance account, and the live-tensor peak-memory
 	// replay. nil disables all instrumentation (nil-check cost only).
@@ -113,6 +121,7 @@ func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchRes
 	cLoad := reg.Counter("trainer.load_bytes")
 	cSteps := reg.Counter("trainer.steps")
 	hWait := reg.Histogram("trainer.feed_wait_ns", feedWaitBuckets)
+	defer t.publishArenaStats(reg)
 
 	// Live-tensor replay of the Section 4.3.3 peak-memory estimate: params
 	// + optimizer slots as a standing base, forward activations seeded per
@@ -144,7 +153,7 @@ func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchRes
 				return nil, fed.err
 			}
 			feedsMap := fed.feeds
-			tape, err := planModel.Forward(feedsMap, true)
+			tape, err := planModel.ForwardOpts(feedsMap, graph.ForwardOptions{Train: true, Alloc: allocOf(fed.scope)})
 			if err != nil {
 				return nil, err
 			}
@@ -152,7 +161,7 @@ func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchRes
 				trk.Reset(memBase + tape.LiveActivationBytes())
 				tape.SetAllocObserver(trk)
 			}
-			yb := train.Gather(snap.TrainY, idx)
+			yb := train.GatherIn(allocOf(fed.scope), snap.TrainY, idx)
 			outGrads := map[string]*tensor.Tensor{}
 			for _, b := range branches {
 				loss, grad := t.Loss.Compute(tape.Output(b.out), yb)
@@ -187,6 +196,9 @@ func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchRes
 			cFlops.Add(computePerRecord * int64(len(idx)))
 			cLoad.Add(loadPerRecord * int64(len(idx)))
 			cSteps.Add(1)
+			// The optimizer has stepped and metering is done: every tensor
+			// of this batch (feeds, activations, caches, gradients) is dead.
+			fed.scope.Release()
 			bs.End()
 		}
 		es.End()
@@ -214,17 +226,18 @@ func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchRes
 				hi = vn
 			}
 			idx := idxAll[lo:hi]
-			feedsMap, err := t.batchFeeds(planModel, feeds, Valid, snap.ValidX, idx)
+			scope := t.Arena.Scope()
+			feedsMap, err := t.batchFeedsIn(planModel, feeds, Valid, snap.ValidX, idx, allocOf(scope))
 			if err != nil {
 				vs.End()
 				return nil, err
 			}
-			tape, err := planModel.Forward(feedsMap, false)
+			tape, err := planModel.ForwardOpts(feedsMap, graph.ForwardOptions{Alloc: allocOf(scope)})
 			if err != nil {
 				vs.End()
 				return nil, err
 			}
-			yb := train.Gather(snap.ValidY, idx)
+			yb := train.GatherIn(allocOf(scope), snap.ValidY, idx)
 			w := float64(len(idx)) / float64(vn)
 			for bi, b := range branches {
 				out := tape.Output(b.out)
@@ -242,6 +255,7 @@ func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchRes
 			gc.AddLoadBytes(loadPerRecord * int64(len(idx)))
 			cFlops.Add(forwardPerRecord * int64(len(idx)))
 			cLoad.Add(loadPerRecord * int64(len(idx)))
+			scope.Release()
 		}
 		vs.End()
 		for i := range results {
@@ -260,19 +274,47 @@ func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchRes
 // gather from the in-memory snapshot, materialized feeds read from the
 // store.
 func (t *Trainer) batchFeeds(planModel *graph.Model, feedSigs map[string]graph.Signature, split Split, x *tensor.Tensor, idx []int) (map[string]*tensor.Tensor, error) {
+	return t.batchFeedsIn(planModel, feedSigs, split, x, idx, nil)
+}
+
+// batchFeedsIn is batchFeeds allocating every feed from a (the batch's step
+// scope), so the whole step derives from recycled buffers.
+func (t *Trainer) batchFeedsIn(planModel *graph.Model, feedSigs map[string]graph.Signature, split Split, x *tensor.Tensor, idx []int, a tensor.Alloc) (map[string]*tensor.Tensor, error) {
 	feeds := map[string]*tensor.Tensor{}
 	for _, in := range planModel.Inputs() {
 		if sig, ok := feedSigs[in.Name]; ok {
-			rows, err := t.Store.ReadRows(storeKey(sig, split), idx)
+			rows, err := t.Store.ReadRowsIn(storeKey(sig, split), idx, a)
 			if err != nil {
 				return nil, fmt.Errorf("exec: read materialized %v: %w", sig, err)
 			}
 			feeds[in.Name] = rows
 			continue
 		}
-		feeds[in.Name] = train.Gather(x, idx)
+		feeds[in.Name] = train.GatherIn(a, x, idx)
 	}
 	return feeds, nil
+}
+
+// allocOf converts a possibly-nil *tensor.Scope into a tensor.Alloc without
+// producing a typed-nil interface.
+func allocOf(s *tensor.Scope) tensor.Alloc {
+	if s == nil {
+		return nil
+	}
+	return s
+}
+
+// publishArenaStats exports the arena's hit/miss counters as registry
+// gauges after a group trains.
+func (t *Trainer) publishArenaStats(reg *obs.Registry) {
+	if t.Arena == nil || reg == nil {
+		return
+	}
+	st := t.Arena.Stats()
+	reg.Gauge("trainer.arena_gets").Set(st.Gets)
+	reg.Gauge("trainer.arena_hits").Set(st.Hits)
+	reg.Gauge("trainer.arena_misses").Set(st.Misses)
+	reg.Gauge("trainer.arena_pooled_bytes").Set(st.PooledBytes)
 }
 
 // Checkpoint writes the group's trained weights. Nautilus plans persist
@@ -293,9 +335,12 @@ func (t *Trainer) Checkpoint(g *opt.FusedGroup, path string, full bool) error {
 	return storage.SaveModel(path, planModel, storage.CheckpointOptions{TrainableOnly: !full}, counters)
 }
 
-// fedBatch is one prefetched mini-batch's feeds.
+// fedBatch is one prefetched mini-batch's feeds plus the step scope they
+// were allocated from; the compute loop releases the scope once the batch's
+// optimizer step retires.
 type fedBatch struct {
 	feeds map[string]*tensor.Tensor
+	scope *tensor.Scope
 	err   error
 }
 
@@ -322,9 +367,13 @@ func (t *Trainer) feedPipeline(planModel *graph.Model, feedSigs map[string]graph
 		for bi, idx := range batches {
 			as := group.Child("train/feed_assemble", obs.Int("batch", int64(bi)), obs.Int("records", int64(len(idx))))
 			as.SetTrack(2)
-			feeds, err := t.batchFeeds(planModel, feedSigs, Train, snap.TrainX, idx)
+			// One scope per batch: the prefetcher fills batch t+1's scope
+			// while batch t computes in its own, so recycling never crosses
+			// the pipeline boundary.
+			scope := t.Arena.Scope()
+			feeds, err := t.batchFeedsIn(planModel, feedSigs, Train, snap.TrainX, idx, allocOf(scope))
 			as.End()
-			ch <- fedBatch{feeds: feeds, err: err}
+			ch <- fedBatch{feeds: feeds, scope: scope, err: err}
 			if err != nil {
 				return
 			}

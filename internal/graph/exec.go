@@ -18,6 +18,8 @@ type Tape struct {
 	paramGrads map[*Param]*tensor.Tensor
 	inputGrads map[*Node]*tensor.Tensor
 
+	alloc tensor.Alloc
+
 	allocObs AllocObserver
 }
 
@@ -48,16 +50,35 @@ func (t *Tape) observeFree(x *tensor.Tensor) {
 	}
 }
 
+// ForwardOptions controls a forward pass.
+type ForwardOptions struct {
+	// Train enables training-only layer behaviour (dropout).
+	Train bool
+	// Alloc, when non-nil, is the allocation strategy for the pass: feeds
+	// are re-headered to derive from it, so every intermediate, cache, and
+	// (later) gradient tensor the pass creates comes from the same scope and
+	// can be recycled wholesale once the step retires. Logical allocation
+	// reporting to the AllocObserver is unaffected — metering counts tensor
+	// lifetimes, not mallocs.
+	Alloc tensor.Alloc
+}
+
 // Forward executes the model on the given feeds. Every input node of the
 // model must be present in feeds, keyed by node name; reuse plans also feed
 // materialized intermediates this way. train enables training-only layer
 // behaviour (dropout).
 func (m *Model) Forward(feeds map[string]*tensor.Tensor, train bool) (*Tape, error) {
+	return m.ForwardOpts(feeds, ForwardOptions{Train: train})
+}
+
+// ForwardOpts is Forward with explicit options.
+func (m *Model) ForwardOpts(feeds map[string]*tensor.Tensor, opts ForwardOptions) (*Tape, error) {
 	t := &Tape{
 		model:  m,
-		train:  train,
+		train:  opts.Train,
 		acts:   make(map[*Node]*tensor.Tensor, len(m.nodes)),
 		caches: make(map[*Node]any),
+		alloc:  opts.Alloc,
 	}
 	for _, n := range m.Reachable() {
 		if n.IsInput() {
@@ -65,14 +86,14 @@ func (m *Model) Forward(feeds map[string]*tensor.Tensor, train bool) (*Tape, err
 			if !ok {
 				return nil, fmt.Errorf("graph: no feed for input %q of model %q", n.Name, m.Name)
 			}
-			t.acts[n] = v
+			t.acts[n] = tensor.WithAlloc(opts.Alloc, v)
 			continue
 		}
 		in := make([]*tensor.Tensor, len(n.Parents))
 		for i, p := range n.Parents {
 			in[i] = t.acts[p]
 		}
-		out, cache := n.Layer.Forward(in, train)
+		out, cache := n.Layer.Forward(in, opts.Train)
 		t.acts[n] = out
 		t.caches[n] = cache
 	}
@@ -132,7 +153,7 @@ func (t *Tape) BackwardOpts(outGrads map[string]*tensor.Tensor, opts BackwardOpt
 		if n == nil {
 			return fmt.Errorf("graph: output gradient for unknown node %q", name)
 		}
-		nodeGrads[n] = g.Clone()
+		nodeGrads[n] = tensor.CloneIn(t.alloc, g)
 		t.observeAlloc(nodeGrads[n])
 	}
 
@@ -174,7 +195,7 @@ func (t *Tape) BackwardOpts(outGrads map[string]*tensor.Tensor, opts BackwardOpt
 				if acc := t.paramGrads[p]; acc != nil {
 					tensor.AddInPlace(acc, gradParams[j])
 				} else {
-					t.paramGrads[p] = gradParams[j].Clone()
+					t.paramGrads[p] = tensor.CloneIn(t.alloc, gradParams[j])
 					t.observeAlloc(t.paramGrads[p])
 				}
 			}
@@ -186,7 +207,7 @@ func (t *Tape) BackwardOpts(outGrads map[string]*tensor.Tensor, opts BackwardOpt
 			if acc := nodeGrads[p]; acc != nil {
 				tensor.AddInPlace(acc, gradIn[j])
 			} else {
-				nodeGrads[p] = gradIn[j].Clone()
+				nodeGrads[p] = tensor.CloneIn(t.alloc, gradIn[j])
 				t.observeAlloc(nodeGrads[p])
 			}
 		}

@@ -30,28 +30,40 @@ func applyActivation(act string, z *tensor.Tensor) *tensor.Tensor {
 	if act == ActNone {
 		return z
 	}
-	out := tensor.New(z.Shape()...)
+	out := tensor.NewFrom(z, z.Shape()...)
 	zd, od := z.Data(), out.Data()
+	work := len(zd)
+	if act != ActReLU {
+		work *= 8 // transcendental cost dominates
+	}
 	switch act {
 	case ActReLU:
-		for i, v := range zd {
-			if v > 0 {
-				od[i] = v
+		tensor.Parallel(len(zd), work, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if v := zd[i]; v > 0 {
+					od[i] = v
+				}
 			}
-		}
+		})
 	case ActGeLU:
-		for i, v := range zd {
-			x := float64(v)
-			od[i] = float32(0.5 * x * (1 + math.Tanh(geluC*(x+0.044715*x*x*x))))
-		}
+		tensor.Parallel(len(zd), work, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x := float64(zd[i])
+				od[i] = float32(0.5 * x * (1 + math.Tanh(geluC*(x+0.044715*x*x*x))))
+			}
+		})
 	case ActTanh:
-		for i, v := range zd {
-			od[i] = float32(math.Tanh(float64(v)))
-		}
+		tensor.Parallel(len(zd), work, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				od[i] = float32(math.Tanh(float64(zd[i])))
+			}
+		})
 	case ActSigmoid:
-		for i, v := range zd {
-			od[i] = float32(1 / (1 + math.Exp(-float64(v))))
-		}
+		tensor.Parallel(len(zd), work, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				od[i] = float32(1 / (1 + math.Exp(-float64(zd[i]))))
+			}
+		})
 	default:
 		panic(fmt.Sprintf("layers: unknown activation %q", act))
 	}
@@ -63,34 +75,46 @@ func activationBackward(act string, z, g *tensor.Tensor) *tensor.Tensor {
 	if act == ActNone {
 		return g
 	}
-	out := tensor.New(z.Shape()...)
+	out := tensor.NewFrom2(z, g, z.Shape()...)
 	zd, gd, od := z.Data(), g.Data(), out.Data()
+	work := len(zd)
+	if act != ActReLU {
+		work *= 8
+	}
 	switch act {
 	case ActReLU:
-		for i, v := range zd {
-			if v > 0 {
-				od[i] = gd[i]
+		tensor.Parallel(len(zd), work, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if zd[i] > 0 {
+					od[i] = gd[i]
+				}
 			}
-		}
+		})
 	case ActGeLU:
-		for i, v := range zd {
-			x := float64(v)
-			u := geluC * (x + 0.044715*x*x*x)
-			th := math.Tanh(u)
-			du := geluC * (1 + 3*0.044715*x*x)
-			d := 0.5*(1+th) + 0.5*x*(1-th*th)*du
-			od[i] = gd[i] * float32(d)
-		}
+		tensor.Parallel(len(zd), work, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x := float64(zd[i])
+				u := geluC * (x + 0.044715*x*x*x)
+				th := math.Tanh(u)
+				du := geluC * (1 + 3*0.044715*x*x)
+				d := 0.5*(1+th) + 0.5*x*(1-th*th)*du
+				od[i] = gd[i] * float32(d)
+			}
+		})
 	case ActTanh:
-		for i, v := range zd {
-			th := math.Tanh(float64(v))
-			od[i] = gd[i] * float32(1-th*th)
-		}
+		tensor.Parallel(len(zd), work, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				th := math.Tanh(float64(zd[i]))
+				od[i] = gd[i] * float32(1-th*th)
+			}
+		})
 	case ActSigmoid:
-		for i, v := range zd {
-			s := 1 / (1 + math.Exp(-float64(v)))
-			od[i] = gd[i] * float32(s*(1-s))
-		}
+		tensor.Parallel(len(zd), work, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				s := 1 / (1 + math.Exp(-float64(zd[i])))
+				od[i] = gd[i] * float32(s*(1-s))
+			}
+		})
 	default:
 		panic(fmt.Sprintf("layers: unknown activation %q", act))
 	}
@@ -174,8 +198,8 @@ func (l *Dropout) Forward(inputs []*tensor.Tensor, train bool) (*tensor.Tensor, 
 	if !train || l.Rate == 0 {
 		return x, nil
 	}
-	mask := tensor.New(x.Shape()...)
-	out := tensor.New(x.Shape()...)
+	mask := tensor.NewFrom(x, x.Shape()...)
+	out := tensor.NewFrom(x, x.Shape()...)
 	keep := float32(1 - l.Rate)
 	inv := 1 / keep
 	// Key an independent xorshift stream off the call number (splitmix64

@@ -94,8 +94,8 @@ func (l *MultiHeadAttention) Forward(inputs []*tensor.Tensor, train bool) (*tens
 	k := tensor.AddRowVec(tensor.MatMul(x, l.wk.Tensor()), l.bk.Tensor())
 	v := tensor.AddRowVec(tensor.MatMul(x, l.wv.Tensor()), l.bv.Tensor())
 
-	attn := tensor.New(batch, heads, seq, seq)
-	ctx := tensor.New(batch*seq, dim)
+	attn := tensor.NewFrom(x, batch, heads, seq, seq)
+	ctx := tensor.NewFrom(x, batch*seq, dim)
 	for b := 0; b < batch; b++ {
 		for h := 0; h < heads; h++ {
 			qh := headSlice(q, b, h, seq, dim, dh)
@@ -128,9 +128,9 @@ func (l *MultiHeadAttention) Backward(cache any, inputs []*tensor.Tensor, out, g
 	}
 	dctx := tensor.MatMulBT(g, l.wo.Tensor())
 
-	dq := tensor.New(batch*seq, dim)
-	dk := tensor.New(batch*seq, dim)
-	dv := tensor.New(batch*seq, dim)
+	dq := tensor.NewFrom(gradOut, batch*seq, dim)
+	dk := tensor.NewFrom(gradOut, batch*seq, dim)
+	dv := tensor.NewFrom(gradOut, batch*seq, dim)
 	for b := 0; b < batch; b++ {
 		for h := 0; h < heads; h++ {
 			a := tensor.FromSlice(c.attn.Data()[((b*heads)+h)*seq*seq:((b*heads)+h+1)*seq*seq], seq, seq)
@@ -177,7 +177,7 @@ func (l *MultiHeadAttention) Backward(cache any, inputs []*tensor.Tensor, out, g
 // headSlice copies head h of batch element b out of a [batch*seq, dim]
 // matrix into a contiguous [seq, dh] matrix.
 func headSlice(m *tensor.Tensor, b, h, seq, dim, dh int) *tensor.Tensor {
-	out := tensor.New(seq, dh)
+	out := tensor.NewFrom(m, seq, dh)
 	for s := 0; s < seq; s++ {
 		src := m.Row(b*seq + s)[h*dh : (h+1)*dh]
 		copy(out.Row(s), src)

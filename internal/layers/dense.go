@@ -169,7 +169,7 @@ func (l *Embedding) Forward(inputs []*tensor.Tensor, train bool) (*tensor.Tensor
 	ids := inputs[0]
 	batch, seq := ids.Dim(0), ids.Dim(1)
 	tab := l.table.Tensor()
-	out := tensor.New(batch, seq, l.Dim)
+	out := tensor.NewFrom(ids, batch, seq, l.Dim)
 	for r := 0; r < batch*seq; r++ {
 		id := int(ids.Data()[r])
 		if id < 0 || id >= l.Vocab {
@@ -182,7 +182,7 @@ func (l *Embedding) Forward(inputs []*tensor.Tensor, train bool) (*tensor.Tensor
 
 func (l *Embedding) Backward(cache any, inputs []*tensor.Tensor, out, gradOut *tensor.Tensor, need graph.BackwardNeed) ([]*tensor.Tensor, []*tensor.Tensor) {
 	ids := inputs[0]
-	dtab := tensor.New(l.Vocab, l.Dim)
+	dtab := tensor.NewFrom(gradOut, l.Vocab, l.Dim)
 	for r := 0; r < ids.Len(); r++ {
 		id := int(ids.Data()[r])
 		dst := dtab.Row(id)
@@ -233,7 +233,7 @@ func (l *PositionalEmbedding) Forward(inputs []*tensor.Tensor, train bool) (*ten
 	x := inputs[0]
 	batch := x.Dim(0)
 	tab := l.table.Tensor()
-	out := tensor.New(x.Shape()...)
+	out := tensor.NewFrom(x, x.Shape()...)
 	for b := 0; b < batch; b++ {
 		for s := 0; s < l.Seq; s++ {
 			xr := x.Row(b*l.Seq + s)
@@ -249,7 +249,7 @@ func (l *PositionalEmbedding) Forward(inputs []*tensor.Tensor, train bool) (*ten
 
 func (l *PositionalEmbedding) Backward(cache any, inputs []*tensor.Tensor, out, gradOut *tensor.Tensor, need graph.BackwardNeed) ([]*tensor.Tensor, []*tensor.Tensor) {
 	batch := gradOut.Dim(0)
-	dtab := tensor.New(l.Seq, l.Dim)
+	dtab := tensor.NewFrom(gradOut, l.Seq, l.Dim)
 	for b := 0; b < batch; b++ {
 		for s := 0; s < l.Seq; s++ {
 			gr := gradOut.Row(b*l.Seq + s)

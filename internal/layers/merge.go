@@ -159,7 +159,7 @@ func (l *MeanPoolSeq) FLOPsPerRecord(in [][]int) int64 {
 func (l *MeanPoolSeq) Forward(inputs []*tensor.Tensor, train bool) (*tensor.Tensor, any) {
 	x := inputs[0]
 	batch, seq, dim := x.Dim(0), x.Dim(1), x.Dim(2)
-	out := tensor.New(batch, dim)
+	out := tensor.NewFrom(x, batch, dim)
 	inv := 1 / float32(seq)
 	for b := 0; b < batch; b++ {
 		or := out.Row(b)
@@ -179,7 +179,7 @@ func (l *MeanPoolSeq) Forward(inputs []*tensor.Tensor, train bool) (*tensor.Tens
 func (l *MeanPoolSeq) Backward(cache any, inputs []*tensor.Tensor, out, gradOut *tensor.Tensor, need graph.BackwardNeed) ([]*tensor.Tensor, []*tensor.Tensor) {
 	x := inputs[0]
 	batch, seq, dim := x.Dim(0), x.Dim(1), x.Dim(2)
-	dx := tensor.New(batch, seq, dim)
+	dx := tensor.NewFrom(gradOut, batch, seq, dim)
 	inv := 1 / float32(seq)
 	for b := 0; b < batch; b++ {
 		gr := gradOut.Row(b)

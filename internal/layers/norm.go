@@ -52,30 +52,32 @@ type lnCache struct {
 func (l *LayerNorm) Forward(inputs []*tensor.Tensor, train bool) (*tensor.Tensor, any) {
 	x := inputs[0]
 	rows, d := x.Rows(), l.Dim
-	out := tensor.New(x.Shape()...)
-	xhat := tensor.New(x.Shape()...)
+	out := tensor.NewFrom(x, x.Shape()...)
+	xhat := tensor.NewFrom(x, x.Shape()...)
 	invStd := make([]float32, rows)
 	g, b := l.gamma.Tensor().Data(), l.beta.Tensor().Data()
-	for r := 0; r < rows; r++ {
-		xr, or, hr := x.Row(r), out.Row(r), xhat.Row(r)
-		var mean float64
-		for _, v := range xr {
-			mean += float64(v)
+	tensor.Parallel(rows, x.Len()*8, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			xr, or, hr := x.Row(r), out.Row(r), xhat.Row(r)
+			var mean float64
+			for _, v := range xr {
+				mean += float64(v)
+			}
+			mean /= float64(d)
+			var varsum float64
+			for _, v := range xr {
+				dv := float64(v) - mean
+				varsum += dv * dv
+			}
+			inv := float32(1 / math.Sqrt(varsum/float64(d)+lnEps))
+			invStd[r] = inv
+			for j := 0; j < d; j++ {
+				h := (xr[j] - float32(mean)) * inv
+				hr[j] = h
+				or[j] = h*g[j] + b[j]
+			}
 		}
-		mean /= float64(d)
-		var varsum float64
-		for _, v := range xr {
-			dv := float64(v) - mean
-			varsum += dv * dv
-		}
-		inv := float32(1 / math.Sqrt(varsum/float64(d)+lnEps))
-		invStd[r] = inv
-		for j := 0; j < d; j++ {
-			h := (xr[j] - float32(mean)) * inv
-			hr[j] = h
-			or[j] = h*g[j] + b[j]
-		}
-	}
+	})
 	return out, lnCache{xhat: xhat, invStd: invStd}
 }
 
@@ -84,9 +86,9 @@ func (l *LayerNorm) Backward(cache any, inputs []*tensor.Tensor, out, gradOut *t
 	x := inputs[0]
 	rows, d := x.Rows(), l.Dim
 	g := l.gamma.Tensor().Data()
-	dgamma := tensor.New(l.Dim)
-	dbeta := tensor.New(l.Dim)
-	dx := tensor.New(x.Shape()...)
+	dgamma := tensor.NewFrom(gradOut, l.Dim)
+	dbeta := tensor.NewFrom(gradOut, l.Dim)
+	dx := tensor.NewFrom(gradOut, x.Shape()...)
 	dg, db := dgamma.Data(), dbeta.Data()
 	for r := 0; r < rows; r++ {
 		gr, hr, dr := gradOut.Row(r), c.xhat.Row(r), dx.Row(r)
@@ -155,23 +157,25 @@ func (l *ChannelAffine) FLOPsPerRecord(in [][]int) int64 {
 
 func (l *ChannelAffine) Forward(inputs []*tensor.Tensor, train bool) (*tensor.Tensor, any) {
 	x := inputs[0]
-	out := tensor.New(x.Shape()...)
+	out := tensor.NewFrom(x, x.Shape()...)
 	g, b := l.gamma.Tensor().Data(), l.beta.Tensor().Data()
 	c := l.Channels
-	for r := 0; r < x.Rows(); r++ {
-		xr, or := x.Row(r), out.Row(r)
-		for j := 0; j < c; j++ {
-			or[j] = xr[j]*g[j] + b[j]
+	tensor.Parallel(x.Rows(), x.Len()*2, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			xr, or := x.Row(r), out.Row(r)
+			for j := 0; j < c; j++ {
+				or[j] = xr[j]*g[j] + b[j]
+			}
 		}
-	}
+	})
 	return out, nil
 }
 
 func (l *ChannelAffine) Backward(cache any, inputs []*tensor.Tensor, out, gradOut *tensor.Tensor, need graph.BackwardNeed) ([]*tensor.Tensor, []*tensor.Tensor) {
 	x := inputs[0]
-	dgamma := tensor.New(l.Channels)
-	dbeta := tensor.New(l.Channels)
-	dx := tensor.New(x.Shape()...)
+	dgamma := tensor.NewFrom(gradOut, l.Channels)
+	dbeta := tensor.NewFrom(gradOut, l.Channels)
+	dx := tensor.NewFrom(gradOut, x.Shape()...)
 	g := l.gamma.Tensor().Data()
 	dg, db := dgamma.Data(), dbeta.Data()
 	c := l.Channels

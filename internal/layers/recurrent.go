@@ -38,7 +38,7 @@ func (l *SelectSeq) FLOPsPerRecord(in [][]int) int64 { return int64(in[0][1]) }
 func (l *SelectSeq) Forward(inputs []*tensor.Tensor, train bool) (*tensor.Tensor, any) {
 	x := inputs[0]
 	batch, seq, dim := x.Dim(0), x.Dim(1), x.Dim(2)
-	out := tensor.New(batch, dim)
+	out := tensor.NewFrom(x, batch, dim)
 	for b := 0; b < batch; b++ {
 		copy(out.Row(b), x.Row(b*seq+l.T))
 	}
@@ -48,7 +48,7 @@ func (l *SelectSeq) Forward(inputs []*tensor.Tensor, train bool) (*tensor.Tensor
 func (l *SelectSeq) Backward(cache any, inputs []*tensor.Tensor, out, gradOut *tensor.Tensor, need graph.BackwardNeed) ([]*tensor.Tensor, []*tensor.Tensor) {
 	x := inputs[0]
 	batch, seq := x.Dim(0), x.Dim(1)
-	dx := tensor.New(x.Shape()...)
+	dx := tensor.NewFrom(gradOut, x.Shape()...)
 	for b := 0; b < batch; b++ {
 		copy(dx.Row(b*seq+l.T), gradOut.Row(b))
 	}
@@ -82,7 +82,7 @@ func (l *InitialState) FLOPsPerRecord(in [][]int) int64 { return int64(l.Hidden)
 
 func (l *InitialState) Forward(inputs []*tensor.Tensor, train bool) (*tensor.Tensor, any) {
 	batch := inputs[0].Dim(0)
-	out := tensor.New(batch, l.Hidden)
+	out := tensor.NewFrom(inputs[0], batch, l.Hidden)
 	h := l.h0.Tensor()
 	for b := 0; b < batch; b++ {
 		copy(out.Row(b), h.Data())

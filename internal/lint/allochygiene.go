@@ -20,28 +20,99 @@ import (
 // stored into a struct/map/slice, appended, returned, sent, captured in a
 // composite literal or closure, aliased, or passed to a non-builtin call —
 // disqualifies the finding.
+// A second rule covers the step-arena API of internal/tensor: Forward and
+// Backward methods on the graph.Layer hot path receive scope-rooted input
+// tensors, so allocating their outputs with `tensor.New`/`tensor.Zeros`
+// (instead of `tensor.NewFrom`/`tensor.NewFrom2`, which derive from an
+// input's allocator) silently opts the layer out of step-scoped buffer
+// recycling — correct but a steady-state allocation leak on every batch.
 var AllocHygieneAnalyzer = &Analyzer{
 	Name: "allochygiene",
-	Doc:  "flags hoistable per-iteration buffer allocations in loops",
+	Doc:  "flags hoistable per-iteration buffer allocations in loops and arena-bypassing tensor allocations in layer hot paths",
 	Run:  runAllocHygiene,
 }
 
 func runAllocHygiene(p *Pass) {
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			var body *ast.BlockStmt
-			switch loop := n.(type) {
+			switch fn := n.(type) {
 			case *ast.ForStmt:
-				body = loop.Body
+				checkLoopAllocs(p, n, fn.Body)
 			case *ast.RangeStmt:
-				body = loop.Body
-			default:
-				return true
+				checkLoopAllocs(p, n, fn.Body)
+			case *ast.FuncDecl:
+				checkArenaBypass(p, fn)
 			}
-			checkLoopAllocs(p, n, body)
 			return true
 		})
 	}
+}
+
+// checkArenaBypass flags tensor.New/tensor.Zeros calls inside layer
+// Forward/Backward methods — the per-batch hot path where every output
+// should derive from a scoped input via tensor.NewFrom so the step arena
+// can recycle it.
+func checkArenaBypass(p *Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil || fn.Recv == nil {
+		return
+	}
+	if fn.Name.Name != "Forward" && fn.Name.Name != "Backward" {
+		return
+	}
+	if !hasTensorSliceParam(p, fn.Type.Params) {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgIdent, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.Pkg.Info.ObjectOf(pkgIdent).(*types.PkgName)
+		if !ok || pn.Imported().Path() != tensorPkgPath {
+			return true
+		}
+		if sel.Sel.Name == "New" || sel.Sel.Name == "Zeros" {
+			p.Reportf(call.Pos(), "tensor.%s in %s bypasses the step arena; derive the output from an input with tensor.NewFrom/NewFrom2", sel.Sel.Name, fn.Name.Name)
+		}
+		return true
+	})
+}
+
+const tensorPkgPath = "nautilus/internal/tensor"
+
+// hasTensorSliceParam reports whether the parameter list includes a
+// []*tensor.Tensor — the graph.Layer Forward/Backward activation argument.
+func hasTensorSliceParam(p *Pass, params *ast.FieldList) bool {
+	if params == nil {
+		return false
+	}
+	for _, f := range params.List {
+		sl, ok := p.Pkg.Info.TypeOf(f.Type).(*types.Slice)
+		if !ok {
+			continue
+		}
+		ptr, ok := sl.Elem().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "Tensor" && obj.Pkg() != nil && obj.Pkg().Path() == tensorPkgPath {
+			return true
+		}
+	}
+	return false
 }
 
 // checkLoopAllocs inspects one loop's direct body (nested loops are visited
@@ -116,7 +187,7 @@ func allocKind(p *Pass, call *ast.CallExpr) string {
 			return ""
 		}
 		pn, ok := p.Pkg.Info.ObjectOf(pkgIdent).(*types.PkgName)
-		if !ok || pn.Imported().Path() != "nautilus/internal/tensor" {
+		if !ok || pn.Imported().Path() != tensorPkgPath {
 			return ""
 		}
 		if fun.Sel.Name == "New" || fun.Sel.Name == "Zeros" {

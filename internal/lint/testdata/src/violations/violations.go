@@ -9,6 +9,8 @@ import (
 	"math/rand"
 	"os"
 	"time"
+
+	"nautilus/internal/tensor"
 )
 
 // Determinism: wall-clock reads and the process-global rand source.
@@ -66,6 +68,24 @@ func allocyOK(n int, sink [][]float64) {
 		escaping := make([]float64, n)
 		sink[i] = escaping // stored beyond the iteration
 	}
+}
+
+// Arena bypass: a layer Forward allocates its output with tensor.New
+// instead of deriving it from a (scope-rooted) input via tensor.NewFrom,
+// opting out of step-scoped buffer recycling.
+
+type bypassLayer struct{}
+
+func (bypassLayer) Forward(inputs []*tensor.Tensor, train bool) (*tensor.Tensor, any) {
+	out := tensor.New(inputs[0].Shape()...) // want "allochygiene: tensor.New in Forward bypasses the step arena; derive the output from an input with tensor.NewFrom/NewFrom2"
+	return out, nil
+}
+
+// Not flagged: the output derives from the input's allocator.
+
+func (bypassLayer) Backward(cache any, inputs []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	dx := tensor.NewFrom(gradOut, gradOut.Shape()...)
+	return []*tensor.Tensor{dx}
 }
 
 // Unchecked error: an error result dropped on the floor.

@@ -200,7 +200,11 @@ func errPct(delta, predicted int64) float64 {
 // MemTracker replays the executor's tensor allocations to a live-bytes
 // high-water mark — the cross-check of the analytical B_mem estimate
 // against real execution. It implements graph's AllocObserver interface.
-// Not safe for concurrent use: one tracker serves one training loop.
+// The tape reports logical tensor lifetimes, independent of the physical
+// allocator: the step arena may serve a tensor from a recycled buffer, but
+// the observer still sees a full Alloc/Free pair, so B_mem conformance is
+// unchanged by pooling. Not safe for concurrent use: one tracker serves
+// one training loop.
 type MemTracker struct {
 	live int64
 	peak int64

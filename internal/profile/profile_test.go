@@ -145,3 +145,18 @@ func TestProfileInvalidModel(t *testing.T) {
 		t.Error("invalid model should not profile")
 	}
 }
+
+// TestHardwareWorkersDefault pins the contract that the default profile
+// does not cap kernel parallelism: Workers == 0 defers to the ambient
+// tensor-package default (NAUTILUS_WORKERS or all logical cores), which
+// core.New leaves untouched.
+func TestHardwareWorkersDefault(t *testing.T) {
+	if w := DefaultHardware().Workers; w != 0 {
+		t.Fatalf("DefaultHardware().Workers = %d, want 0 (no cap)", w)
+	}
+	hw := DefaultHardware()
+	hw.Workers = 4
+	if hw.Workers != 4 {
+		t.Fatal("Workers must be settable per configuration")
+	}
+}

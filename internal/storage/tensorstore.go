@@ -220,6 +220,13 @@ func (s *TensorStore) RecordShape(key string) ([]int, error) {
 // tensor, the access pattern of mini-batch training over materialized
 // features.
 func (s *TensorStore) ReadRows(key string, idx []int) (*tensor.Tensor, error) {
+	return s.ReadRowsIn(key, idx, nil)
+}
+
+// ReadRowsIn is ReadRows allocating the result from a (nil falls back to
+// the heap); the trainer's feed prefetcher passes its step scope so
+// materialized feeds participate in tensor recycling.
+func (s *TensorStore) ReadRowsIn(key string, idx []int, a tensor.Alloc) (*tensor.Tensor, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sp := s.obs.Start("store/read", obs.Str("key", key), obs.Int("rows", int64(len(idx))))
@@ -238,7 +245,13 @@ func (s *TensorStore) ReadRows(key string, idx []int) (*tensor.Tensor, error) {
 	recElems := tensor.NumElems(shape)
 	recBytes := int64(recElems) * 4
 	base := headerSize(len(shape))
-	out := tensor.New(append([]int{len(idx)}, shape...)...)
+	outShape := append([]int{len(idx)}, shape...)
+	var out *tensor.Tensor
+	if a != nil {
+		out = a.Get(outShape...)
+	} else {
+		out = tensor.New(outShape...)
+	}
 	buf := make([]byte, recBytes)
 	var coldBytes int64
 	for i, r := range idx {

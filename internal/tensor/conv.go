@@ -19,7 +19,8 @@ func (g ConvGeom) OutW() int { return (g.InW+2*g.PadW-g.KW)/g.StrideW + 1 }
 
 // Im2Col lowers an NHWC input [batch, InH, InW, InC] into a matrix
 // [batch*OutH*OutW, KH*KW*InC] so convolution becomes a single MatMul with a
-// [KH*KW*InC, outC] kernel matrix.
+// [KH*KW*InC, outC] kernel matrix. Each output row is written by exactly one
+// chunk, so the parallel result is bit-identical to a serial run.
 func Im2Col(x *Tensor, g ConvGeom) *Tensor {
 	s := x.Shape()
 	if len(s) != 4 || s[1] != g.InH || s[2] != g.InW || s[3] != g.InC {
@@ -28,72 +29,77 @@ func Im2Col(x *Tensor, g ConvGeom) *Tensor {
 	batch := s[0]
 	oh, ow := g.OutH(), g.OutW()
 	cols := g.KH * g.KW * g.InC
-	out := New(batch*oh*ow, cols)
-	row := 0
-	for b := 0; b < batch; b++ {
-		for i := 0; i < oh; i++ {
-			for j := 0; j < ow; j++ {
-				dst := out.Row(row)
-				row++
-				di := 0
-				for ki := 0; ki < g.KH; ki++ {
-					yi := i*g.StrideH + ki - g.PadH
-					if yi < 0 || yi >= g.InH {
-						di += g.KW * g.InC
+	rows := batch * oh * ow
+	out := NewFrom(x, rows, cols)
+	Parallel(rows, rows*cols, func(lo, hi int) {
+		for row := lo; row < hi; row++ {
+			b := row / (oh * ow)
+			rem := row - b*oh*ow
+			i := rem / ow
+			j := rem - i*ow
+			dst := out.Row(row)
+			di := 0
+			for ki := 0; ki < g.KH; ki++ {
+				yi := i*g.StrideH + ki - g.PadH
+				if yi < 0 || yi >= g.InH {
+					di += g.KW * g.InC
+					continue
+				}
+				for kj := 0; kj < g.KW; kj++ {
+					xj := j*g.StrideW + kj - g.PadW
+					if xj < 0 || xj >= g.InW {
+						di += g.InC
 						continue
 					}
-					for kj := 0; kj < g.KW; kj++ {
-						xj := j*g.StrideW + kj - g.PadW
-						if xj < 0 || xj >= g.InW {
-							di += g.InC
-							continue
-						}
-						src := ((b*g.InH+yi)*g.InW + xj) * g.InC
-						copy(dst[di:di+g.InC], x.data[src:src+g.InC])
-						di += g.InC
-					}
+					src := ((b*g.InH+yi)*g.InW + xj) * g.InC
+					copy(dst[di:di+g.InC], x.data[src:src+g.InC])
+					di += g.InC
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
 // Col2Im scatters a column matrix gradient [batch*OutH*OutW, KH*KW*InC] back
 // to the NHWC input gradient [batch, InH, InW, InC], accumulating overlaps.
-// It is the adjoint of Im2Col.
+// It is the adjoint of Im2Col. Overlapping windows accumulate into the same
+// input positions, so parallelism is over the batch dimension only: each
+// chunk owns whole per-example slabs of the output.
 func Col2Im(cols *Tensor, batch int, g ConvGeom) *Tensor {
 	oh, ow := g.OutH(), g.OutW()
-	out := New(batch, g.InH, g.InW, g.InC)
-	row := 0
-	for b := 0; b < batch; b++ {
-		for i := 0; i < oh; i++ {
-			for j := 0; j < ow; j++ {
-				src := cols.Row(row)
-				row++
-				si := 0
-				for ki := 0; ki < g.KH; ki++ {
-					yi := i*g.StrideH + ki - g.PadH
-					if yi < 0 || yi >= g.InH {
-						si += g.KW * g.InC
-						continue
-					}
-					for kj := 0; kj < g.KW; kj++ {
-						xj := j*g.StrideW + kj - g.PadW
-						if xj < 0 || xj >= g.InW {
-							si += g.InC
+	out := NewFrom(cols, batch, g.InH, g.InW, g.InC)
+	Parallel(batch, cols.Len(), func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			row := b * oh * ow
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					src := cols.Row(row)
+					row++
+					si := 0
+					for ki := 0; ki < g.KH; ki++ {
+						yi := i*g.StrideH + ki - g.PadH
+						if yi < 0 || yi >= g.InH {
+							si += g.KW * g.InC
 							continue
 						}
-						dst := ((b*g.InH+yi)*g.InW + xj) * g.InC
-						for c := 0; c < g.InC; c++ {
-							out.data[dst+c] += src[si+c]
+						for kj := 0; kj < g.KW; kj++ {
+							xj := j*g.StrideW + kj - g.PadW
+							if xj < 0 || xj >= g.InW {
+								si += g.InC
+								continue
+							}
+							dst := ((b*g.InH+yi)*g.InW + xj) * g.InC
+							for c := 0; c < g.InC; c++ {
+								out.data[dst+c] += src[si+c]
+							}
+							si += g.InC
 						}
-						si += g.InC
 					}
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -104,51 +110,68 @@ func MaxPool2D(x *Tensor, g ConvGeom) (*Tensor, []int32) {
 	s := x.Shape()
 	batch := s[0]
 	oh, ow := g.OutH(), g.OutW()
-	out := New(batch, oh, ow, g.InC)
+	out := NewFrom(x, batch, oh, ow, g.InC)
 	arg := make([]int32, out.Len())
-	oi := 0
-	for b := 0; b < batch; b++ {
-		for i := 0; i < oh; i++ {
-			for j := 0; j < ow; j++ {
-				for c := 0; c < g.InC; c++ {
-					best := float32(0)
-					bestIdx := int32(-1)
-					for ki := 0; ki < g.KH; ki++ {
-						yi := i*g.StrideH + ki - g.PadH
-						if yi < 0 || yi >= g.InH {
+	rows := batch * oh * ow
+	Parallel(rows, out.Len()*g.KH*g.KW, func(lo, hi int) {
+		for row := lo; row < hi; row++ {
+			b := row / (oh * ow)
+			rem := row - b*oh*ow
+			i := rem / ow
+			j := rem - i*ow
+			oi := row * g.InC
+			for c := 0; c < g.InC; c++ {
+				best := float32(0)
+				bestIdx := int32(-1)
+				for ki := 0; ki < g.KH; ki++ {
+					yi := i*g.StrideH + ki - g.PadH
+					if yi < 0 || yi >= g.InH {
+						continue
+					}
+					for kj := 0; kj < g.KW; kj++ {
+						xj := j*g.StrideW + kj - g.PadW
+						if xj < 0 || xj >= g.InW {
 							continue
 						}
-						for kj := 0; kj < g.KW; kj++ {
-							xj := j*g.StrideW + kj - g.PadW
-							if xj < 0 || xj >= g.InW {
-								continue
-							}
-							idx := ((b*g.InH+yi)*g.InW+xj)*g.InC + c
-							v := x.data[idx]
-							if bestIdx < 0 || v > best {
-								best, bestIdx = v, int32(idx)
-							}
+						idx := ((b*g.InH+yi)*g.InW+xj)*g.InC + c
+						v := x.data[idx]
+						if bestIdx < 0 || v > best {
+							best, bestIdx = v, int32(idx)
 						}
 					}
-					out.data[oi] = best
-					arg[oi] = bestIdx
-					oi++
 				}
+				out.data[oi] = best
+				arg[oi] = bestIdx
+				oi++
 			}
 		}
-	}
+	})
 	return out, arg
 }
 
 // MaxPool2DBackward scatters the pooled-output gradient back to the input
-// positions recorded in arg.
+// positions recorded in arg. The argmax indices of one example always point
+// into that example's slab of the input, so parallelism is over the batch
+// dimension: each chunk scatters only into its own examples.
 func MaxPool2DBackward(grad *Tensor, arg []int32, inShape []int) *Tensor {
-	out := New(inShape...)
-	for i, idx := range arg {
-		if idx >= 0 {
-			out.data[idx] += grad.data[i]
+	out := NewFrom(grad, inShape...)
+	batch := inShape[0]
+	if batch == 0 || len(arg)%batch != 0 {
+		for i, idx := range arg {
+			if idx >= 0 {
+				out.data[idx] += grad.data[i]
+			}
 		}
+		return out
 	}
+	perBatch := len(arg) / batch
+	Parallel(batch, len(arg), func(blo, bhi int) {
+		for i := blo * perBatch; i < bhi*perBatch; i++ {
+			if idx := arg[i]; idx >= 0 {
+				out.data[idx] += grad.data[i]
+			}
+		}
+	})
 	return out
 }
 
@@ -157,20 +180,22 @@ func MaxPool2DBackward(grad *Tensor, arg []int32, inShape []int) *Tensor {
 func GlobalAvgPool(x *Tensor) *Tensor {
 	s := x.Shape()
 	batch, h, w, c := s[0], s[1], s[2], s[3]
-	out := New(batch, c)
+	out := NewFrom(x, batch, c)
 	inv := 1 / float32(h*w)
-	for b := 0; b < batch; b++ {
-		ob := out.Row(b)
-		for p := 0; p < h*w; p++ {
-			xr := x.data[(b*h*w+p)*c : (b*h*w+p+1)*c]
+	Parallel(batch, x.Len(), func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			ob := out.Row(b)
+			for p := 0; p < h*w; p++ {
+				xr := x.data[(b*h*w+p)*c : (b*h*w+p+1)*c]
+				for j := 0; j < c; j++ {
+					ob[j] += xr[j]
+				}
+			}
 			for j := 0; j < c; j++ {
-				ob[j] += xr[j]
+				ob[j] *= inv
 			}
 		}
-		for j := 0; j < c; j++ {
-			ob[j] *= inv
-		}
-	}
+	})
 	return out
 }
 
@@ -178,16 +203,18 @@ func GlobalAvgPool(x *Tensor) *Tensor {
 // back over the spatial positions of the NHWC input shape.
 func GlobalAvgPoolBackward(grad *Tensor, inShape []int) *Tensor {
 	batch, h, w, c := inShape[0], inShape[1], inShape[2], inShape[3]
-	out := New(inShape...)
+	out := NewFrom(grad, inShape...)
 	inv := 1 / float32(h*w)
-	for b := 0; b < batch; b++ {
-		gb := grad.Row(b)
-		for p := 0; p < h*w; p++ {
-			or := out.data[(b*h*w+p)*c : (b*h*w+p+1)*c]
-			for j := 0; j < c; j++ {
-				or[j] = gb[j] * inv
+	Parallel(batch, batch*h*w*c, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			gb := grad.Row(b)
+			for p := 0; p < h*w; p++ {
+				or := out.data[(b*h*w+p)*c : (b*h*w+p+1)*c]
+				for j := 0; j < c; j++ {
+					or[j] = gb[j] * inv
+				}
 			}
 		}
-	}
+	})
 	return out
 }

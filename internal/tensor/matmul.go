@@ -1,15 +1,6 @@
 package tensor
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
-)
-
-// parallelThreshold is the minimum number of multiply-accumulate operations
-// below which matmul runs single-threaded; spawning goroutines for tiny
-// matrices costs more than it saves.
-const parallelThreshold = 1 << 16
+import "fmt"
 
 // MatMul computes the matrix product of a's 2-D view [m,k] and b's 2-D view
 // [k,n], returning an [m,n] tensor. Rows are distributed across goroutines
@@ -20,8 +11,8 @@ func MatMul(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch [%d,%d]x[%d,%d]", m, k, k2, n))
 	}
-	out := New(m, n)
-	parallelRows(m, m*k*n, func(lo, hi int) {
+	out := NewFrom2(a, b, m, n)
+	Parallel(m, m*k*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ai := a.data[i*k : (i+1)*k]
 			oi := out.data[i*n : (i+1)*n]
@@ -49,8 +40,8 @@ func MatMulBT(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulBT inner dimension mismatch [%d,%d]x[%d,%d]T", m, k, n, k2))
 	}
-	out := New(m, n)
-	parallelRows(m, m*k*n, func(lo, hi int) {
+	out := NewFrom2(a, b, m, n)
+	Parallel(m, m*k*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ai := a.data[i*k : (i+1)*k]
 			oi := out.data[i*n : (i+1)*n]
@@ -75,8 +66,8 @@ func MatMulAT(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulAT inner dimension mismatch [%d,%d]T x [%d,%d]", k, m, k2, n))
 	}
-	out := New(m, n)
-	parallelRows(m, m*k*n, func(lo, hi int) {
+	out := NewFrom2(a, b, m, n)
+	Parallel(m, m*k*n, func(lo, hi int) {
 		for p := 0; p < k; p++ {
 			ap := a.data[p*m : (p+1)*m]
 			bp := b.data[p*n : (p+1)*n]
@@ -94,32 +85,4 @@ func MatMulAT(a, b *Tensor) *Tensor {
 		}
 	})
 	return out
-}
-
-// parallelRows splits [0,rows) into contiguous chunks and runs fn on each,
-// using one goroutine per chunk when work (a multiply-accumulate count)
-// exceeds parallelThreshold.
-func parallelRows(rows, work int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if work < parallelThreshold || workers <= 1 || rows <= 1 {
-		fn(0, rows)
-		return
-	}
-	if workers > rows {
-		workers = rows
-	}
-	chunk := (rows + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < rows; lo += chunk {
-		hi := lo + chunk
-		if hi > rows {
-			hi = rows
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
 }

@@ -8,65 +8,79 @@ import (
 // Add returns a + b elementwise.
 func Add(a, b *Tensor) *Tensor {
 	checkSame("Add", a, b)
-	out := New(a.shape...)
-	for i := range a.data {
-		out.data[i] = a.data[i] + b.data[i]
-	}
+	out := NewFrom2(a, b, a.shape...)
+	Parallel(len(a.data), len(a.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.data[i] = a.data[i] + b.data[i]
+		}
+	})
 	return out
 }
 
 // Sub returns a - b elementwise.
 func Sub(a, b *Tensor) *Tensor {
 	checkSame("Sub", a, b)
-	out := New(a.shape...)
-	for i := range a.data {
-		out.data[i] = a.data[i] - b.data[i]
-	}
+	out := NewFrom2(a, b, a.shape...)
+	Parallel(len(a.data), len(a.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.data[i] = a.data[i] - b.data[i]
+		}
+	})
 	return out
 }
 
 // Mul returns a * b elementwise (Hadamard product).
 func Mul(a, b *Tensor) *Tensor {
 	checkSame("Mul", a, b)
-	out := New(a.shape...)
-	for i := range a.data {
-		out.data[i] = a.data[i] * b.data[i]
-	}
+	out := NewFrom2(a, b, a.shape...)
+	Parallel(len(a.data), len(a.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.data[i] = a.data[i] * b.data[i]
+		}
+	})
 	return out
 }
 
 // Scale returns a*s elementwise.
 func Scale(a *Tensor, s float32) *Tensor {
-	out := New(a.shape...)
-	for i := range a.data {
-		out.data[i] = a.data[i] * s
-	}
+	out := NewFrom(a, a.shape...)
+	Parallel(len(a.data), len(a.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.data[i] = a.data[i] * s
+		}
+	})
 	return out
 }
 
 // AddInPlace accumulates b into a and returns a.
 func AddInPlace(a, b *Tensor) *Tensor {
 	checkSame("AddInPlace", a, b)
-	for i := range a.data {
-		a.data[i] += b.data[i]
-	}
+	Parallel(len(a.data), len(a.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.data[i] += b.data[i]
+		}
+	})
 	return a
 }
 
 // AxpyInPlace computes a += s*b and returns a.
 func AxpyInPlace(a *Tensor, s float32, b *Tensor) *Tensor {
 	checkSame("AxpyInPlace", a, b)
-	for i := range a.data {
-		a.data[i] += s * b.data[i]
-	}
+	Parallel(len(a.data), len(a.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.data[i] += s * b.data[i]
+		}
+	})
 	return a
 }
 
 // ScaleInPlace multiplies every element of a by s and returns a.
 func ScaleInPlace(a *Tensor, s float32) *Tensor {
-	for i := range a.data {
-		a.data[i] *= s
-	}
+	Parallel(len(a.data), len(a.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.data[i] *= s
+		}
+	})
 	return a
 }
 
@@ -76,21 +90,25 @@ func AddRowVec(a, v *Tensor) *Tensor {
 	if v.Len() != c {
 		panic(fmt.Sprintf("tensor: AddRowVec vector length %d != cols %d", v.Len(), c))
 	}
-	out := New(a.shape...)
-	for r := 0; r < a.Rows(); r++ {
-		ar, or := a.Row(r), out.Row(r)
-		for j := 0; j < c; j++ {
-			or[j] = ar[j] + v.data[j]
+	out := NewFrom(a, a.shape...)
+	Parallel(a.Rows(), a.Len(), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			ar, or := a.Row(r), out.Row(r)
+			for j := 0; j < c; j++ {
+				or[j] = ar[j] + v.data[j]
+			}
 		}
-	}
+	})
 	return out
 }
 
 // SumRows returns the column-wise sum over all rows of a's 2-D view: a
 // vector of length a.Cols(). It is the gradient counterpart of AddRowVec.
+// It runs serially: all rows accumulate into one shared output vector, and
+// chunked accumulation would change float summation order.
 func SumRows(a *Tensor) *Tensor {
 	c := a.Cols()
-	out := New(c)
+	out := NewFrom(a, c)
 	for r := 0; r < a.Rows(); r++ {
 		ar := a.Row(r)
 		for j := 0; j < c; j++ {
@@ -127,7 +145,7 @@ func MaxAbs(a *Tensor) float32 {
 // tensor.
 func Transpose2D(a *Tensor) *Tensor {
 	r, c := a.Rows(), a.Cols()
-	out := New(c, r)
+	out := NewFrom(a, c, r)
 	for i := 0; i < r; i++ {
 		ai := a.Row(i)
 		for j := 0; j < c; j++ {
@@ -140,27 +158,31 @@ func Transpose2D(a *Tensor) *Tensor {
 // SoftmaxRows applies a numerically stable softmax to each row of a's 2-D
 // view.
 func SoftmaxRows(a *Tensor) *Tensor {
-	out := New(a.shape...)
+	out := NewFrom(a, a.shape...)
 	c := a.Cols()
-	for r := 0; r < a.Rows(); r++ {
-		ar, or := a.Row(r), out.Row(r)
-		maxv := ar[0]
-		for _, v := range ar[1:] {
-			if v > maxv {
-				maxv = v
+	// Exp dominates; weight the work estimate accordingly so moderate row
+	// counts still parallelize.
+	Parallel(a.Rows(), a.Len()*8, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			ar, or := a.Row(r), out.Row(r)
+			maxv := ar[0]
+			for _, v := range ar[1:] {
+				if v > maxv {
+					maxv = v
+				}
+			}
+			var sum float64
+			for j := 0; j < c; j++ {
+				e := math.Exp(float64(ar[j] - maxv))
+				or[j] = float32(e)
+				sum += e
+			}
+			inv := float32(1 / sum)
+			for j := 0; j < c; j++ {
+				or[j] *= inv
 			}
 		}
-		var sum float64
-		for j := 0; j < c; j++ {
-			e := math.Exp(float64(ar[j] - maxv))
-			or[j] = float32(e)
-			sum += e
-		}
-		inv := float32(1 / sum)
-		for j := 0; j < c; j++ {
-			or[j] *= inv
-		}
-	}
+	})
 	return out
 }
 
@@ -168,19 +190,21 @@ func SoftmaxRows(a *Tensor) *Tensor {
 // softmax output y and upstream gradient g: dx = y ⊙ (g − rowsum(g⊙y)).
 func SoftmaxRowsBackward(y, g *Tensor) *Tensor {
 	checkSame("SoftmaxRowsBackward", y, g)
-	out := New(y.shape...)
+	out := NewFrom2(y, g, y.shape...)
 	c := y.Cols()
-	for r := 0; r < y.Rows(); r++ {
-		yr, gr, or := y.Row(r), g.Row(r), out.Row(r)
-		var dot float64
-		for j := 0; j < c; j++ {
-			dot += float64(yr[j] * gr[j])
+	Parallel(y.Rows(), y.Len()*2, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			yr, gr, or := y.Row(r), g.Row(r), out.Row(r)
+			var dot float64
+			for j := 0; j < c; j++ {
+				dot += float64(yr[j] * gr[j])
+			}
+			d := float32(dot)
+			for j := 0; j < c; j++ {
+				or[j] = yr[j] * (gr[j] - d)
+			}
 		}
-		d := float32(dot)
-		for j := 0; j < c; j++ {
-			or[j] = yr[j] * (gr[j] - d)
-		}
-	}
+	})
 	return out
 }
 
@@ -192,15 +216,19 @@ func ConcatLast(ts ...*Tensor) *Tensor {
 	}
 	rows := ts[0].Rows()
 	total := 0
+	var src *Tensor
 	for _, t := range ts {
 		if t.Rows() != rows {
 			panic(fmt.Sprintf("tensor: ConcatLast row mismatch %d vs %d", t.Rows(), rows))
 		}
 		total += t.Cols()
+		if src == nil && t.alloc != nil {
+			src = t
+		}
 	}
 	shape := append([]int(nil), ts[0].shape...)
 	shape[len(shape)-1] = total
-	out := New(shape...)
+	out := NewFrom(src, shape...)
 	for r := 0; r < rows; r++ {
 		or := out.Row(r)
 		off := 0
@@ -227,7 +255,7 @@ func SplitLast(a *Tensor, widths []int) []*Tensor {
 	for i, w := range widths {
 		shape := append([]int(nil), a.shape...)
 		shape[len(shape)-1] = w
-		outs[i] = New(shape...)
+		outs[i] = NewFrom(a, shape...)
 	}
 	for r := 0; r < a.Rows(); r++ {
 		ar := a.Row(r)

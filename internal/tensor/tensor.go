@@ -14,10 +14,14 @@ import (
 	"math"
 )
 
-// Tensor is a dense row-major float32 tensor.
+// Tensor is a dense row-major float32 tensor. alloc remembers the
+// allocation strategy the tensor came from (nil for plain heap tensors);
+// NewFrom and the kernels consult it so tensors derived from a step-scoped
+// tensor allocate from the same scope.
 type Tensor struct {
 	shape []int
 	data  []float32
+	alloc Alloc
 }
 
 // New returns a zero-filled tensor with the given shape.
@@ -103,9 +107,10 @@ func (t *Tensor) offset(idx []int) int {
 	return off
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy allocated from t's own allocator (heap for
+// unscoped tensors).
 func (t *Tensor) Clone() *Tensor {
-	c := New(t.shape...)
+	c := NewFrom(t, t.shape...)
 	copy(c.data, t.data)
 	return c
 }
@@ -135,7 +140,10 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	if n != t.Len() {
 		panic(fmt.Sprintf("tensor: reshape %v to %v changes size", t.shape, shape))
 	}
-	return &Tensor{shape: shape, data: t.data}
+	// The new header shares t's data and allocator: a reshape of a scoped
+	// tensor keeps deriving from the scope. (Only the original Get is
+	// recorded for release, so the alias cannot cause a double free.)
+	return &Tensor{shape: shape, data: t.data, alloc: t.alloc}
 }
 
 // Row returns a view of row r of the 2-D interpretation of t.

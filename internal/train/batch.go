@@ -32,10 +32,22 @@ func Batches(n, batchSize int, rng *rand.Rand) [][]int {
 // Gather copies the given record rows of a [n, ...] tensor into a new
 // [len(idx), ...] tensor.
 func Gather(t *tensor.Tensor, idx []int) *tensor.Tensor {
+	return GatherIn(nil, t, idx)
+}
+
+// GatherIn is Gather allocating the batch from a (nil falls back to the
+// heap); the trainer passes its step scope so feeds root the step's tensor
+// recycling.
+func GatherIn(a tensor.Alloc, t *tensor.Tensor, idx []int) *tensor.Tensor {
 	shape := append([]int(nil), t.Shape()...)
 	recSize := t.Len() / shape[0]
 	shape[0] = len(idx)
-	out := tensor.New(shape...)
+	var out *tensor.Tensor
+	if a != nil {
+		out = a.Get(shape...)
+	} else {
+		out = tensor.New(shape...)
+	}
 	for i, r := range idx {
 		copy(out.Data()[i*recSize:(i+1)*recSize], t.Data()[r*recSize:(r+1)*recSize])
 	}

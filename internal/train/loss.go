@@ -35,7 +35,7 @@ func (SoftmaxCrossEntropy) Compute(logits, labels *tensor.Tensor) (float64, *ten
 		panic(fmt.Sprintf("train: %d labels for %d logit rows", labels.Len(), rows))
 	}
 	probs := tensor.SoftmaxRows(logits)
-	grad := tensor.New(logits.Shape()...)
+	grad := tensor.NewFrom(logits, logits.Shape()...)
 	var loss float64
 	inv := 1 / float32(rows)
 	for r := 0; r < rows; r++ {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check bench trace-demo bench-json
+.PHONY: build test lint lint-fixtures check bench trace-demo bench-json
 
 build:
 	$(GO) build ./...
@@ -9,10 +9,17 @@ test:
 	$(GO) test ./...
 
 # nautilus-lint is the repo's own stdlib static-analysis suite
-# (internal/lint): allochygiene, determinism, floateq, layerpurity,
-# uncheckederr.
+# (internal/lint): the syntactic analyzers (allochygiene, determinism,
+# floateq, layerpurity, uncheckederr) plus the dataflow-engine analyzers
+# (arenaescape, spanleak, goroutinejoin, chunkdisjoint) and the
+# ignoreaudit stale-suppression check.
 lint:
 	$(GO) run ./cmd/nautilus-lint ./...
+
+# lint-fixtures re-runs the golden-fixture tests that pin every analyzer's
+# exact diagnostics (positions + messages) over testdata/src/violations.
+lint-fixtures:
+	$(GO) test ./internal/lint -run 'Golden|IgnoreAudit|RunSorted|RunTimed' -count=1
 
 # check is the full pre-merge gate: vet + build + invariant lint + the
 # race detector over the concurrent planning and execution layers.

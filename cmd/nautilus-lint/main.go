@@ -8,9 +8,21 @@
 // Package patterns are directories relative to the module root; a
 // trailing "/..." includes everything beneath. With no arguments it
 // checks the whole module. Findings print as file:line:col: analyzer:
-// message, or as a JSON array with -json. Suppress an intentional finding
-// in source with `//lint:ignore <analyzer> <reason>` on the offending
-// line or the line above it.
+// message, sorted by (file, line, analyzer); with -json they arrive as
+//
+//	{"findings": [...], "timings": [{"analyzer": ..., "wall_ns": ...}]}
+//
+// where timings carries each analyzer's wall time summed over the run.
+// Suppress an intentional finding in source with
+// `//lint:ignore <analyzer> <reason>` on the offending line or the line
+// above it; the ignoreaudit analyzer flags suppressions that no longer
+// hide anything.
+//
+// Exit codes:
+//
+//	0  clean — no findings
+//	1  findings reported (human or JSON output)
+//	2  load or usage error (bad pattern, parse/type-check failure)
 package main
 
 import (
@@ -22,10 +34,22 @@ import (
 	"nautilus/internal/lint"
 )
 
+// jsonReport is the -json output envelope.
+type jsonReport struct {
+	Findings []lint.Diagnostic     `json:"findings"`
+	Timings  []lint.AnalyzerTiming `json:"timings"`
+}
+
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	jsonOut := flag.Bool("json", false, "emit findings and per-analyzer timings as JSON")
 	tests := flag.Bool("tests", true, "also analyze in-package _test.go files")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprint(os.Stderr,
+			"usage: nautilus-lint [-json] [-tests=false] [-list] [packages...]\n"+
+				"exit codes: 0 no findings, 1 findings reported, 2 load/usage error\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	if *list {
@@ -48,15 +72,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	diags := lint.Run(pkgs, lint.DefaultAnalyzers(), loader.Fset)
+	diags, timings := lint.RunTimed(pkgs, lint.DefaultAnalyzers(), loader.Fset)
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
 		if diags == nil {
 			diags = []lint.Diagnostic{}
 		}
-		if err := enc.Encode(diags); err != nil {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonReport{Findings: diags, Timings: timings}); err != nil {
 			fatal(err)
 		}
 	} else {

@@ -33,7 +33,8 @@ func TestArenaTrainingBitIdentical(t *testing.T) {
 		t.Fatalf("branch count mismatch")
 	}
 	for i := range resA {
-		//lint:ignore floateq bit-identity is the property under test
+		// floateq deliberately skips test files: bit-identity is the
+		// property under test here, so exact comparison is the point.
 		if resA[i].ValAcc != resB[i].ValAcc || resA[i].ValLoss != resB[i].ValLoss || resA[i].FinalLoss != resB[i].FinalLoss {
 			t.Fatalf("arena changed results: %+v vs %+v", resA[i], resB[i])
 		}

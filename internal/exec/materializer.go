@@ -159,6 +159,9 @@ func (mz *Materializer) appendNodes(split Split, nodes []*graph.Node, deltaX *te
 	}()
 	for c := range chunks {
 		if c.err != nil {
+			// The errored chunk was already received, so the deferred drain
+			// never sees it; recycle its scope here.
+			c.scope.Release()
 			return fmt.Errorf("exec: materialize: %w", c.err)
 		}
 		for _, node := range nodes {

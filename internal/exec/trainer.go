@@ -144,17 +144,28 @@ func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchRes
 		es = span.Child("train/epoch", obs.Int("epoch", int64(epoch)))
 		batches := train.Batches(n, g.BatchSize(), rng)
 		nextFeeds := t.feedPipeline(planModel, feeds, snap, batches, span)
+		// Drain on every exit: an early error return below would otherwise
+		// strand the prefetch goroutine blocked on send (and its prefetched
+		// scope unrecycled). After a clean epoch the channel is already
+		// closed and empty, so the deferred range is a no-op.
+		defer func() {
+			for fed := range nextFeeds {
+				fed.scope.Release()
+			}
+		}()
 		for bi, idx := range batches {
 			bs = es.Child("train/batch", obs.Int("batch", int64(bi)), obs.Int("records", int64(len(idx))))
 			ws := bs.Child("train/feed_wait")
 			fed := <-nextFeeds
 			hWait.Observe(ws.End().Nanoseconds())
 			if fed.err != nil {
+				fed.scope.Release()
 				return nil, fed.err
 			}
 			feedsMap := fed.feeds
 			tape, err := planModel.ForwardOpts(feedsMap, graph.ForwardOptions{Train: true, Alloc: allocOf(fed.scope)})
 			if err != nil {
+				fed.scope.Release()
 				return nil, err
 			}
 			if trk != nil {
@@ -164,11 +175,17 @@ func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchRes
 			yb := train.GatherIn(allocOf(fed.scope), snap.TrainY, idx)
 			outGrads := map[string]*tensor.Tensor{}
 			for _, b := range branches {
-				loss, grad := t.Loss.Compute(tape.Output(b.out), yb)
+				logits := tape.Output(b.out)
+				loss, grad := t.Loss.Compute(logits, yb)
+				if grad == nil || !grad.SameShape(logits) {
+					fed.scope.Release()
+					return nil, fmt.Errorf("exec: loss gradient for branch %q has shape %v, want logits shape %v", b.out.Name, shapeOf(grad), logits.Shape())
+				}
 				lastLoss = loss
 				outGrads[b.out.Name] = grad
 			}
 			if err := tape.Backward(outGrads); err != nil {
+				fed.scope.Release()
 				return nil, err
 			}
 			all := tape.ParamGrads()
@@ -293,6 +310,14 @@ func (t *Trainer) batchFeedsIn(planModel *graph.Model, feedSigs map[string]graph
 		feeds[in.Name] = train.GatherIn(a, x, idx)
 	}
 	return feeds, nil
+}
+
+// shapeOf renders a possibly-nil tensor's shape for error messages.
+func shapeOf(t *tensor.Tensor) []int {
+	if t == nil {
+		return nil
+	}
+	return t.Shape()
 }
 
 // allocOf converts a possibly-nil *tensor.Scope into a tensor.Alloc without

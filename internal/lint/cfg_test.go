@@ -1,0 +1,375 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src (a complete file) and returns the body of its first
+// function declaration.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), "cfg_test_src.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fd.Body
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// nodeCalling finds the CFG node whose statement is a call to the named
+// function (or whose header contains one).
+func nodeCalling(t *testing.T, cfg *funcCFG, name string) *cfgNode {
+	t.Helper()
+	for _, n := range cfg.nodes {
+		if n.stmt == nil {
+			continue
+		}
+		if headerContains(n, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			return ok && id.Name == name
+		}) {
+			return n
+		}
+	}
+	t.Fatalf("no node calling %s", name)
+	return nil
+}
+
+func callsTo(name string) func(*cfgNode) bool {
+	return func(n *cfgNode) bool {
+		return headerContains(n, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			return ok && id.Name == name
+		})
+	}
+}
+
+func TestMustPassEarlyReturn(t *testing.T) {
+	cfg := buildCFG(parseBody(t, `package p
+func f(a bool) int {
+	acquire()
+	if a {
+		return 0
+	}
+	release()
+	return 1
+}`))
+	origin := nodeCalling(t, cfg, "acquire")
+	if cfg.mustPassFrom(origin, callsTo("release")) {
+		t.Error("must-pass held despite the early return skipping release")
+	}
+}
+
+func TestMustPassBothBranches(t *testing.T) {
+	cfg := buildCFG(parseBody(t, `package p
+func f(a bool) int {
+	acquire()
+	if a {
+		release()
+		return 0
+	}
+	release()
+	return 1
+}`))
+	origin := nodeCalling(t, cfg, "acquire")
+	if !cfg.mustPassFrom(origin, callsTo("release")) {
+		t.Error("must-pass failed although both branches release")
+	}
+}
+
+func TestMustPassPanicEdge(t *testing.T) {
+	cfg := buildCFG(parseBody(t, `package p
+func f(a bool) {
+	acquire()
+	if a {
+		panic("boom")
+	}
+	release()
+}`))
+	origin := nodeCalling(t, cfg, "acquire")
+	if cfg.mustPassFrom(origin, callsTo("release")) {
+		t.Error("must-pass held although the panic path skips release")
+	}
+	marked := false
+	for _, n := range cfg.nodes {
+		if n.panics {
+			marked = true
+			if len(n.succs) != 1 || n.succs[0] != cfg.exit {
+				t.Error("panic node does not edge straight to exit")
+			}
+		}
+	}
+	if !marked {
+		t.Error("no CFG node marked as panicking")
+	}
+}
+
+func TestMustPassThroughLoop(t *testing.T) {
+	// The release after the loop dominates the exit even with the loop's
+	// back edge; the conservative loop-exit edge must not break it.
+	cfg := buildCFG(parseBody(t, `package p
+func f(n int) {
+	acquire()
+	for i := 0; i < n; i++ {
+		work(i)
+	}
+	release()
+}`))
+	origin := nodeCalling(t, cfg, "acquire")
+	if !cfg.mustPassFrom(origin, callsTo("release")) {
+		t.Error("must-pass lost through the loop back edge")
+	}
+}
+
+func TestMustPassBreakSkips(t *testing.T) {
+	// A break jumps past the release inside the loop body.
+	cfg := buildCFG(parseBody(t, `package p
+func f(n int) {
+	acquire()
+	for i := 0; i < n; i++ {
+		if i > 2 {
+			break
+		}
+		release()
+	}
+}`))
+	origin := nodeCalling(t, cfg, "acquire")
+	if cfg.mustPassFrom(origin, callsTo("release")) {
+		t.Error("must-pass held although break (and the zero-iteration case) skip release")
+	}
+}
+
+func TestReachableFromBranches(t *testing.T) {
+	cfg := buildCFG(parseBody(t, `package p
+func f(a bool) {
+	if a {
+		left()
+	} else {
+		right()
+	}
+	after()
+}`))
+	from := nodeCalling(t, cfg, "left")
+	reach := cfg.reachableFrom(from)
+	if !reach[nodeCalling(t, cfg, "after")] {
+		t.Error("statement after the branch not reachable from the then-arm")
+	}
+	if reach[nodeCalling(t, cfg, "right")] {
+		t.Error("else-arm spuriously reachable from the then-arm")
+	}
+	if !reach[cfg.exit] {
+		t.Error("exit not reachable")
+	}
+}
+
+func TestSwitchDefaultBlocksFallthroughEdge(t *testing.T) {
+	// With a default clause, control cannot skip the switch body entirely.
+	cfg := buildCFG(parseBody(t, `package p
+func f(k int) {
+	acquire()
+	switch k {
+	case 0:
+		release()
+	default:
+		release()
+	}
+}`))
+	origin := nodeCalling(t, cfg, "acquire")
+	if !cfg.mustPassFrom(origin, callsTo("release")) {
+		t.Error("must-pass failed although every switch clause releases")
+	}
+
+	// Without a default, the no-match path skips every clause.
+	cfg = buildCFG(parseBody(t, `package p
+func f(k int) {
+	acquire()
+	switch k {
+	case 0:
+		release()
+	}
+}`))
+	origin = nodeCalling(t, cfg, "acquire")
+	if cfg.mustPassFrom(origin, callsTo("release")) {
+		t.Error("must-pass held although a defaultless switch can match nothing")
+	}
+}
+
+func TestForwardSolveLoopFixpoint(t *testing.T) {
+	// A gen-only may-analysis: collect the names of called functions on
+	// paths into each node. The loop's back edge must propagate the body's
+	// calls around the cycle, and the solver must terminate.
+	cfg := buildCFG(parseBody(t, `package p
+func f(n int) {
+	before()
+	for i := 0; i < n; i++ {
+		inside()
+	}
+	after()
+}`))
+	type fact = map[string]bool
+	transfer := func(n *cfgNode, in fact) fact {
+		out := make(fact, len(in)+1)
+		for k := range in {
+			out[k] = true
+		}
+		for _, root := range headerNodes(n) {
+			shallowInspect(root, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						out[id.Name] = true
+					}
+				}
+				return true
+			})
+		}
+		return out
+	}
+	clone := func(f fact) fact { return transfer(&cfgNode{}, f) }
+	merge := func(dst, src fact) bool {
+		changed := false
+		for k := range src {
+			if !dst[k] {
+				dst[k] = true
+				changed = true
+			}
+		}
+		return changed
+	}
+	facts := forwardSolve(cfg, fact{}, transfer, clone, merge)
+
+	afterIn := facts[nodeCalling(t, cfg, "after")]
+	for _, want := range []string{"before", "inside"} {
+		if !afterIn[want] {
+			t.Errorf("fact at after() is missing %q: %v", want, afterIn)
+		}
+	}
+	insideIn := facts[nodeCalling(t, cfg, "inside")]
+	if !insideIn["inside"] {
+		t.Error("loop back edge did not propagate the body's own call")
+	}
+	if insideIn["after"] {
+		t.Error("fact flowed backwards from after() into the loop body")
+	}
+}
+
+func TestHeaderNodesExcludeNestedBodies(t *testing.T) {
+	// The if-statement's CFG node must expose only its condition: the call
+	// inside its body belongs to the body's own node.
+	body := parseBody(t, `package p
+func f(a bool) {
+	if cond(a) {
+		inside()
+	}
+}`)
+	cfg := buildCFG(body)
+	var ifNode *cfgNode
+	for _, n := range cfg.nodes {
+		if _, ok := n.stmt.(*ast.IfStmt); ok {
+			ifNode = n
+		}
+	}
+	if ifNode == nil {
+		t.Fatal("no if node in CFG")
+	}
+	if !headerContains(ifNode, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "cond"
+	}) {
+		t.Error("if header does not expose its condition")
+	}
+	if headerContains(ifNode, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "inside"
+	}) {
+		t.Error("if header leaks its nested body")
+	}
+}
+
+func TestFuncLitsAreOpaque(t *testing.T) {
+	// A function literal's body contributes no nodes to the enclosing CFG,
+	// and funcBodies yields it as an independent unit.
+	src := `package p
+func f() {
+	g := func() {
+		inner()
+	}
+	g()
+}`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "lit.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bodies []funcBody
+	funcBodies(file, func(fb funcBody) { bodies = append(bodies, fb) })
+	if len(bodies) != 2 {
+		t.Fatalf("funcBodies yielded %d bodies, want 2 (decl + literal)", len(bodies))
+	}
+	cfg := buildCFG(bodies[0].body)
+	for _, n := range cfg.nodes {
+		if n.stmt == nil {
+			continue
+		}
+		if headerContains(n, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			return ok && id.Name == "inner"
+		}) {
+			t.Error("literal body leaked into the enclosing CFG")
+		}
+	}
+	litCFG := buildCFG(bodies[1].body)
+	found := false
+	for _, n := range litCFG.nodes {
+		if n.stmt != nil && strings.Contains(stmtText(n.stmt), "inner") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("literal's own CFG is missing its body")
+	}
+}
+
+// stmtText renders a statement's call name crudely for assertions.
+func stmtText(s ast.Stmt) string {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return ""
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

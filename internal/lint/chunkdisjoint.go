@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChunkDisjointAnalyzer checks tensor.Parallel callbacks: every chunk
+// `func(lo, hi)` must write only state derived from its own [lo,hi) range.
+// Parallel's contract (and the reason fused training stays bit-identical
+// under parallel kernels) is that each output element is owned by exactly
+// one chunk; a write whose index can alias across chunks, or a write to a
+// variable shared between chunks, is a data race that -race only catches
+// when the scheduler cooperates.
+//
+// The check runs a derivation fixpoint per callback: the derived set D
+// starts with the callback's two bound parameters and grows through
+// assignments whose right side mentions a member of D (loop variables
+// `for i := lo`, row aliases `row := out.Row(r)`, multi-assign positions,
+// if-init bindings). Then every write in the callback must satisfy one of:
+//
+//   - the target is declared inside the callback (chunk-local state);
+//   - the target is an index/slice expression whose index mentions a
+//     member of D, or whose base is a member of D (a slice carved from the
+//     chunk's own range);
+//   - for copy(dst, ...), the same conditions on dst.
+//
+// Writes to captured plain variables are shared-state races; an index
+// containing a modulo (`out[i%k]`) aliases across chunks by construction
+// and is flagged even though it mentions a derived variable. Test files
+// are skipped.
+var ChunkDisjointAnalyzer = &Analyzer{
+	Name: "chunkdisjoint",
+	Doc:  "flags tensor.Parallel callbacks whose writes can alias across chunks or touch shared variables without synchronization",
+	Run:  runChunkDisjoint,
+}
+
+func runChunkDisjoint(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if lit := parallelCallback(p, call); lit != nil {
+				checkChunkCallback(p, lit)
+			}
+			return true
+		})
+	}
+}
+
+// parallelCallback matches tensor.Parallel(n, work, func(lo, hi int){...})
+// — both the qualified form and bare Parallel calls inside package tensor —
+// and returns the callback literal.
+func parallelCallback(p *Pass, call *ast.CallExpr) *ast.FuncLit {
+	if len(call.Args) < 1 {
+		return nil
+	}
+	var fnObj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if pkgIdent, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := p.Pkg.Info.ObjectOf(pkgIdent).(*types.PkgName); ok && pn.Imported().Path() == tensorPkgPath {
+				fnObj = p.Pkg.Info.ObjectOf(fun.Sel)
+			}
+		}
+	case *ast.Ident:
+		fnObj = p.Pkg.Info.ObjectOf(fun)
+	}
+	if fnObj == nil || fnObj.Name() != "Parallel" || fnObj.Pkg() == nil || fnObj.Pkg().Path() != tensorPkgPath {
+		return nil
+	}
+	lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+	if !ok {
+		return nil // named callback: body out of reach
+	}
+	return lit
+}
+
+func checkChunkCallback(p *Pass, lit *ast.FuncLit) {
+	info := p.Pkg.Info
+	derived := derivedSet(info, lit)
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if l, ok := n.(*ast.FuncLit); ok && l != lit {
+			return false // nested literal: not part of this chunk's writes
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range st.Lhs {
+				checkChunkWrite(p, lit, derived, l, st.Pos())
+			}
+		case *ast.IncDecStmt:
+			checkChunkWrite(p, lit, derived, st.X, st.Pos())
+		case *ast.CallExpr:
+			if fn, ok := st.Fun.(*ast.Ident); ok && fn.Name == "copy" && len(st.Args) == 2 {
+				if _, isBuiltin := info.ObjectOf(fn).(*types.Builtin); isBuiltin {
+					checkChunkWrite(p, lit, derived, st.Args[0], st.Pos())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// derivedSet computes the fixpoint of variables derived from the callback's
+// bound parameters.
+func derivedSet(info *types.Info, lit *ast.FuncLit) map[types.Object]bool {
+	derived := map[types.Object]bool{}
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := info.ObjectOf(name); obj != nil {
+				derived[obj] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, l := range as.Lhs {
+				obj := identObj(info, l)
+				if obj == nil || derived[obj] {
+					continue
+				}
+				ri := i
+				if len(as.Rhs) == 1 {
+					ri = 0
+				}
+				if ri < len(as.Rhs) && mentionsObj(info, as.Rhs[ri], derived) {
+					derived[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return derived
+}
+
+// checkChunkWrite validates one write target inside a chunk callback.
+func checkChunkWrite(p *Pass, lit *ast.FuncLit, derived map[types.Object]bool, target ast.Expr, pos token.Pos) {
+	info := p.Pkg.Info
+	for {
+		pe, ok := target.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		target = pe.X
+	}
+	switch t := target.(type) {
+	case *ast.Ident:
+		if t.Name == "_" {
+			return
+		}
+		obj := info.ObjectOf(t)
+		if obj == nil || declaredWithin(obj, lit) {
+			return
+		}
+		p.Reportf(pos, "chunk callback writes shared variable %s; every chunk races on it — make it chunk-local and reduce after Parallel returns", t.Name)
+	case *ast.IndexExpr:
+		if indexAliases(info, t.Index) {
+			p.Reportf(pos, "chunk write index contains %%, which maps multiple chunks onto the same element; index with the chunk's own range instead")
+			return
+		}
+		if mentionsObj(info, t.Index, derived) || chunkLocalBase(info, lit, derived, t.X) {
+			return
+		}
+		p.Reportf(pos, "chunk write index does not depend on the chunk bounds; chunks may write the same element")
+	case *ast.SliceExpr:
+		if (t.Low != nil && mentionsObj(info, t.Low, derived)) || chunkLocalBase(info, lit, derived, t.X) {
+			return
+		}
+		p.Reportf(pos, "chunk copy target does not depend on the chunk bounds; chunks may write the same range")
+	case *ast.SelectorExpr:
+		if root := rootIdent(t); root != nil {
+			if obj := info.ObjectOf(root); obj != nil && (declaredWithin(obj, lit) || derived[obj]) {
+				return
+			}
+		}
+		p.Reportf(pos, "chunk callback writes shared field %s; every chunk races on it", exprString(t))
+	case *ast.StarExpr:
+		p.Reportf(pos, "chunk callback writes through a shared pointer; every chunk races on it")
+	}
+}
+
+// chunkLocalBase reports whether the written container is itself owned by
+// the chunk: a derived variable (a row carved with the chunk's index) or
+// one declared inside the callback.
+func chunkLocalBase(info *types.Info, lit *ast.FuncLit, derived map[types.Object]bool, base ast.Expr) bool {
+	root := rootIdent(base)
+	if root == nil {
+		return false
+	}
+	obj := info.ObjectOf(root)
+	if obj == nil {
+		return false
+	}
+	return derived[obj] || declaredWithin(obj, lit)
+}
+
+// indexAliases reports whether the index expression contains a modulo.
+func indexAliases(info *types.Info, idx ast.Expr) bool {
+	found := false
+	ast.Inspect(idx, func(n ast.Node) bool {
+		if be, ok := n.(*ast.BinaryExpr); ok && be.Op == token.REM {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// exprString renders a short selector chain for diagnostics.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	}
+	return "?"
+}

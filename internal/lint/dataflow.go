@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file holds the solver half of the dataflow engine: a backward
+// must-pass (all-paths) analysis, forward reachability, and a generic
+// forward worklist solver, plus the per-function driver that feeds every
+// FuncDecl and FuncLit body to an analysis independently.
+
+// mustPass computes, for every node, whether every path from that node to
+// the function exit passes through a statement satisfying the predicate
+// (the node's own statement counts). It is a greatest-fixpoint backward
+// analysis: nodes start optimistically true and are lowered until stable,
+// so cycles that can only leave through a satisfying statement stay true,
+// while any path that can reach exit unsatisfied — including panic edges —
+// lowers everything upstream of it.
+func (c *funcCFG) mustPass(satisfies func(*cfgNode) bool) map[*cfgNode]bool {
+	must := make(map[*cfgNode]bool, len(c.nodes))
+	sat := make(map[*cfgNode]bool, len(c.nodes))
+	for _, n := range c.nodes {
+		must[n] = n != c.exit
+		sat[n] = n != c.exit && satisfies(n)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range c.nodes {
+			if n == c.exit || !must[n] || sat[n] {
+				continue
+			}
+			ok := len(n.succs) > 0
+			for _, s := range n.succs {
+				if !must[s] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				must[n] = false
+				changed = true
+			}
+		}
+	}
+	return must
+}
+
+// mustPassFrom reports whether every path from origin's successors to exit
+// passes a satisfying statement. The origin itself does not count: it is
+// typically the statement that creates the tracked value.
+func (c *funcCFG) mustPassFrom(origin *cfgNode, satisfies func(*cfgNode) bool) bool {
+	must := c.mustPass(satisfies)
+	if len(origin.succs) == 0 {
+		return false
+	}
+	for _, s := range origin.succs {
+		if !must[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// reachableFrom returns the set of nodes reachable from the successors of
+// from (exclusive of from itself unless it sits on a cycle).
+func (c *funcCFG) reachableFrom(from *cfgNode) map[*cfgNode]bool {
+	seen := map[*cfgNode]bool{}
+	var stack []*cfgNode
+	stack = append(stack, from.succs...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, n.succs...)
+	}
+	return seen
+}
+
+// forwardSolve runs a forward may-analysis to its least fixpoint and
+// returns each node's entry fact. transfer must not mutate its input;
+// merge folds src into dst and reports whether dst changed; clone deep-
+// copies a fact when a node's entry state is first populated.
+func forwardSolve[F any](c *funcCFG, entry F,
+	transfer func(*cfgNode, F) F,
+	clone func(F) F,
+	merge func(dst, src F) bool,
+) map[*cfgNode]F {
+	in := map[*cfgNode]F{c.entry: entry}
+	work := []*cfgNode{c.entry}
+	queued := map[*cfgNode]bool{c.entry: true}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		queued[n] = false
+		out := transfer(n, in[n])
+		for _, s := range n.succs {
+			cur, ok := in[s]
+			changed := false
+			if !ok {
+				in[s] = clone(out)
+				changed = true
+			} else if merge(cur, out) {
+				changed = true
+			}
+			if changed && !queued[s] {
+				work = append(work, s)
+				queued[s] = true
+			}
+		}
+	}
+	return in
+}
+
+// funcBody is one function body under analysis: a declared function or a
+// function literal, each treated as an independent unit.
+type funcBody struct {
+	decl *ast.FuncDecl // nil for literals
+	lit  *ast.FuncLit  // nil for declarations
+	typ  *ast.FuncType
+	body *ast.BlockStmt
+}
+
+// funcBodies yields every function body in the file — each FuncDecl and
+// each FuncLit (at any nesting depth) — for independent analysis.
+func funcBodies(f *ast.File, visit func(fb funcBody)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(funcBody{decl: fn, typ: fn.Type, body: fn.Body})
+			}
+		case *ast.FuncLit:
+			visit(funcBody{lit: fn, typ: fn.Type, body: fn.Body})
+		}
+		return true
+	})
+}
+
+// declaredWithin reports whether obj's declaration position lies inside
+// node — the engine's notion of "local to this body/loop/literal".
+func declaredWithin(obj types.Object, n ast.Node) bool {
+	return obj != nil && obj.Pos() != 0 && within(obj.Pos(), n)
+}
+
+// namedType reports whether t (possibly behind pointers) is the named type
+// pkgPath.name.
+func namedType(t types.Type, pkgPath, name string) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// methodCallOn matches a call of the form recv.sel(...) and returns the
+// receiver expression; ok is false for other call shapes.
+func methodCallOn(call *ast.CallExpr, sel string) (ast.Expr, bool) {
+	s, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || s.Sel.Name != sel {
+		return nil, false
+	}
+	return s.X, true
+}
+
+// identObj resolves e (through parens) to the object of a plain identifier,
+// or nil.
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.ObjectOf(id)
+}
+
+// mentionsObj reports whether any identifier under root (skipping nested
+// function literals) resolves to one of the given objects.
+func mentionsObj(info *types.Info, root ast.Node, objs map[types.Object]bool) bool {
+	found := false
+	shallowInspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && objs[info.ObjectOf(id)] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

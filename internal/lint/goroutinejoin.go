@@ -1,0 +1,436 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineJoinAnalyzer checks that every goroutine launched with a
+// function literal follows a recognizable join protocol, and that
+// pipeline-constructor channels are drained on every consumer path. The
+// hot-path packages (exec, tensor, core) release arena scopes and publish
+// metrics after fan-outs; an unjoined goroutine there is a use-after-
+// release or a leak that -race only catches when the schedule cooperates.
+//
+// Per `go func(){...}()` statement, in classification order:
+//
+//  1. WaitGroup protocol — the literal calls wg.Done() on a WaitGroup from
+//     the enclosing function: requires a wg.Add(...) textually before the
+//     launch and a wg.Wait() on every path from the launch to the exit
+//     (a deferred Wait also counts).
+//  2. Channel protocol — the literal sends on or closes an enclosing
+//     channel: requires the channel to leave the function (returned or
+//     passed on — the pipeline-constructor shape, whose consumers are
+//     checked separately) or a receive/range join on every path after the
+//     launch.
+//  3. Neither — flagged: the goroutine has no join protocol at all.
+//
+// Consumer side: a call to a same-package pipeline constructor (a function
+// returning a channel that is fed and closed by a goroutine it spawns)
+// must drain the channel on every path — a deferred `for range ch` drain,
+// a dominating range, or handing the channel onward. Early returns that
+// strand the producer blocked on send leak the goroutine and everything
+// it holds.
+//
+// Goroutines launched with a named function value are skipped (no body to
+// inspect); test files are skipped.
+var GoroutineJoinAnalyzer = &Analyzer{
+	Name: "goroutinejoin",
+	Doc:  "flags goroutines with unbalanced WaitGroup/done-channel join protocols and pipeline channels not drained on every path",
+	Run:  runGoroutineJoin,
+}
+
+func runGoroutineJoin(p *Pass) {
+	constructors := pipelineConstructors(p)
+	for _, f := range p.Pkg.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		funcBodies(f, func(fb funcBody) {
+			goroutineJoinFunc(p, fb)
+			pipelineConsumerCheck(p, fb, constructors)
+		})
+	}
+}
+
+func goroutineJoinFunc(p *Pass, fb funcBody) {
+	info := p.Pkg.Info
+	cfg := buildCFG(fb.body)
+	for _, n := range cfg.nodes {
+		gs, ok := n.stmt.(*ast.GoStmt)
+		if !ok {
+			continue
+		}
+		lit, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			continue // named function value: body out of reach
+		}
+		if wg := enclosingWaitGroupDone(info, lit, fb.body); wg != nil {
+			if !addBeforeLaunch(info, fb.body, wg, gs) {
+				p.Reportf(gs.Pos(), "goroutine calls %s.Done but no %s.Add precedes the launch", wg.Name(), wg.Name())
+			} else if !waitJoins(info, cfg, n, wg) {
+				p.Reportf(gs.Pos(), "goroutine joined by %s.Wait, but a path from the launch reaches return without waiting", wg.Name())
+			}
+			continue
+		}
+		chans := enclosingChannelActivity(info, lit, fb.body)
+		if len(chans) == 0 {
+			p.Reportf(gs.Pos(), "goroutine has no join protocol: no WaitGroup.Done and no send/close on an enclosing channel")
+			continue
+		}
+		joined := false
+		for _, ch := range chans {
+			if channelLeavesFunction(info, fb, ch) || receiveJoins(info, cfg, n, ch) {
+				joined = true
+				break
+			}
+		}
+		if !joined {
+			p.Reportf(gs.Pos(), "goroutine signals on channel %s, but no path after the launch is guaranteed to receive from it and the channel never leaves the function", chans[0].Name())
+		}
+	}
+}
+
+// enclosingWaitGroupDone returns the sync.WaitGroup variable (declared
+// outside the literal) on which the literal calls Done, or nil. Deferred
+// closures inside the literal count (`defer wg.Done()` and variants).
+func enclosingWaitGroupDone(info *types.Info, lit *ast.FuncLit, encl ast.Node) types.Object {
+	var wg types.Object
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if wg != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := methodCallOn(call, "Done")
+		if !ok {
+			return true
+		}
+		obj := identObj(info, recv)
+		if obj == nil || !namedType(obj.Type(), "sync", "WaitGroup") {
+			return true
+		}
+		if declaredWithin(obj, lit) {
+			return true // the literal's own WaitGroup joins its own children
+		}
+		wg = obj
+		return false
+	})
+	return wg
+}
+
+// addBeforeLaunch reports whether wg.Add(...) appears before the go
+// statement in the enclosing body.
+func addBeforeLaunch(info *types.Info, body ast.Node, wg types.Object, gs *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := methodCallOn(call, "Add")
+		if ok && identObj(info, recv) == wg && call.Pos() < gs.Pos() {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// waitJoins reports whether wg.Wait() runs on every path from the launch
+// node to exit (or is deferred anywhere in the function).
+func waitJoins(info *types.Info, cfg *funcCFG, launch *cfgNode, wg types.Object) bool {
+	isWait := func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		recv, ok := methodCallOn(call, "Wait")
+		return ok && identObj(info, recv) == wg
+	}
+	for _, m := range cfg.nodes {
+		if ds, ok := m.stmt.(*ast.DeferStmt); ok {
+			deferred := false
+			ast.Inspect(ds.Call, func(x ast.Node) bool {
+				if isWait(x) {
+					deferred = true
+				}
+				return !deferred
+			})
+			if deferred {
+				return true
+			}
+		}
+	}
+	return cfg.mustPassFrom(launch, func(n *cfgNode) bool {
+		return headerContains(n, isWait)
+	})
+}
+
+// enclosingChannelActivity returns channel variables declared outside the
+// literal that the literal sends on or closes.
+func enclosingChannelActivity(info *types.Info, lit *ast.FuncLit, encl ast.Node) []types.Object {
+	var out []types.Object
+	seen := map[types.Object]bool{}
+	record := func(e ast.Expr) {
+		obj := identObj(info, e)
+		if obj == nil || seen[obj] || declaredWithin(obj, lit) {
+			return
+		}
+		if _, ok := obj.Type().Underlying().(*types.Chan); !ok {
+			return
+		}
+		seen[obj] = true
+		out = append(out, obj)
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			record(x.Chan)
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "close" && len(x.Args) == 1 {
+				if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin {
+					record(x.Args[0])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// channelLeavesFunction reports whether ch is returned from the enclosing
+// function, passed to a call, or stored beyond a plain local binding —
+// the pipeline-constructor handoff, where joining is the consumer's job.
+// Uses inside function literals don't count: the producer goroutine's own
+// sends and close are its protocol, not an escape.
+func channelLeavesFunction(info *types.Info, fb funcBody, ch types.Object) bool {
+	leaves := false
+	parents := parentMap(fb.body)
+	insideLit := func(n ast.Node) bool {
+		for p := parents[n]; p != nil; p = parents[p] {
+			if _, ok := p.(*ast.FuncLit); ok {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		if leaves {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || info.ObjectOf(id) != ch || insideLit(id) {
+			return true
+		}
+		switch pn := parents[id].(type) {
+		case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr:
+			leaves = true
+		case *ast.SendStmt:
+			leaves = pn.Value == ast.Expr(id) // the channel itself sent as a value
+		case *ast.CallExpr:
+			if fn, ok := pn.Fun.(*ast.Ident); ok {
+				if _, isBuiltin := info.ObjectOf(fn).(*types.Builtin); isBuiltin {
+					break // close/len/cap in the constructor body
+				}
+			}
+			for _, a := range pn.Args {
+				if a == ast.Expr(id) {
+					leaves = true // passed along; callee owns the join
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range pn.Rhs {
+				if r != ast.Expr(id) {
+					continue
+				}
+				for _, l := range pn.Lhs {
+					if _, isSel := l.(*ast.SelectorExpr); isSel || isPackageLevel(info, l) {
+						leaves = true
+					}
+				}
+			}
+		}
+		return !leaves
+	})
+	return leaves
+}
+
+func isPackageLevel(info *types.Info, e ast.Expr) bool {
+	obj := identObj(info, e)
+	if obj == nil {
+		return false
+	}
+	v, ok := obj.(*types.Var)
+	return ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// receiveJoins reports whether every path from the launch passes a receive
+// or range over ch.
+func receiveJoins(info *types.Info, cfg *funcCFG, launch *cfgNode, ch types.Object) bool {
+	return cfg.mustPassFrom(launch, func(n *cfgNode) bool {
+		if rs, ok := n.stmt.(*ast.RangeStmt); ok && identObj(info, rs.X) == ch {
+			return true
+		}
+		return headerContains(n, func(x ast.Node) bool {
+			ue, ok := x.(*ast.UnaryExpr)
+			return ok && ue.Op == token.ARROW && identObj(info, ue.X) == ch
+		})
+	})
+}
+
+// pipelineConstructors summarizes the package: functions returning a
+// channel that a goroutine they spawn sends on or closes. Their callers
+// must drain the result.
+func pipelineConstructors(p *Pass) map[types.Object]bool {
+	info := p.Pkg.Info
+	out := map[types.Object]bool{}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Type.Results == nil {
+				continue
+			}
+			returnsChan := false
+			for _, r := range fd.Type.Results.List {
+				if _, ok := info.TypeOf(r.Type).Underlying().(*types.Chan); ok {
+					returnsChan = true
+				}
+			}
+			if !returnsChan {
+				continue
+			}
+			// Does a spawned goroutine feed a channel this function returns?
+			fed := map[types.Object]bool{}
+			shallowGoLits(fd.Body, func(lit *ast.FuncLit) {
+				for _, ch := range enclosingChannelActivity(info, lit, fd.Body) {
+					fed[ch] = true
+				}
+			})
+			if len(fed) == 0 {
+				continue
+			}
+			returned := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, res := range rs.Results {
+					if fed[identObj(info, res)] {
+						returned = true
+					}
+				}
+				return !returned
+			})
+			if returned {
+				if obj := info.ObjectOf(fd.Name); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// shallowGoLits visits the function literal of each go statement directly
+// inside body (not nested in other literals).
+func shallowGoLits(body ast.Node, visit func(*ast.FuncLit)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if gs, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+				visit(lit)
+			}
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return true
+	})
+}
+
+// pipelineConsumerCheck flags bindings of a pipeline constructor's channel
+// that are not drained on every path: no deferred `for range ch` drain, no
+// dominating range, and the channel never handed onward.
+func pipelineConsumerCheck(p *Pass, fb funcBody, constructors map[types.Object]bool) {
+	if len(constructors) == 0 {
+		return
+	}
+	info := p.Pkg.Info
+	cfg := buildCFG(fb.body)
+	for _, n := range cfg.nodes {
+		as, ok := n.stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			continue
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		callee := calleeObj(info, call)
+		if callee == nil || !constructors[callee] {
+			continue
+		}
+		ch := identObj(info, as.Lhs[0])
+		if ch == nil {
+			continue
+		}
+		if deferredDrain(info, fb.body, ch) || channelLeavesFunction(info, fb, ch) || receiveRangeDominates(info, cfg, n, ch) {
+			continue
+		}
+		p.Reportf(as.Pos(), "pipeline channel %s from %s is not drained on every path; an early return leaves the producer goroutine blocked on send — add `defer func() { for range %s { ... } }()` after the call", ch.Name(), callee.Name(), ch.Name())
+	}
+}
+
+// calleeObj resolves the called function or method object.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return info.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(fun.Sel)
+	}
+	return nil
+}
+
+// deferredDrain matches `defer func() { for ... range ch { ... } }()`.
+func deferredDrain(info *types.Info, body ast.Node, ch types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ds.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(x ast.Node) bool {
+			if rs, ok := x.(*ast.RangeStmt); ok && identObj(info, rs.X) == ch {
+				found = true
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}
+
+// receiveRangeDominates reports whether every path from the binding passes
+// a `for range ch` (which completes only once the producer closes ch).
+func receiveRangeDominates(info *types.Info, cfg *funcCFG, bind *cfgNode, ch types.Object) bool {
+	return cfg.mustPassFrom(bind, func(n *cfgNode) bool {
+		rs, ok := n.stmt.(*ast.RangeStmt)
+		return ok && identObj(info, rs.X) == ch
+	})
+}

@@ -1,0 +1,23 @@
+package lint
+
+// IgnoreAuditAnalyzer reports stale //lint:ignore pragmas: suppressions
+// whose named analyzer ran but produced no finding on the covered lines.
+// A stale pragma is worse than dead weight — it silently licenses a future
+// violation at that site, defeating the point of mandatory reasons.
+//
+// The check is implemented inside the framework's Run, not in a per-package
+// pass: staleness is only decidable after every analyzer has reported and
+// filtering has recorded which pragmas actually fired. This analyzer value
+// exists so the audit participates in analyzer selection (-list, run sets,
+// documentation) like any other check; its presence in the run set enables
+// the audit. Its findings are attributed to pragma positions and — like the
+// framework's malformed-suppression findings — cannot themselves be
+// suppressed.
+//
+// A pragma naming an analyzer that is not part of the current run is left
+// alone: the audit cannot judge what it did not execute.
+var IgnoreAuditAnalyzer = &Analyzer{
+	Name: "ignoreaudit",
+	Doc:  "flags stale //lint:ignore suppressions whose named analyzer no longer fires at that site",
+	Run:  func(*Pass) {}, // the audit runs framework-side, after filtering
+}

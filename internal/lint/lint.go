@@ -4,7 +4,19 @@
 // randomness is seeded, no wall-clock reads outside annotated reporting
 // sites), no floating-point equality in system logic, layer purity
 // (Forward/Backward never stash activations on the receiver — they go
-// through the returned cache), and no silently dropped errors.
+// through the returned cache), no silently dropped errors, and allocation
+// hygiene in hot loops.
+//
+// On top of the syntactic analyzers, the package carries an intraprocedural
+// dataflow engine (cfg.go, dataflow.go): a statement-level CFG with
+// forward/backward solvers and value-origin tracking, powering the
+// lifetime and concurrency analyzers introduced for the arena/parallel/
+// span era — arenaescape (scoped tensors must not outlive Scope.Release),
+// spanleak (every obs span ends on every path), goroutinejoin (every
+// goroutine has a WaitGroup or channel join, and pipeline channels are
+// drained on every consumer path), and chunkdisjoint (tensor.Parallel
+// callbacks write only chunk-owned state). ignoreaudit closes the loop by
+// flagging suppressions whose analyzer no longer fires.
 //
 // Findings can be suppressed in source with
 //
@@ -21,6 +33,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one named check over a type-checked package.
@@ -80,24 +93,48 @@ func (d Diagnostic) String() string {
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		AllocHygieneAnalyzer,
+		ArenaEscapeAnalyzer,
+		ChunkDisjointAnalyzer,
 		DeterminismAnalyzer,
 		FloatEqAnalyzer,
+		GoroutineJoinAnalyzer,
+		IgnoreAuditAnalyzer,
 		LayerPurityAnalyzer,
+		SpanLeakAnalyzer,
 		UncheckedErrAnalyzer,
 	}
 }
 
+// AnalyzerTiming is one analyzer's wall time summed over every package of
+// a run, reported by RunTimed and the CLI's -json output.
+type AnalyzerTiming struct {
+	Analyzer string `json:"analyzer"`
+	WallNs   int64  `json:"wall_ns"`
+}
+
 // Run applies the analyzers to every package, filters suppressed findings,
-// and returns the remainder sorted by position. Malformed suppression
-// comments are reported under the analyzer name "lint".
+// and returns the remainder sorted by (file, line, analyzer). Malformed
+// suppression comments are reported under the analyzer name "lint".
 func Run(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet) []Diagnostic {
+	diags, _ := RunTimed(pkgs, analyzers, fset)
+	return diags
+}
+
+// RunTimed is Run plus per-analyzer wall time (one entry per analyzer, in
+// the order given, summed across packages).
+func RunTimed(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet) ([]Diagnostic, []AnalyzerTiming) {
 	var diags []Diagnostic
 	sup := newSuppressions()
+	wall := make([]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
 		sup.scan(pkg, fset, &diags)
-		for _, a := range analyzers {
+		for i, a := range analyzers {
 			pass := &Pass{Analyzer: a, Pkg: pkg, Fset: fset, diags: &diags}
+			//lint:ignore determinism wall-clock measurement of analyzer runtime for -json timing output
+			start := time.Now()
 			a.Run(pass)
+			//lint:ignore determinism wall-clock measurement of analyzer runtime for -json timing output
+			wall[i] += time.Since(start)
 		}
 	}
 	kept := diags[:0]
@@ -105,6 +142,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet) []Diagnost
 		if !sup.suppressed(d) {
 			kept = append(kept, d)
 		}
+	}
+	// The stale-suppression audit must run after filtering: a suppression
+	// is live exactly when it hid a finding above.
+	if hasAnalyzer(analyzers, IgnoreAuditAnalyzer.Name) {
+		kept = append(kept, sup.audit(analyzerNames(analyzers))...)
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
@@ -114,28 +156,61 @@ func Run(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet) []Diagnost
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		if a.Col != b.Col {
-			return a.Col < b.Col
-		}
 		if a.Analyzer != b.Analyzer {
 			return a.Analyzer < b.Analyzer
 		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
 		return a.Message < b.Message
 	})
-	return kept
+	timings := make([]AnalyzerTiming, len(analyzers))
+	for i, a := range analyzers {
+		timings[i] = AnalyzerTiming{Analyzer: a.Name, WallNs: wall[i].Nanoseconds()}
+	}
+	return kept, timings
+}
+
+func hasAnalyzer(analyzers []*Analyzer, name string) bool {
+	for _, a := range analyzers {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func analyzerNames(analyzers []*Analyzer) map[string]bool {
+	names := map[string]bool{}
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+	return names
 }
 
 // ignoreRe matches the suppression syntax after the "//" comment marker.
 var ignoreRe = regexp.MustCompile(`^lint:ignore\s+(\S+)(?:\s+(.*))?$`)
 
+// pragma is one well-formed //lint:ignore comment, tracked for the stale-
+// suppression audit: used records which of its named analyzers it actually
+// silenced during a run.
+type pragma struct {
+	file  string
+	line  int
+	col   int
+	names []string
+	used  map[string]bool
+}
+
 // suppressions indexes //lint:ignore comments by (file, effective line):
 // a comment suppresses matching findings on its own line and the next.
 type suppressions struct {
-	byLine map[string]map[int]map[string]bool
+	byLine  map[string]map[int]map[string][]*pragma
+	pragmas []*pragma
 }
 
 func newSuppressions() *suppressions {
-	return &suppressions{byLine: map[string]map[int]map[string]bool{}}
+	return &suppressions{byLine: map[string]map[int]map[string][]*pragma{}}
 }
 
 func (s *suppressions) scan(pkg *Package, fset *token.FileSet, diags *[]Diagnostic) {
@@ -162,34 +237,64 @@ func (s *suppressions) scan(pkg *Package, fset *token.FileSet, diags *[]Diagnost
 					})
 					continue
 				}
+				pr := &pragma{file: pos.Filename, line: pos.Line, col: pos.Column, used: map[string]bool{}}
+				s.pragmas = append(s.pragmas, pr)
 				for _, name := range strings.Split(m[1], ",") {
-					s.add(pos.Filename, pos.Line, name)
-					s.add(pos.Filename, pos.Line+1, name)
+					pr.names = append(pr.names, name)
+					s.add(pos.Filename, pos.Line, name, pr)
+					s.add(pos.Filename, pos.Line+1, name, pr)
 				}
 			}
 		}
 	}
 }
 
-func (s *suppressions) add(file string, line int, analyzer string) {
+func (s *suppressions) add(file string, line int, analyzer string, pr *pragma) {
 	lines := s.byLine[file]
 	if lines == nil {
-		lines = map[int]map[string]bool{}
+		lines = map[int]map[string][]*pragma{}
 		s.byLine[file] = lines
 	}
 	set := lines[line]
 	if set == nil {
-		set = map[string]bool{}
+		set = map[string][]*pragma{}
 		lines[line] = set
 	}
-	set[analyzer] = true
+	set[analyzer] = append(set[analyzer], pr)
 }
 
 func (s *suppressions) suppressed(d Diagnostic) bool {
-	if d.Analyzer == "lint" {
+	if d.Analyzer == "lint" || d.Analyzer == IgnoreAuditAnalyzer.Name {
 		return false // framework findings are not suppressible
 	}
-	return s.byLine[d.File][d.Line][d.Analyzer]
+	prs := s.byLine[d.File][d.Line][d.Analyzer]
+	for _, pr := range prs {
+		pr.used[d.Analyzer] = true
+	}
+	return len(prs) > 0
+}
+
+// audit reports pragmas that silenced nothing: for each well-formed
+// //lint:ignore, every named analyzer that was part of the run but did not
+// produce a finding under the pragma is a stale suppression hiding a
+// violation that no longer exists.
+func (s *suppressions) audit(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, pr := range s.pragmas {
+		for _, name := range pr.names {
+			if !ran[name] || pr.used[name] {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Analyzer: IgnoreAuditAnalyzer.Name,
+				File:     pr.file,
+				Line:     pr.line,
+				Col:      pr.col,
+				Message:  fmt.Sprintf("stale suppression: %s reports no finding here; remove the //lint:ignore", name),
+			})
+		}
+	}
+	return out
 }
 
 // rootIdent unwraps selector/index/star/paren chains to the base

@@ -6,14 +6,16 @@ import (
 	"path/filepath"
 	"reflect"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 
 	"nautilus/internal/lint"
 )
 
-// finding is the position-and-content triple the golden test compares on.
+// finding is the position-and-content tuple the golden test compares on.
 type finding struct {
+	File     string
 	Line     int
 	Analyzer string
 	Message  string
@@ -22,15 +24,16 @@ type finding struct {
 // wantRe extracts golden expectations from fixture comments.
 var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
 
-// parseWant reads the fixture and returns the expected findings: one per
-// `// want "<analyzer>: <message>"` comment, plus a framework finding for
-// the deliberately malformed suppression line.
+// parseWant reads one fixture file and returns the expected findings: one
+// per `// want "<analyzer>: <message>"` comment, plus a framework finding
+// for the deliberately malformed suppression line.
 func parseWant(t *testing.T, path string) []finding {
 	t.Helper()
 	b, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
+	base := filepath.Base(path)
 	var want []finding
 	for i, line := range strings.Split(string(b), "\n") {
 		if m := wantRe.FindStringSubmatch(line); m != nil {
@@ -38,10 +41,11 @@ func parseWant(t *testing.T, path string) []finding {
 			if !ok {
 				t.Fatalf("%s:%d: malformed want comment %q", path, i+1, m[1])
 			}
-			want = append(want, finding{Line: i + 1, Analyzer: analyzer, Message: msg})
+			want = append(want, finding{File: base, Line: i + 1, Analyzer: analyzer, Message: msg})
 		}
 		if strings.TrimSpace(line) == "//lint:ignore floateq" {
 			want = append(want, finding{
+				File:     base,
 				Line:     i + 1,
 				Analyzer: "lint",
 				Message:  "malformed suppression: want //lint:ignore <analyzer> <reason>",
@@ -51,9 +55,20 @@ func parseWant(t *testing.T, path string) []finding {
 	return want
 }
 
-func runOnFixture(t *testing.T) ([]lint.Diagnostic, string) {
+// fixtureFiles globs every .go file of the violations fixture package.
+func fixtureFiles(t *testing.T) (dir string, files []string) {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", "violations")
+	dir = filepath.Join("testdata", "src", "violations")
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixture files under %s: %v", dir, err)
+	}
+	return dir, files
+}
+
+func runOnFixture(t *testing.T) []lint.Diagnostic {
+	t.Helper()
+	dir, _ := fixtureFiles(t)
 	loader, err := lint.NewLoader(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -62,37 +77,45 @@ func runOnFixture(t *testing.T) ([]lint.Diagnostic, string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags := lint.Run([]*lint.Package{pkg}, lint.DefaultAnalyzers(), loader.Fset)
-	return diags, filepath.Join(dir, "violations.go")
+	return lint.Run([]*lint.Package{pkg}, lint.DefaultAnalyzers(), loader.Fset)
 }
 
 // TestViolationsGolden runs the full analyzer suite over the fixture
 // package and asserts the exact diagnostic set: every violation class is
-// caught at its marked line with its exact message, the valid suppression
-// hides its finding, and the malformed suppression is itself reported.
+// caught at its marked line with its exact message, the valid suppressions
+// hide their findings, and the malformed suppression is itself reported.
 func TestViolationsGolden(t *testing.T) {
-	diags, fixture := runOnFixture(t)
+	diags := runOnFixture(t)
+	_, files := fixtureFiles(t)
+
+	known := map[string]bool{}
+	var want []finding
+	for _, f := range files {
+		known[filepath.Base(f)] = true
+		want = append(want, parseWant(t, f)...)
+	}
 
 	var got []finding
 	for _, d := range diags {
-		if filepath.Base(d.File) != "violations.go" {
+		if !known[filepath.Base(d.File)] {
 			t.Errorf("finding in unexpected file %s", d.File)
 		}
 		if d.Col <= 0 {
 			t.Errorf("finding at %s:%d has no column", d.File, d.Line)
 		}
-		got = append(got, finding{Line: d.Line, Analyzer: d.Analyzer, Message: d.Message})
+		got = append(got, finding{File: filepath.Base(d.File), Line: d.Line, Analyzer: d.Analyzer, Message: d.Message})
 	}
-	want := parseWant(t, fixture)
 
 	sortFindings := func(fs []finding) {
-		for i := range fs {
-			for j := i + 1; j < len(fs); j++ {
-				if fs[j].Line < fs[i].Line || (fs[j].Line == fs[i].Line && fs[j].Analyzer < fs[i].Analyzer) {
-					fs[i], fs[j] = fs[j], fs[i]
-				}
+		sort.Slice(fs, func(i, j int) bool {
+			if fs[i].File != fs[j].File {
+				return fs[i].File < fs[j].File
 			}
-		}
+			if fs[i].Line != fs[j].Line {
+				return fs[i].Line < fs[j].Line
+			}
+			return fs[i].Analyzer < fs[j].Analyzer
+		})
 	}
 	sortFindings(got)
 	sortFindings(want)
@@ -101,7 +124,7 @@ func TestViolationsGolden(t *testing.T) {
 	}
 
 	// Every analyzer class must appear at least once — the fixture is the
-	// acceptance proof that the suite detects all four.
+	// acceptance proof that the suite detects every class it advertises.
 	seen := map[string]bool{}
 	for _, f := range got {
 		seen[f.Analyzer] = true
@@ -113,10 +136,92 @@ func TestViolationsGolden(t *testing.T) {
 	}
 }
 
+// TestRunSortedByPosition pins the CLI contract: diagnostics arrive sorted
+// by (file, line, analyzer).
+func TestRunSortedByPosition(t *testing.T) {
+	diags := runOnFixture(t)
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		before := a.File < b.File ||
+			(a.File == b.File && a.Line < b.Line) ||
+			(a.File == b.File && a.Line == b.Line && a.Analyzer <= b.Analyzer)
+		if !before {
+			t.Errorf("diagnostics out of order: %s before %s", a, b)
+		}
+	}
+}
+
+// TestRunTimedReportsEveryAnalyzer asserts -json timing covers the whole
+// suite, in suite order.
+func TestRunTimedReportsEveryAnalyzer(t *testing.T) {
+	dir, _ := fixtureFiles(t)
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers := lint.DefaultAnalyzers()
+	_, timings := lint.RunTimed([]*lint.Package{pkg}, analyzers, loader.Fset)
+	if len(timings) != len(analyzers) {
+		t.Fatalf("got %d timings, want %d", len(timings), len(analyzers))
+	}
+	for i, tm := range timings {
+		if tm.Analyzer != analyzers[i].Name {
+			t.Errorf("timing %d is %s, want %s", i, tm.Analyzer, analyzers[i].Name)
+		}
+		if tm.WallNs < 0 {
+			t.Errorf("timing for %s is negative: %d", tm.Analyzer, tm.WallNs)
+		}
+	}
+}
+
+// TestIgnoreAuditScopedToRunSet asserts the stale-suppression audit judges
+// only analyzers that were part of the run: with the suite trimmed to
+// determinism (plus the audit itself), the stale determinism pragma is
+// still flagged while pragmas naming analyzers outside the run set stay
+// silent.
+func TestIgnoreAuditScopedToRunSet(t *testing.T) {
+	dir, _ := fixtureFiles(t)
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := []*lint.Analyzer{lint.DeterminismAnalyzer, lint.IgnoreAuditAnalyzer}
+	diags := lint.Run([]*lint.Package{pkg}, sub, loader.Fset)
+	audits := 0
+	for _, d := range diags {
+		if d.Analyzer != "ignoreaudit" {
+			continue
+		}
+		audits++
+		if filepath.Base(d.File) != "ignore_violations.go" {
+			t.Errorf("audit flagged a pragma for an analyzer outside the run set: %s", d)
+		}
+	}
+	if audits != 1 {
+		t.Errorf("got %d ignoreaudit findings, want exactly the stale determinism pragma", audits)
+	}
+
+	// Without the audit analyzer in the set, no audit findings at all.
+	diags = lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.DeterminismAnalyzer}, loader.Fset)
+	for _, d := range diags {
+		if d.Analyzer == "ignoreaudit" {
+			t.Errorf("audit ran without being requested: %s", d)
+		}
+	}
+}
+
 // TestDiagnosticJSONRoundTrip marshals the fixture's findings to JSON and
 // back, asserting the -json output is lossless.
 func TestDiagnosticJSONRoundTrip(t *testing.T) {
-	diags, _ := runOnFixture(t)
+	diags := runOnFixture(t)
 	if len(diags) == 0 {
 		t.Fatal("fixture produced no diagnostics")
 	}

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const obsPkgPath = "nautilus/internal/obs"
+
+// SpanLeakAnalyzer flags obs spans that are started but not ended on every
+// path to the function exit. A span that never reaches End never flushes to
+// the trace sink, silently truncating the profile the cost-model
+// conformance report depends on — and because obs.Span.End is idempotent,
+// the fix (a defer, or an End on the missed branch) is always safe.
+//
+// A span variable counts as handled when:
+//
+//   - any defer in the function ends it (`defer sp.End()` directly, or a
+//     deferred closure whose body calls sp.End() — the trainer's
+//     "close spans left open by error returns" pattern), or
+//   - it escapes the function — returned, stored into a struct field,
+//     global, composite, map or slice, sent on a channel, passed to a call,
+//     or captured by a non-deferred closure — in which case ending it is
+//     the new owner's job, or
+//   - every path from its creation to the exit passes a statement calling
+//     sp.End() (early returns included; explicit panic(...) statements edge
+//     to exit, so a panicking path with no defer fails this test — the
+//     span-on-panic-path case).
+//
+// A Start/Child result that is never bound at all is flagged outright.
+// Test files are skipped: test spans die with the process.
+var SpanLeakAnalyzer = &Analyzer{
+	Name: "spanleak",
+	Doc:  "flags obs spans started without End on every exit path (early returns, panics without defer, dropped span handles)",
+	Run:  runSpanLeak,
+}
+
+func runSpanLeak(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		funcBodies(f, func(fb funcBody) { spanLeakFunc(p, fb) })
+	}
+}
+
+// spanOrigin matches a call whose single result is *obs.Span from the
+// span-creating methods.
+func spanOrigin(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "Start" && sel.Sel.Name != "Child" {
+		return false
+	}
+	return namedType(p.Pkg.Info.TypeOf(call), obsPkgPath, "Span")
+}
+
+func spanLeakFunc(p *Pass, fb funcBody) {
+	cfg := buildCFG(fb.body)
+	info := p.Pkg.Info
+
+	// Dropped handles: a bare Start/Child call as its own statement.
+	for _, n := range cfg.nodes {
+		es, ok := n.stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		if call, ok := es.X.(*ast.CallExpr); ok && spanOrigin(p, call) {
+			p.Reportf(call.Pos(), "span from %s is dropped without being ended; bind it and defer End", spanMethodName(call))
+		}
+	}
+
+	// Origins: sp := x.Start(...) / sp = x.Child(...) with a single plain
+	// identifier on the left.
+	type origin struct {
+		obj  types.Object
+		node *cfgNode
+		call *ast.CallExpr
+	}
+	var origins []origin
+	for _, n := range cfg.nodes {
+		as, ok := n.stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			continue
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !spanOrigin(p, call) {
+			continue
+		}
+		obj := identObj(info, as.Lhs[0])
+		if obj == nil || obj.Name() == "_" {
+			continue
+		}
+		origins = append(origins, origin{obj: obj, node: n, call: call})
+	}
+
+	for _, o := range origins {
+		if spanDeferredEnd(info, fb.body, o.obj) || spanEscapes(info, fb.body, o.obj) {
+			continue
+		}
+		endsAt := func(n *cfgNode) bool {
+			return headerContains(n, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return false
+				}
+				recv, ok := methodCallOn(call, "End")
+				return ok && identObj(info, recv) == o.obj
+			})
+		}
+		if !cfg.mustPassFrom(o.node, endsAt) {
+			p.Reportf(o.call.Pos(), "span %s is not ended on every path to return; add defer %s.End() or end it on the missed branch", o.obj.Name(), o.obj.Name())
+		}
+	}
+}
+
+func spanMethodName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "Start"
+}
+
+// spanDeferredEnd reports whether any defer in the body ends obj: either
+// `defer obj.End()` or a deferred closure containing obj.End().
+func spanDeferredEnd(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if recv, ok := methodCallOn(ds.Call, "End"); ok && identObj(info, recv) == obj {
+			found = true
+			return false
+		}
+		if lit, ok := ds.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if recv, ok := methodCallOn(call, "End"); ok && identObj(info, recv) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// spanEscapes reports whether obj leaves the function's hands: returned,
+// assigned somewhere other than a plain rebind, used as a composite element,
+// sent, passed as a call argument (other than as the receiver of its own
+// method calls), or captured by a closure that is not a deferred End.
+func spanEscapes(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	parents := parentMap(body)
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || info.ObjectOf(id) != obj {
+			return true
+		}
+		if spanUseEscapes(parents, id) {
+			escaped = true
+		}
+		return !escaped
+	})
+	return escaped
+}
+
+// spanUseEscapes classifies one identifier use of a span variable.
+func spanUseEscapes(parents map[ast.Node]ast.Node, id *ast.Ident) bool {
+	var child ast.Node = id
+	parent := parents[id]
+	for {
+		if pe, ok := parent.(*ast.ParenExpr); ok {
+			child = pe
+			parent = parents[pe]
+			continue
+		}
+		break
+	}
+	// Inside any function literal, the closure owns the span's fate —
+	// unless the literal is the deferred-End pattern, which
+	// spanDeferredEnd already credits.
+	for p := parent; p != nil; p = parents[p] {
+		if _, ok := p.(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	switch pn := parent.(type) {
+	case *ast.SelectorExpr:
+		return pn.X != child // shadowing selector like x.sp — not a use of ours
+	case *ast.AssignStmt:
+		for _, l := range pn.Lhs {
+			if l == child {
+				return false // (re)binding
+			}
+		}
+		return true // span copied into another variable
+	case *ast.ReturnStmt, *ast.SendStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.IndexExpr:
+		return true
+	case *ast.CallExpr:
+		for _, a := range pn.Args {
+			if a == child {
+				return true // passed along; callee owns ending it
+			}
+		}
+		return false // receiver position: sp.End(), sp.Attr(...), ...
+	case *ast.BinaryExpr:
+		return false // comparisons (sp == nil) don't retain
+	}
+	return false
+}
+
+// parentMap builds a child→parent map for the subtree.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

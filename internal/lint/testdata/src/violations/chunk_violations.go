@@ -1,0 +1,71 @@
+package violations
+
+import "nautilus/internal/tensor"
+
+// Chunkdisjoint: a shared accumulator written by every chunk.
+
+func chunkSharedSum(xs []float32) float32 {
+	var sum float32
+	tensor.Parallel(len(xs), len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += xs[i] // want "chunkdisjoint: chunk callback writes shared variable sum; every chunk races on it — make it chunk-local and reduce after Parallel returns"
+		}
+	})
+	return sum
+}
+
+// Chunkdisjoint: a fixed index — every chunk writes the same element.
+
+func chunkFixedIndex(out, xs []float32) {
+	tensor.Parallel(len(xs), len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[0] = xs[i] // want "chunkdisjoint: chunk write index does not depend on the chunk bounds; chunks may write the same element"
+		}
+	})
+}
+
+// Chunkdisjoint: a modulo index maps chunks onto the same slots even though
+// it mentions the chunk's own loop variable.
+
+func chunkModuloIndex(out, xs []float32) {
+	tensor.Parallel(len(xs), len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i%4] += xs[i] // want "chunkdisjoint: chunk write index contains %, which maps multiple chunks onto the same element; index with the chunk's own range instead"
+		}
+	})
+}
+
+// Not flagged: each chunk writes exactly its own [lo,hi) range.
+
+func chunkDisjoint(out, xs []float32) {
+	tensor.Parallel(len(xs), len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = xs[i] * 2
+		}
+	})
+}
+
+// Not flagged: a chunk-local buffer, then a copy into the chunk's own
+// range.
+
+func chunkCopyOwnRange(out, xs []float32) {
+	tensor.Parallel(len(xs), len(xs), func(lo, hi int) {
+		buf := make([]float32, hi-lo)
+		for i := range buf {
+			buf[i] = xs[lo+i] * 2
+		}
+		copy(out[lo:hi], buf)
+	})
+}
+
+// Suppressed: a deliberate aliasing write, annotated.
+
+func chunkSuppressed(out, xs []float32) float32 {
+	tensor.Parallel(len(xs), len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			//lint:ignore chunkdisjoint fixture demonstrating a suppressed aliasing write
+			out[0] += xs[i]
+		}
+	})
+	return out[0]
+}

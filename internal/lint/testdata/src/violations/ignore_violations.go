@@ -1,0 +1,17 @@
+package violations
+
+// Ignoreaudit: the suppression below names an analyzer that reports
+// nothing on the lines it covers — the pragma itself is the finding.
+
+//lint:ignore determinism formerly read the wall clock; kept to demonstrate the stale-suppression audit // want "ignoreaudit: stale suppression: determinism reports no finding here; remove the //lint:ignore"
+func formerlyClocky() int {
+	return 42
+}
+
+// Not flagged: the pragma names an analyzer outside this suite's run set,
+// so the audit cannot judge whether it is stale.
+
+//lint:ignore gosec pragma for an external tool; the audit leaves analyzers it did not run alone
+func externallySuppressed() int {
+	return 7
+}

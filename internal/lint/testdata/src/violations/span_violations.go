@@ -1,0 +1,78 @@
+package violations
+
+import (
+	"errors"
+
+	"nautilus/internal/obs"
+)
+
+// Spanleak: an early error return skips End.
+
+func spanEarlyReturn(tr *obs.Tracer, fail bool) error {
+	sp := tr.Start("work") // want "spanleak: span sp is not ended on every path to return; add defer sp.End() or end it on the missed branch"
+	if fail {
+		return errors.New("boom")
+	}
+	sp.End()
+	return nil
+}
+
+// Spanleak: an explicit panic path exits without End and nothing is
+// deferred.
+
+func spanPanicPath(tr *obs.Tracer, n int) {
+	sp := tr.Start("work") // want "spanleak: span sp is not ended on every path to return; add defer sp.End() or end it on the missed branch"
+	if n < 0 {
+		panic("negative record count")
+	}
+	sp.End()
+}
+
+// Spanleak: the span handle is dropped on the floor.
+
+func spanDropped(parent *obs.Span) {
+	parent.Child("detached") // want "spanleak: span from Child is dropped without being ended; bind it and defer End"
+}
+
+// Not flagged: deferred End covers every exit, panics included.
+
+func spanDeferred(tr *obs.Tracer, fail bool) error {
+	sp := tr.Start("work")
+	defer sp.End()
+	if fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+// Not flagged: both branches end the span explicitly.
+
+func spanBothPaths(tr *obs.Tracer, fail bool) error {
+	sp := tr.Start("work")
+	if fail {
+		sp.End()
+		return errors.New("boom")
+	}
+	sp.End()
+	return nil
+}
+
+// Not flagged: the span escapes by being returned; ending it is the
+// caller's job.
+
+func spanHandedOff(tr *obs.Tracer) *obs.Span {
+	sp := tr.Start("work")
+	return sp
+}
+
+// Suppressed: the leak is deliberate and annotated.
+
+func spanSuppressed(tr *obs.Tracer, fail bool) error {
+	//lint:ignore spanleak fixture demonstrating a suppressed deliberate leak
+	sp := tr.Start("work")
+	if fail {
+		return errors.New("boom")
+	}
+	sp.End()
+	return nil
+}

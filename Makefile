@@ -11,25 +11,30 @@ test:
 # nautilus-lint is the repo's own stdlib static-analysis suite
 # (internal/lint): the syntactic analyzers (allochygiene, determinism,
 # floateq, layerpurity, uncheckederr) plus the dataflow-engine analyzers
-# (arenaescape, spanleak, goroutinejoin, chunkdisjoint) and the
+# (arenaescape, spanleak, goroutinejoin, chunkdisjoint), the
+# interprocedural summary-aware analyzers (locksafe, ctxflow), and the
 # ignoreaudit stale-suppression check.
 lint:
 	$(GO) run ./cmd/nautilus-lint ./...
 
 # lint-fixtures re-runs the golden-fixture tests that pin every analyzer's
-# exact diagnostics (positions + messages) over testdata/src/violations.
+# exact diagnostics (positions + messages) over testdata/src/violations,
+# plus the interprocedural call-graph/summary unit tests and the parallel
+# driver's determinism check.
 lint-fixtures:
-	$(GO) test ./internal/lint -run 'Golden|IgnoreAudit|RunSorted|RunTimed' -count=1
+	$(GO) test ./internal/lint -run 'Golden|IgnoreAudit|RunSorted|RunTimed|CallGraph|Summary|Analyze|SelectAnalyzers' -count=1
 
-# check is the full pre-merge gate: vet + build + invariant lint + the
-# race detector over the concurrent planning and execution layers.
+# check is the full pre-merge gate: vet + build + the full analyzer
+# suite (interprocedural summaries included) + the race detector over the
+# concurrent planning, execution, and storage layers.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) run ./cmd/nautilus-lint ./...
+	$(GO) run ./cmd/nautilus-lint -analyzers= ./...
 	$(GO) test -race ./internal/exec/... ./internal/train/...
 	$(GO) test -race ./internal/core/...
 	$(GO) test -race ./internal/tensor/... ./internal/graph/...
+	$(GO) test -race ./internal/storage/...
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -43,9 +48,11 @@ trace-demo:
 
 # bench-json measures observability overhead on the trainer hot loop
 # (no tracer vs nil sink vs active sink), the incremental-replan savings
-# after AddCandidates, and the hot-path engine (parallel kernels + step
-# arena), writing BENCH_obs.json + BENCH_replan.json + BENCH_kernels.json.
+# after AddCandidates, the hot-path engine (parallel kernels + step
+# arena), and the lint suite's per-analyzer wall time, writing
+# BENCH_obs.json + BENCH_replan.json + BENCH_kernels.json + BENCH_lint.json.
 bench-json:
 	$(GO) run ./cmd/nautilus-bench -exp obs -obsjson BENCH_obs.json
 	$(GO) run ./cmd/nautilus-bench -exp replan -replanjson BENCH_replan.json
 	$(GO) run ./cmd/nautilus-bench -exp kernels -kernelsjson BENCH_kernels.json
+	$(GO) run ./cmd/nautilus-bench -exp lint -lintjson BENCH_lint.json

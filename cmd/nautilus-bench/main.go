@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3 fig6a fig6b fig6c fig7 fig7b fig8 fig9 fig10a fig10b fig11 hwsweep solver obs replan kernels all")
+	exp := flag.String("exp", "all", "experiment: table3 fig6a fig6b fig6c fig7 fig7b fig8 fig9 fig10a fig10b fig11 hwsweep solver obs replan kernels lint all")
 	fig7LRs := flag.Int("fig7lrs", 2, "learning rates per strategy in fig7's real-training run")
 	fig7Cycles := flag.Int("fig7cycles", 4, "labeling cycles in fig7's real-training run")
 	obsRuns := flag.Int("obsruns", 3, "averaged trainer passes per mode in the obs overhead experiment")
@@ -28,6 +28,7 @@ func main() {
 	replanJSON := flag.String("replanjson", "", "write the replan benchmark result as JSON to this file")
 	kernelsRuns := flag.Int("kernelsruns", 3, "averaged training passes per regime in the kernels experiment")
 	kernelsJSON := flag.String("kernelsjson", "", "write the kernels benchmark result as JSON to this file")
+	lintJSON := flag.String("lintjson", "", "write the lint benchmark result as JSON to this file")
 	tracePath := flag.String("trace", "", "trace experiment execution spans to this file")
 	traceFormat := flag.String("trace-format", obs.FormatChrome, "trace file format: chrome or jsonl")
 	metricsPath := flag.String("metrics", "", "write metrics + conformance JSON to this file")
@@ -209,6 +210,22 @@ func main() {
 				return err
 			}
 			fmt.Printf("kernels JSON written to %s\n", *kernelsJSON)
+		}
+		return nil
+	})
+	run("lint", func() error {
+		r, err := experiments.LintBench()
+		if err != nil {
+			return err
+		}
+		if err := experiments.PrintLintBench(os.Stdout, r); err != nil {
+			return err
+		}
+		if *lintJSON != "" {
+			if err := experiments.WriteLintBenchJSON(*lintJSON, r); err != nil {
+				return err
+			}
+			fmt.Printf("lint JSON written to %s\n", *lintJSON)
 		}
 		return nil
 	})

@@ -3,16 +3,26 @@
 //
 // Usage:
 //
-//	nautilus-lint [-json] [-tests=false] [packages...]
+//	nautilus-lint [-json] [-tests=false] [-analyzers=spec] [packages...]
 //
 // Package patterns are directories relative to the module root; a
 // trailing "/..." includes everything beneath. With no arguments it
-// checks the whole module. Findings print as file:line:col: analyzer:
-// message, sorted by (file, line, analyzer); with -json they arrive as
+// checks the whole module. Packages are analyzed in parallel (bounded by
+// GOMAXPROCS) with deterministic, (file, line, analyzer)-sorted output.
+// Findings print as file:line:col: analyzer: message; with -json they
+// arrive as
 //
-//	{"findings": [...], "timings": [{"analyzer": ..., "wall_ns": ...}]}
+//	{"findings": [...], "timings": [...], "packages": [...]}
 //
-// where timings carries each analyzer's wall time summed over the run.
+// where timings carries each analyzer's wall time summed over the run and
+// packages carries per-package wall time.
+//
+// -analyzers selects a subset: a comma-separated list of names to include
+// ("locksafe,ctxflow"), names prefixed with '-' to exclude from the suite
+// ("-allochygiene"), or a mix. -list shows the suite; summary-aware
+// analyzers (those consulting interprocedural function summaries) are
+// marked with '*'.
+//
 // Suppress an intentional finding in source with
 // `//lint:ignore <analyzer> <reason>` on the offending line or the line
 // above it; the ignoreaudit analyzer flags suppressions that no longer
@@ -22,7 +32,7 @@
 //
 //	0  clean — no findings
 //	1  findings reported (human or JSON output)
-//	2  load or usage error (bad pattern, parse/type-check failure)
+//	2  load or usage error (bad pattern, unknown analyzer, parse/type-check failure)
 package main
 
 import (
@@ -38,25 +48,37 @@ import (
 type jsonReport struct {
 	Findings []lint.Diagnostic     `json:"findings"`
 	Timings  []lint.AnalyzerTiming `json:"timings"`
+	Packages []lint.PackageTiming  `json:"packages"`
 }
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings and per-analyzer timings as JSON")
+	jsonOut := flag.Bool("json", false, "emit findings and timings as JSON")
 	tests := flag.Bool("tests", true, "also analyze in-package _test.go files")
-	list := flag.Bool("list", false, "list analyzers and exit")
+	list := flag.Bool("list", false, "list analyzers (summary-aware marked with '*') and exit")
+	spec := flag.String("analyzers", "", "comma-separated analyzer subset; prefix a name with '-' to exclude it")
 	flag.Usage = func() {
 		fmt.Fprint(os.Stderr,
-			"usage: nautilus-lint [-json] [-tests=false] [-list] [packages...]\n"+
+			"usage: nautilus-lint [-json] [-tests=false] [-list] [-analyzers=spec] [packages...]\n"+
 				"exit codes: 0 no findings, 1 findings reported, 2 load/usage error\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
+		fmt.Println("analyzers ('*' = summary-aware: consults interprocedural function summaries)")
 		for _, a := range lint.DefaultAnalyzers() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			mark := " "
+			if a.SummaryAware {
+				mark = "*"
+			}
+			fmt.Printf("%s %-14s %s\n", mark, a.Name, a.Doc)
 		}
 		return
+	}
+
+	analyzers, err := lint.SelectAnalyzers(lint.DefaultAnalyzers(), *spec)
+	if err != nil {
+		fatal(err)
 	}
 
 	wd, err := os.Getwd()
@@ -72,25 +94,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	diags, timings := lint.RunTimed(pkgs, lint.DefaultAnalyzers(), loader.Fset)
+	res := lint.Analyze(pkgs, analyzers, loader.Fset)
 
 	if *jsonOut {
-		if diags == nil {
-			diags = []lint.Diagnostic{}
+		if res.Findings == nil {
+			res.Findings = []lint.Diagnostic{}
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(jsonReport{Findings: diags, Timings: timings}); err != nil {
+		if err := enc.Encode(jsonReport{Findings: res.Findings, Timings: res.Analyzers, Packages: res.Packages}); err != nil {
 			fatal(err)
 		}
 	} else {
-		for _, d := range diags {
+		for _, d := range res.Findings {
 			fmt.Println(d)
 		}
 	}
-	if len(diags) > 0 {
+	if len(res.Findings) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "nautilus-lint: %d finding(s)\n", len(diags))
+			fmt.Fprintf(os.Stderr, "nautilus-lint: %d finding(s)\n", len(res.Findings))
 		}
 		os.Exit(1)
 	}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+
+	"nautilus/internal/lint"
+)
+
+// LintBenchResult records one full-module sweep of the static-analysis
+// suite: per-analyzer and per-package wall time plus the finding count.
+// It is the lint counterpart of the kernels/replan micro-benchmarks —
+// the numbers track the cost of the interprocedural summary layer.
+type LintBenchResult struct {
+	// Packages is the number of packages analyzed.
+	Packages int `json:"packages"`
+	// Findings is the post-suppression finding count (0 on a clean tree).
+	Findings int `json:"findings"`
+	// TotalWallNs sums the per-package wall times (parallel sweeps can
+	// finish in less wall-clock than this).
+	TotalWallNs int64 `json:"total_wall_ns"`
+	// Analyzers holds each analyzer's wall time summed over all packages.
+	Analyzers []lint.AnalyzerTiming `json:"analyzers"`
+	// PackageTimings holds per-package wall time in package order.
+	PackageTimings []lint.PackageTiming `json:"package_timings"`
+}
+
+// LintBench runs every analyzer over the whole module (tests included)
+// and returns the timing breakdown.
+func LintBench() (*LintBenchResult, error) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	loader, err := lint.NewLoader(wd)
+	if err != nil {
+		return nil, err
+	}
+	loader.IncludeTests = true
+	pkgs, err := loader.Load()
+	if err != nil {
+		return nil, err
+	}
+	res := lint.Analyze(pkgs, lint.DefaultAnalyzers(), loader.Fset)
+	out := &LintBenchResult{
+		Packages:       len(pkgs),
+		Findings:       len(res.Findings),
+		Analyzers:      res.Analyzers,
+		PackageTimings: res.Packages,
+	}
+	for _, pt := range res.Packages {
+		out.TotalWallNs += pt.WallNs
+	}
+	return out, nil
+}
+
+// PrintLintBench renders the timing breakdown.
+func PrintLintBench(w io.Writer, r *LintBenchResult) error {
+	p := &printer{w: w}
+	p.printf("Lint suite over the module: %d packages, %d finding(s)\n", r.Packages, r.Findings)
+	p.printf("%-14s %12s\n", "analyzer", "wall ms")
+	for _, a := range r.Analyzers {
+		p.printf("%-14s %12.2f\n", a.Analyzer, float64(a.WallNs)/1e6)
+	}
+	p.printf("%-14s %12.2f\n", "total", float64(r.TotalWallNs)/1e6)
+	return p.err
+}
+
+// WriteLintBenchJSON writes the result as indented JSON at path.
+func WriteLintBenchJSON(path string, r *LintBenchResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -35,18 +35,27 @@ import (
 //     is deliberately clean.
 //
 // Test files are skipped.
+//
+// Interprocedurally, a call handing a tracked scope to a package-local
+// helper whose summary releases that parameter on every path counts as
+// the Release — both in the release-state transfer (so uses after the
+// helper call are flagged) and in the escape check's "Release still
+// reachable" test (so helper-mediated cleanup stops being a false
+// negative).
 var ArenaEscapeAnalyzer = &Analyzer{
-	Name: "arenaescape",
-	Doc:  "flags arena-scoped tensors used after Scope.Release or escaping to fields/globals/channels that outlive the scope",
-	Run:  runArenaEscape,
+	Name:         "arenaescape",
+	Doc:          "flags arena-scoped tensors used after Scope.Release or escaping to fields/globals/channels that outlive the scope",
+	SummaryAware: true,
+	Run:          runArenaEscape,
 }
 
 func runArenaEscape(p *Pass) {
+	sums := p.Pkg.summaries()
 	for _, f := range p.Pkg.Files {
 		if p.InTestFile(f.Pos()) {
 			continue
 		}
-		funcBodies(f, func(fb funcBody) { arenaEscapeFunc(p, fb) })
+		funcBodies(f, func(fb funcBody) { arenaEscapeFunc(p, sums, fb) })
 	}
 }
 
@@ -91,7 +100,7 @@ func (a *arenaFact) mergeFrom(src *arenaFact) bool {
 	return changed
 }
 
-func arenaEscapeFunc(p *Pass, fb funcBody) {
+func arenaEscapeFunc(p *Pass, sums *summarySet, fb funcBody) {
 	info := p.Pkg.Info
 	cfg := buildCFG(fb.body)
 
@@ -110,7 +119,7 @@ func arenaEscapeFunc(p *Pass, fb funcBody) {
 
 	transfer := func(n *cfgNode, in *arenaFact) *arenaFact {
 		out := in.clone()
-		arenaTransfer(p, n, out)
+		arenaTransfer(p, sums, n, out)
 		return out
 	}
 	facts := forwardSolve(cfg, entry, transfer,
@@ -125,7 +134,7 @@ func arenaEscapeFunc(p *Pass, fb funcBody) {
 		if !ok || n.stmt == nil {
 			continue
 		}
-		arenaReport(p, cfg, n, in, reported)
+		arenaReport(p, sums, cfg, n, in, reported)
 	}
 }
 
@@ -139,7 +148,7 @@ func scopeOrigin(p *Pass, call *ast.CallExpr) bool {
 }
 
 // arenaTransfer applies one node's effect to the fact in place.
-func arenaTransfer(p *Pass, n *cfgNode, f *arenaFact) {
+func arenaTransfer(p *Pass, sums *summarySet, n *cfgNode, f *arenaFact) {
 	info := p.Pkg.Info
 	if _, ok := n.stmt.(*ast.DeferStmt); ok {
 		// A deferred Release runs at function exit, not here; modeling it at
@@ -148,7 +157,8 @@ func arenaTransfer(p *Pass, n *cfgNode, f *arenaFact) {
 		return
 	}
 	for _, root := range headerNodes(n) {
-		// Release calls: s.Release() with a plain identifier receiver.
+		// Release calls: s.Release() with a plain identifier receiver, or a
+		// delegation to a local helper that releases its scope argument.
 		shallowInspect(root, func(x ast.Node) bool {
 			call, ok := x.(*ast.CallExpr)
 			if !ok {
@@ -159,6 +169,11 @@ func arenaTransfer(p *Pass, n *cfgNode, f *arenaFact) {
 					if _, tracked := f.released[obj]; tracked {
 						f.released[obj] = true
 					}
+				}
+			}
+			for obj := range f.released {
+				if sums.callDelegates(call, obj, func(pf paramFacts) bool { return pf.ReleasesScope }) {
+					f.released[obj] = true
 				}
 			}
 			return true
@@ -234,7 +249,7 @@ func taintOf(info *types.Info, e ast.Expr, f *arenaFact) types.Object {
 }
 
 // arenaReport emits findings for one node given its entry fact.
-func arenaReport(p *Pass, cfg *funcCFG, n *cfgNode, in *arenaFact, reported map[token.Pos]bool) {
+func arenaReport(p *Pass, sums *summarySet, cfg *funcCFG, n *cfgNode, in *arenaFact, reported map[token.Pos]bool) {
 	info := p.Pkg.Info
 	report := func(pos token.Pos, format string, args ...any) {
 		if !reported[pos] {
@@ -286,7 +301,7 @@ func arenaReport(p *Pass, cfg *funcCFG, n *cfgNode, in *arenaFact, reported map[
 		if s == nil {
 			return
 		}
-		if releaseReachable(p, cfg, n, s) {
+		if releaseReachable(p, sums, cfg, n, s) {
 			report(pos, "%s is backed by scope %s but escapes via %s, and the scope is released before the function returns; copy it out of the scope first", obj.Name(), s.Name(), how)
 		}
 	}
@@ -359,17 +374,21 @@ func storedTaintedObj(info *types.Info, e ast.Expr, f *arenaFact) types.Object {
 }
 
 // releaseReachable reports whether a Release of scope s can execute after
-// node n: a plain Release on a downstream node, or a deferred Release
+// node n: a plain Release (or a delegation to a local helper that releases
+// its scope argument) on a downstream node, or the deferred form of either
 // anywhere (defers run at function exit, which is always downstream).
-func releaseReachable(p *Pass, cfg *funcCFG, n *cfgNode, s types.Object) bool {
+func releaseReachable(p *Pass, sums *summarySet, cfg *funcCFG, n *cfgNode, s types.Object) bool {
 	info := p.Pkg.Info
+	releasesScope := func(f paramFacts) bool { return f.ReleasesScope }
 	isRelease := func(x ast.Node) bool {
 		call, ok := x.(*ast.CallExpr)
 		if !ok {
 			return false
 		}
-		recv, ok := methodCallOn(call, "Release")
-		return ok && identObj(info, recv) == s
+		if recv, ok := methodCallOn(call, "Release"); ok && identObj(info, recv) == s {
+			return true
+		}
+		return sums.callDelegates(call, s, releasesScope)
 	}
 	for _, m := range cfg.nodes {
 		ds, ok := m.stmt.(*ast.DeferStmt)
@@ -391,14 +410,7 @@ func releaseReachable(p *Pass, cfg *funcCFG, n *cfgNode, s types.Object) bool {
 		if m.stmt == nil {
 			continue
 		}
-		if headerContains(m, func(x ast.Node) bool {
-			call, ok := x.(*ast.CallExpr)
-			if !ok {
-				return false
-			}
-			recv, ok := methodCallOn(call, "Release")
-			return ok && identObj(info, recv) == s
-		}) {
+		if headerContains(m, isRelease) {
 			return true
 		}
 	}

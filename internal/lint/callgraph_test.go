@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typeCheckSrc parses and type-checks a single import-free source file
+// into a Package the interprocedural layer can consume.
+func typeCheckSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{}
+	tpkg, err := conf.Check("x", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: "x", Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+const cgSrc = `package x
+
+func leaf() int { return 1 }
+
+func a() int { return b() + leaf() }
+
+func b() int { return leaf() }
+
+func f(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return g(n - 1)
+}
+
+func g(n int) int { return f(n) }
+
+func self(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return self(n - 1)
+}
+
+type T struct{ v int }
+
+func (t *T) m() int { return t.helper() }
+
+func (t *T) helper() int { return leaf() }
+
+func dyn(fn func() int) int { return fn() }
+
+func lit() int { return func() int { return 2 }() }
+
+func conv(n int) float64 { return float64(n) }
+`
+
+func cgNodeByName(t *testing.T, g *callGraph, name string) *cgNode {
+	t.Helper()
+	for _, n := range g.order {
+		if n.fn.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no call-graph node named %s", name)
+	return nil
+}
+
+func calleeNames(n *cgNode) []string {
+	var out []string
+	for _, c := range n.callees {
+		out = append(out, c.fn.Name())
+	}
+	return out
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	g := buildCallGraph(typeCheckSrc(t, cgSrc))
+	cases := map[string][]string{
+		"a":      {"b", "leaf"},
+		"b":      {"leaf"},
+		"leaf":   nil,
+		"m":      {"helper"},
+		"helper": {"leaf"},
+		"conv":   nil, // float64(n) is a conversion, not a call
+	}
+	for name, want := range cases {
+		got := calleeNames(cgNodeByName(t, g, name))
+		if len(got) != len(want) {
+			t.Errorf("%s callees = %v, want %v", name, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s callees = %v, want %v", name, got, want)
+				break
+			}
+		}
+	}
+}
+
+func TestCallGraphDynamicFlag(t *testing.T) {
+	g := buildCallGraph(typeCheckSrc(t, cgSrc))
+	for name, want := range map[string]bool{
+		"dyn":  true, // calls its function-valued parameter
+		"lit":  true, // immediately-invoked literal
+		"a":    false,
+		"conv": false,
+	} {
+		if got := cgNodeByName(t, g, name).dynamic; got != want {
+			t.Errorf("%s.dynamic = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestCallGraphSelfRecursion(t *testing.T) {
+	g := buildCallGraph(typeCheckSrc(t, cgSrc))
+	if !cgNodeByName(t, g, "self").selfRecursive() {
+		t.Error("self is not marked self-recursive")
+	}
+	if cgNodeByName(t, g, "a").selfRecursive() {
+		t.Error("a is wrongly marked self-recursive")
+	}
+}
+
+func TestCallGraphSCCs(t *testing.T) {
+	g := buildCallGraph(typeCheckSrc(t, cgSrc))
+	f, gg := cgNodeByName(t, g, "f"), cgNodeByName(t, g, "g")
+	if f.scc != gg.scc {
+		t.Errorf("mutually recursive f (scc %d) and g (scc %d) are in different components", f.scc, gg.scc)
+	}
+	leaf, b := cgNodeByName(t, g, "leaf"), cgNodeByName(t, g, "b")
+	if b.scc == leaf.scc {
+		t.Error("non-recursive b shares a component with leaf")
+	}
+	// Bottom-up invariant: every cross-component edge points to an earlier
+	// component, so slice order sees callees before callers.
+	for _, n := range g.order {
+		for _, c := range n.callees {
+			if c.scc > n.scc {
+				t.Errorf("edge %s -> %s violates bottom-up SCC order (%d -> %d)", n.fn.Name(), c.fn.Name(), n.scc, c.scc)
+			}
+		}
+	}
+	if len(g.order) != 11 {
+		t.Errorf("call graph has %d nodes, want 11", len(g.order))
+	}
+	total := 0
+	for _, scc := range g.sccs {
+		total += len(scc)
+	}
+	if total != len(g.order) {
+		t.Errorf("SCCs cover %d nodes, want %d", total, len(g.order))
+	}
+}

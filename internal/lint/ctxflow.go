@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlowAnalyzer enforces context propagation: a function that accepts a
+// context.Context must thread it through, not drop it. Two shapes are
+// flagged:
+//
+//   - a call passing context.Background() or context.TODO() while the
+//     caller's own context parameter is in scope — the fresh context
+//     severs cancellation and deadlines from the caller's request. The
+//     summary layer refines this: if the callee is package-local and its
+//     summary shows the context parameter is never used, substituting a
+//     fresh one is harmless and stays clean;
+//   - a context parameter that is never mentioned in a non-empty body —
+//     either the plumbing was forgotten or the parameter should be
+//     renamed _ to declare the intent.
+//
+// Function literals with their own context parameter are analyzed
+// independently (funcBodies visits them); literals without one are
+// treated as part of the enclosing function. Test files are skipped.
+var CtxFlowAnalyzer = &Analyzer{
+	Name:         "ctxflow",
+	Doc:          "flags context.Context parameters that are dropped or shadowed by context.Background/TODO at call sites",
+	SummaryAware: true,
+	Run:          runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	sums := p.Pkg.summaries()
+	for _, f := range p.Pkg.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		funcBodies(f, func(fb funcBody) { ctxFlowFunc(p, sums, fb) })
+	}
+}
+
+func ctxFlowFunc(p *Pass, sums *summarySet, fb funcBody) {
+	info := p.Pkg.Info
+	ctxs := ctxParams(info, fb.typ)
+	if len(ctxs) == 0 {
+		return
+	}
+	if len(fb.body.List) > 0 {
+		for _, obj := range ctxs {
+			if !mentionsAnywhere(info, fb.body, obj) {
+				p.Reportf(obj.Pos(), "context parameter %s is never used; propagate it to downstream calls or rename it _", obj.Name())
+			}
+		}
+	}
+	// Fresh contexts handed out while the caller's context is in scope.
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && len(ctxParams(info, lit.Type)) > 0 {
+			return false // has its own context; analyzed separately
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for i, a := range call.Args {
+			ac, ok := a.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fn, ok := calleeObj(info, ac).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				continue
+			}
+			if fn.Name() != "Background" && fn.Name() != "TODO" {
+				continue
+			}
+			if sum := sums.calleeSummary(call); sum != nil {
+				if pi := sum.paramIndex(i); pi >= 0 && !sum.params[pi].UsesCtx {
+					continue // callee provably ignores its context
+				}
+			}
+			p.Reportf(ac.Pos(), "context.%s passed to %s while %s is in scope; propagate the caller's context",
+				fn.Name(), types.ExprString(call.Fun), ctxs[0].Name())
+		}
+		return true
+	})
+}
+
+// ctxParams returns the named, non-blank context.Context parameters of a
+// function type.
+func ctxParams(info *types.Info, ft *ast.FuncType) []types.Object {
+	if ft == nil || ft.Params == nil {
+		return nil
+	}
+	var out []types.Object
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := info.Defs[name]
+			if obj != nil && namedType(obj.Type(), "context", "Context") {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}

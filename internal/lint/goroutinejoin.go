@@ -33,63 +33,162 @@ import (
 // strand the producer blocked on send leak the goroutine and everything
 // it holds.
 //
-// Goroutines launched with a named function value are skipped (no body to
-// inspect); test files are skipped.
+// Goroutines launched with a named package-local function are classified
+// through that function's interprocedural summary: a WaitGroup argument
+// the callee Dones demands the Add/Wait protocol at the launch site, a
+// channel argument the callee sends on or closes demands the channel
+// join, and a local plain function that signals nothing at all is
+// flagged. External callees, function values, and methods whose protocol
+// rides on receiver state stay out of reach. Test files are skipped.
 var GoroutineJoinAnalyzer = &Analyzer{
-	Name: "goroutinejoin",
-	Doc:  "flags goroutines with unbalanced WaitGroup/done-channel join protocols and pipeline channels not drained on every path",
-	Run:  runGoroutineJoin,
+	Name:         "goroutinejoin",
+	Doc:          "flags goroutines with unbalanced WaitGroup/done-channel join protocols and pipeline channels not drained on every path",
+	SummaryAware: true,
+	Run:          runGoroutineJoin,
 }
 
 func runGoroutineJoin(p *Pass) {
+	sums := p.Pkg.summaries()
 	constructors := pipelineConstructors(p)
 	for _, f := range p.Pkg.Files {
 		if p.InTestFile(f.Pos()) {
 			continue
 		}
 		funcBodies(f, func(fb funcBody) {
-			goroutineJoinFunc(p, fb)
+			goroutineJoinFunc(p.Pkg.Info, sums, fb, p.Reportf)
 			pipelineConsumerCheck(p, fb, constructors)
 		})
 	}
 }
 
-func goroutineJoinFunc(p *Pass, fb funcBody) {
-	info := p.Pkg.Info
+// goroutineJoinFunc checks every go statement in one function body. It is
+// shared between the analyzer (report = Pass.Reportf) and the summary
+// computer's spawnsUnjoined post-pass (report = a flag setter).
+func goroutineJoinFunc(info *types.Info, sums *summarySet, fb funcBody, report func(pos token.Pos, format string, args ...any)) {
 	cfg := buildCFG(fb.body)
 	for _, n := range cfg.nodes {
 		gs, ok := n.stmt.(*ast.GoStmt)
 		if !ok {
 			continue
 		}
-		lit, ok := gs.Call.Fun.(*ast.FuncLit)
-		if !ok {
-			continue // named function value: body out of reach
-		}
-		if wg := enclosingWaitGroupDone(info, lit, fb.body); wg != nil {
-			if !addBeforeLaunch(info, fb.body, wg, gs) {
-				p.Reportf(gs.Pos(), "goroutine calls %s.Done but no %s.Add precedes the launch", wg.Name(), wg.Name())
-			} else if !waitJoins(info, cfg, n, wg) {
-				p.Reportf(gs.Pos(), "goroutine joined by %s.Wait, but a path from the launch reaches return without waiting", wg.Name())
-			}
-			continue
-		}
-		chans := enclosingChannelActivity(info, lit, fb.body)
-		if len(chans) == 0 {
-			p.Reportf(gs.Pos(), "goroutine has no join protocol: no WaitGroup.Done and no send/close on an enclosing channel")
-			continue
-		}
-		joined := false
-		for _, ch := range chans {
-			if channelLeavesFunction(info, fb, ch) || receiveJoins(info, cfg, n, ch) {
-				joined = true
-				break
-			}
-		}
-		if !joined {
-			p.Reportf(gs.Pos(), "goroutine signals on channel %s, but no path after the launch is guaranteed to receive from it and the channel never leaves the function", chans[0].Name())
+		if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+			goLitCheck(info, sums, cfg, fb, n, gs, lit, report)
+		} else {
+			goNamedCheck(info, sums, cfg, fb, n, gs, report)
 		}
 	}
+}
+
+// goLitCheck classifies a `go func(){...}()` launch by the literal's body.
+func goLitCheck(info *types.Info, sums *summarySet, cfg *funcCFG, fb funcBody, n *cfgNode, gs *ast.GoStmt, lit *ast.FuncLit, report func(pos token.Pos, format string, args ...any)) {
+	if wg := enclosingWaitGroupDone(info, lit, fb.body); wg != nil {
+		if !addBeforeLaunch(info, fb.body, wg, gs) {
+			report(gs.Pos(), "goroutine calls %s.Done but no %s.Add precedes the launch", wg.Name(), wg.Name())
+		} else if !waitJoins(info, sums, cfg, n, wg) {
+			report(gs.Pos(), "goroutine joined by %s.Wait, but a path from the launch reaches return without waiting", wg.Name())
+		}
+		return
+	}
+	chans := enclosingChannelActivity(info, lit, fb.body)
+	if len(chans) == 0 {
+		report(gs.Pos(), "goroutine has no join protocol: no WaitGroup.Done and no send/close on an enclosing channel")
+		return
+	}
+	for _, ch := range chans {
+		if channelLeavesFunction(info, fb, ch) || receiveJoins(info, cfg, n, ch) {
+			return
+		}
+	}
+	report(gs.Pos(), "goroutine signals on channel %s, but no path after the launch is guaranteed to receive from it and the channel never leaves the function", chans[0].Name())
+}
+
+// goNamedCheck classifies a `go f(args...)` launch through f's summary.
+func goNamedCheck(info *types.Info, sums *summarySet, cfg *funcCFG, fb funcBody, n *cfgNode, gs *ast.GoStmt, report func(pos token.Pos, format string, args ...any)) {
+	if sums == nil {
+		return
+	}
+	sum := sums.calleeSummary(gs.Call)
+	if sum == nil {
+		return // external function or function value: out of reach
+	}
+	// WaitGroup protocol through an argument the callee Dones.
+	for i, a := range gs.Call.Args {
+		pi := sum.paramIndex(i)
+		if pi < 0 || !sum.params[pi].DonesWG {
+			continue
+		}
+		wg := argRootObj(info, a)
+		if wg == nil {
+			continue
+		}
+		if !addBeforeLaunch(info, fb.body, wg, gs) {
+			report(gs.Pos(), "goroutine %s calls %s.Done but no %s.Add precedes the launch", sum.fn.Name(), wg.Name(), wg.Name())
+		} else if !waitJoins(info, sums, cfg, n, wg) {
+			report(gs.Pos(), "goroutine %s joined by %s.Wait, but a path from the launch reaches return without waiting", sum.fn.Name(), wg.Name())
+		}
+		return
+	}
+	// Channel protocol through an argument the callee sends on or closes.
+	var chans []types.Object
+	for i, a := range gs.Call.Args {
+		pi := sum.paramIndex(i)
+		if pi < 0 || !sum.params[pi].SendsChan {
+			continue
+		}
+		if ch := argRootObj(info, a); ch != nil {
+			chans = append(chans, ch)
+		}
+	}
+	for _, ch := range chans {
+		if channelLeavesFunction(info, fb, ch) || receiveJoins(info, cfg, n, ch) {
+			return
+		}
+	}
+	if len(chans) > 0 {
+		report(gs.Pos(), "goroutine %s signals on channel %s, but no path after the launch is guaranteed to receive from it and the channel never leaves the function", sum.fn.Name(), chans[0].Name())
+		return
+	}
+	if sum.decl.Recv != nil {
+		return // a method's protocol may ride on receiver state
+	}
+	if signalsSomehow(info, sums, sum.decl.Body) {
+		return // signals on state the launch site can't see; give it the benefit
+	}
+	report(gs.Pos(), "goroutine launches %s, which has no join protocol: it neither Dones a WaitGroup nor signals on a channel", sum.fn.Name())
+}
+
+// signalsSomehow reports whether a body contains any completion signal at
+// all — a Done call, a channel send or close, or a delegation to a local
+// function that signals through a parameter.
+func signalsSomehow(info *types.Info, sums *summarySet, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch c := x.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if _, ok := methodCallOn(c, "Done"); ok {
+				found = true
+				break
+			}
+			if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "close" {
+				found = true
+				break
+			}
+			if sum := sums.calleeSummary(c); sum != nil {
+				for _, pf := range sum.params {
+					if pf.DonesWG || pf.SendsChan {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
 }
 
 // enclosingWaitGroupDone returns the sync.WaitGroup variable (declared
@@ -144,15 +243,18 @@ func addBeforeLaunch(info *types.Info, body ast.Node, wg types.Object, gs *ast.G
 }
 
 // waitJoins reports whether wg.Wait() runs on every path from the launch
-// node to exit (or is deferred anywhere in the function).
-func waitJoins(info *types.Info, cfg *funcCFG, launch *cfgNode, wg types.Object) bool {
+// node to exit (or is deferred anywhere in the function). A call handing
+// wg to a local function whose summary waits on it counts too.
+func waitJoins(info *types.Info, sums *summarySet, cfg *funcCFG, launch *cfgNode, wg types.Object) bool {
 	isWait := func(x ast.Node) bool {
 		call, ok := x.(*ast.CallExpr)
 		if !ok {
 			return false
 		}
-		recv, ok := methodCallOn(call, "Wait")
-		return ok && identObj(info, recv) == wg
+		if recv, ok := methodCallOn(call, "Wait"); ok && identObj(info, recv) == wg {
+			return true
+		}
+		return sums != nil && sums.callDelegates(call, wg, func(f paramFacts) bool { return f.WaitsWG })
 	}
 	for _, m := range cfg.nodes {
 		if ds, ok := m.stmt.(*ast.DeferStmt); ok {

@@ -31,8 +31,10 @@ import (
 	"go/ast"
 	"go/token"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -43,6 +45,10 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description.
 	Doc string
+	// SummaryAware marks analyzers that consult the interprocedural
+	// function summaries (summary.go) and therefore see through one level
+	// of package-local delegation.
+	SummaryAware bool
 	// Run inspects the package and reports findings through the pass.
 	Run func(*Pass)
 }
@@ -95,14 +101,56 @@ func DefaultAnalyzers() []*Analyzer {
 		AllocHygieneAnalyzer,
 		ArenaEscapeAnalyzer,
 		ChunkDisjointAnalyzer,
+		CtxFlowAnalyzer,
 		DeterminismAnalyzer,
 		FloatEqAnalyzer,
 		GoroutineJoinAnalyzer,
 		IgnoreAuditAnalyzer,
 		LayerPurityAnalyzer,
+		LockSafeAnalyzer,
 		SpanLeakAnalyzer,
 		UncheckedErrAnalyzer,
 	}
+}
+
+// SelectAnalyzers resolves a comma-separated -analyzers spec against a
+// suite: bare names form an include set (suite order preserved), a leading
+// '-' excludes from the suite, and mixing both applies the excludes to the
+// include set. An empty spec selects everything; an unknown name is an
+// error.
+func SelectAnalyzers(all []*Analyzer, spec string) ([]*Analyzer, error) {
+	if strings.TrimSpace(spec) == "" {
+		return all, nil
+	}
+	known := map[string]bool{}
+	for _, a := range all {
+		known[a.Name] = true
+	}
+	include := map[string]bool{}
+	exclude := map[string]bool{}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		name, neg := strings.CutPrefix(tok, "-")
+		if !known[name] {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		if neg {
+			exclude[name] = true
+		} else {
+			include[name] = true
+		}
+	}
+	var out []*Analyzer
+	for _, a := range all {
+		if exclude[a.Name] || (len(include) > 0 && !include[a.Name]) {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
 }
 
 // AnalyzerTiming is one analyzer's wall time summed over every package of
@@ -112,44 +160,102 @@ type AnalyzerTiming struct {
 	WallNs   int64  `json:"wall_ns"`
 }
 
+// PackageTiming is one package's wall time for the full analyzer sweep
+// (suppression scan included), reported in the CLI's -json envelope.
+type PackageTiming struct {
+	Package string `json:"package"`
+	WallNs  int64  `json:"wall_ns"`
+}
+
+// Result is the outcome of one Analyze sweep.
+type Result struct {
+	// Findings is the post-suppression diagnostic list, sorted by
+	// (file, line, analyzer, col, message).
+	Findings []Diagnostic
+	// Analyzers holds per-analyzer wall time, one entry per analyzer in
+	// the order given, summed across packages.
+	Analyzers []AnalyzerTiming
+	// Packages holds per-package wall time in package order.
+	Packages []PackageTiming
+}
+
 // Run applies the analyzers to every package, filters suppressed findings,
 // and returns the remainder sorted by (file, line, analyzer). Malformed
 // suppression comments are reported under the analyzer name "lint".
 func Run(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet) []Diagnostic {
-	diags, _ := RunTimed(pkgs, analyzers, fset)
-	return diags
+	return Analyze(pkgs, analyzers, fset).Findings
 }
 
-// RunTimed is Run plus per-analyzer wall time (one entry per analyzer, in
-// the order given, summed across packages).
+// RunTimed is Run plus per-analyzer wall time.
 func RunTimed(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet) ([]Diagnostic, []AnalyzerTiming) {
-	var diags []Diagnostic
-	sup := newSuppressions()
+	r := Analyze(pkgs, analyzers, fset)
+	return r.Findings, r.Analyzers
+}
+
+// Analyze runs the analyzer suite over every package, packages in
+// parallel (bounded by GOMAXPROCS), analyzers sequentially within each.
+// Suppression scanning, filtering, and the stale-suppression audit are
+// per package — a //lint:ignore only ever faces findings from its own
+// package — and results are merged in package order then sorted, so the
+// output is deterministic regardless of scheduling.
+func Analyze(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet) Result {
+	type pkgRun struct {
+		sup     *suppressions
+		diags   []Diagnostic
+		wall    []time.Duration
+		elapsed time.Duration
+	}
+	runs := make([]*pkgRun, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r := &pkgRun{sup: newSuppressions(), wall: make([]time.Duration, len(analyzers))}
+			//lint:ignore determinism wall-clock measurement of analyzer runtime for -json timing output
+			pkgStart := time.Now()
+			r.sup.scan(pkg, fset, &r.diags)
+			for j, a := range analyzers {
+				pass := &Pass{Analyzer: a, Pkg: pkg, Fset: fset, diags: &r.diags}
+				//lint:ignore determinism wall-clock measurement of analyzer runtime for -json timing output
+				start := time.Now()
+				a.Run(pass)
+				//lint:ignore determinism wall-clock measurement of analyzer runtime for -json timing output
+				r.wall[j] += time.Since(start)
+			}
+			//lint:ignore determinism wall-clock measurement of analyzer runtime for -json timing output
+			r.elapsed = time.Since(pkgStart)
+			runs[i] = r
+		}(i, pkg)
+	}
+	wg.Wait()
+
+	var res Result
 	wall := make([]time.Duration, len(analyzers))
-	for _, pkg := range pkgs {
-		sup.scan(pkg, fset, &diags)
-		for i, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, Fset: fset, diags: &diags}
-			//lint:ignore determinism wall-clock measurement of analyzer runtime for -json timing output
-			start := time.Now()
-			a.Run(pass)
-			//lint:ignore determinism wall-clock measurement of analyzer runtime for -json timing output
-			wall[i] += time.Since(start)
+	ran := analyzerNames(analyzers)
+	audit := hasAnalyzer(analyzers, IgnoreAuditAnalyzer.Name)
+	for i, pkg := range pkgs {
+		r := runs[i]
+		for _, d := range r.diags {
+			if !r.sup.suppressed(d) {
+				res.Findings = append(res.Findings, d)
+			}
 		}
-	}
-	kept := diags[:0]
-	for _, d := range diags {
-		if !sup.suppressed(d) {
-			kept = append(kept, d)
+		// The stale-suppression audit must run after filtering: a
+		// suppression is live exactly when it hid a finding above.
+		if audit {
+			res.Findings = append(res.Findings, r.sup.audit(ran)...)
 		}
+		for j := range analyzers {
+			wall[j] += r.wall[j]
+		}
+		res.Packages = append(res.Packages, PackageTiming{Package: pkg.Path, WallNs: r.elapsed.Nanoseconds()})
 	}
-	// The stale-suppression audit must run after filtering: a suppression
-	// is live exactly when it hid a finding above.
-	if hasAnalyzer(analyzers, IgnoreAuditAnalyzer.Name) {
-		kept = append(kept, sup.audit(analyzerNames(analyzers))...)
-	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
 		if a.File != b.File {
 			return a.File < b.File
 		}
@@ -164,11 +270,11 @@ func RunTimed(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet) ([]Di
 		}
 		return a.Message < b.Message
 	})
-	timings := make([]AnalyzerTiming, len(analyzers))
+	res.Analyzers = make([]AnalyzerTiming, len(analyzers))
 	for i, a := range analyzers {
-		timings[i] = AnalyzerTiming{Analyzer: a.Name, WallNs: wall[i].Nanoseconds()}
+		res.Analyzers[i] = AnalyzerTiming{Analyzer: a.Name, WallNs: wall[i].Nanoseconds()}
 	}
-	return kept, timings
+	return res
 }
 
 func hasAnalyzer(analyzers []*Analyzer, name string) bool {

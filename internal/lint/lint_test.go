@@ -243,6 +243,107 @@ func TestDiagnosticJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAnalyzeParallelDeterminism runs the parallel driver over two fixture
+// packages twice and asserts byte-identical findings and per-package
+// timing coverage — scheduling must not leak into the output.
+func TestAnalyzeParallelDeterminism(t *testing.T) {
+	vdir, _ := fixtureFiles(t)
+	sdir := filepath.Join("testdata", "src", "summaries")
+	loader, err := lint.NewLoader(vdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpkg, err := loader.LoadDir(vdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spkg, err := loader.LoadDir(sdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := []*lint.Package{vpkg, spkg}
+	first := lint.Analyze(pkgs, lint.DefaultAnalyzers(), loader.Fset)
+	second := lint.Analyze(pkgs, lint.DefaultAnalyzers(), loader.Fset)
+	if !reflect.DeepEqual(first.Findings, second.Findings) {
+		t.Errorf("parallel runs differ:\n first: %+v\nsecond: %+v", first.Findings, second.Findings)
+	}
+	if len(first.Packages) != len(pkgs) {
+		t.Fatalf("got %d package timings, want %d", len(first.Packages), len(pkgs))
+	}
+	for i, pt := range first.Packages {
+		if pt.Package != pkgs[i].Path {
+			t.Errorf("package timing %d is %s, want %s", i, pt.Package, pkgs[i].Path)
+		}
+		if pt.WallNs <= 0 {
+			t.Errorf("package timing for %s is non-positive: %d", pt.Package, pt.WallNs)
+		}
+	}
+}
+
+// TestSelectAnalyzers pins the -analyzers spec semantics: include lists
+// keep suite order, '-' excludes, mixes compose, unknown names error.
+func TestSelectAnalyzers(t *testing.T) {
+	all := lint.DefaultAnalyzers()
+	names := func(as []*lint.Analyzer) []string {
+		var out []string
+		for _, a := range as {
+			out = append(out, a.Name)
+		}
+		return out
+	}
+
+	if got, err := lint.SelectAnalyzers(all, ""); err != nil || len(got) != len(all) {
+		t.Errorf("empty spec: got %d analyzers (err %v), want the full suite", len(got), err)
+	}
+	got, err := lint.SelectAnalyzers(all, "locksafe,ctxflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"ctxflow", "locksafe"}; !reflect.DeepEqual(names(got), want) {
+		t.Errorf("include spec: got %v, want %v (suite order)", names(got), want)
+	}
+	got, err = lint.SelectAnalyzers(all, "-allochygiene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(all)-1 {
+		t.Errorf("exclude spec: got %d analyzers, want %d", len(got), len(all)-1)
+	}
+	for _, a := range got {
+		if a.Name == "allochygiene" {
+			t.Error("exclude spec kept allochygiene")
+		}
+	}
+	got, err = lint.SelectAnalyzers(all, "locksafe,ctxflow,-locksafe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"ctxflow"}; !reflect.DeepEqual(names(got), want) {
+		t.Errorf("mixed spec: got %v, want %v", names(got), want)
+	}
+	if _, err := lint.SelectAnalyzers(all, "nosuch"); err == nil {
+		t.Error("unknown analyzer name did not error")
+	}
+}
+
+// TestSummaryAwareMarking pins which analyzers advertise interprocedural
+// summaries — the CLI's -list marker and the docs both key off this.
+func TestSummaryAwareMarking(t *testing.T) {
+	want := map[string]bool{
+		"arenaescape":   true,
+		"ctxflow":       true,
+		"goroutinejoin": true,
+		"locksafe":      true,
+		"spanleak":      true,
+		"uncheckederr":  true,
+	}
+	for _, a := range lint.DefaultAnalyzers() {
+		if a.SummaryAware != want[a.Name] {
+			t.Errorf("%s SummaryAware = %v, want %v", a.Name, a.SummaryAware, want[a.Name])
+		}
+	}
+}
+
 // TestDiagnosticString pins the human output format the driver prints.
 func TestDiagnosticString(t *testing.T) {
 	d := lint.Diagnostic{Analyzer: "floateq", File: "x.go", Line: 3, Col: 9, Message: "m"}

@@ -30,6 +30,11 @@ type Package struct {
 	// Types and Info carry the go/types results.
 	Types *types.Package
 	Info  *types.Info
+
+	// sums caches the interprocedural summary set (see summary.go); it is
+	// computed once per package, on first use, by any summary-aware analyzer.
+	sumOnce sync.Once
+	sums    *summarySet
 }
 
 // Loader loads and type-checks the packages of a single Go module using

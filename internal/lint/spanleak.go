@@ -29,18 +29,27 @@ const obsPkgPath = "nautilus/internal/obs"
 //
 // A Start/Child result that is never bound at all is flagged outright.
 // Test files are skipped: test spans die with the process.
+//
+// The interprocedural layer sharpens both directions: passing the span to
+// a package-local helper whose summary ends it on every path counts as an
+// End (directly or deferred), so delegated cleanup stops being a false
+// positive — while passing it to a helper that provably keeps it local
+// without ending it no longer counts as an ownership-transferring escape,
+// closing the delegation false-negative hole.
 var SpanLeakAnalyzer = &Analyzer{
-	Name: "spanleak",
-	Doc:  "flags obs spans started without End on every exit path (early returns, panics without defer, dropped span handles)",
-	Run:  runSpanLeak,
+	Name:         "spanleak",
+	Doc:          "flags obs spans started without End on every exit path (early returns, panics without defer, dropped span handles)",
+	SummaryAware: true,
+	Run:          runSpanLeak,
 }
 
 func runSpanLeak(p *Pass) {
+	sums := p.Pkg.summaries()
 	for _, f := range p.Pkg.Files {
 		if p.InTestFile(f.Pos()) {
 			continue
 		}
-		funcBodies(f, func(fb funcBody) { spanLeakFunc(p, fb) })
+		funcBodies(f, func(fb funcBody) { spanLeakFunc(p, sums, fb) })
 	}
 }
 
@@ -57,9 +66,10 @@ func spanOrigin(p *Pass, call *ast.CallExpr) bool {
 	return namedType(p.Pkg.Info.TypeOf(call), obsPkgPath, "Span")
 }
 
-func spanLeakFunc(p *Pass, fb funcBody) {
+func spanLeakFunc(p *Pass, sums *summarySet, fb funcBody) {
 	cfg := buildCFG(fb.body)
 	info := p.Pkg.Info
+	endsSpan := func(f paramFacts) bool { return f.EndsSpan }
 
 	// Dropped handles: a bare Start/Child call as its own statement.
 	for _, n := range cfg.nodes {
@@ -97,17 +107,13 @@ func spanLeakFunc(p *Pass, fb funcBody) {
 	}
 
 	for _, o := range origins {
-		if spanDeferredEnd(info, fb.body, o.obj) || spanEscapes(info, fb.body, o.obj) {
+		if sums.deferredDischarge(fb.body, o.obj, "End", endsSpan) || objEscapes(info, sums, fb.body, o.obj) {
 			continue
 		}
 		endsAt := func(n *cfgNode) bool {
 			return headerContains(n, func(x ast.Node) bool {
 				call, ok := x.(*ast.CallExpr)
-				if !ok {
-					return false
-				}
-				recv, ok := methodCallOn(call, "End")
-				return ok && identObj(info, recv) == o.obj
+				return ok && sums.dischargesAt(call, o.obj, "End", endsSpan)
 			})
 		}
 		if !cfg.mustPassFrom(o.node, endsAt) {
@@ -123,106 +129,9 @@ func spanMethodName(call *ast.CallExpr) string {
 	return "Start"
 }
 
-// spanDeferredEnd reports whether any defer in the body ends obj: either
-// `defer obj.End()` or a deferred closure containing obj.End().
-func spanDeferredEnd(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
-	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		ds, ok := n.(*ast.DeferStmt)
-		if !ok {
-			return true
-		}
-		if recv, ok := methodCallOn(ds.Call, "End"); ok && identObj(info, recv) == obj {
-			found = true
-			return false
-		}
-		if lit, ok := ds.Call.Fun.(*ast.FuncLit); ok {
-			ast.Inspect(lit.Body, func(x ast.Node) bool {
-				call, ok := x.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				if recv, ok := methodCallOn(call, "End"); ok && identObj(info, recv) == obj {
-					found = true
-				}
-				return !found
-			})
-		}
-		return !found
-	})
-	return found
-}
-
-// spanEscapes reports whether obj leaves the function's hands: returned,
-// assigned somewhere other than a plain rebind, used as a composite element,
-// sent, passed as a call argument (other than as the receiver of its own
-// method calls), or captured by a closure that is not a deferred End.
-func spanEscapes(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
-	parents := parentMap(body)
-	escaped := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if escaped {
-			return false
-		}
-		id, ok := n.(*ast.Ident)
-		if !ok || info.ObjectOf(id) != obj {
-			return true
-		}
-		if spanUseEscapes(parents, id) {
-			escaped = true
-		}
-		return !escaped
-	})
-	return escaped
-}
-
-// spanUseEscapes classifies one identifier use of a span variable.
-func spanUseEscapes(parents map[ast.Node]ast.Node, id *ast.Ident) bool {
-	var child ast.Node = id
-	parent := parents[id]
-	for {
-		if pe, ok := parent.(*ast.ParenExpr); ok {
-			child = pe
-			parent = parents[pe]
-			continue
-		}
-		break
-	}
-	// Inside any function literal, the closure owns the span's fate —
-	// unless the literal is the deferred-End pattern, which
-	// spanDeferredEnd already credits.
-	for p := parent; p != nil; p = parents[p] {
-		if _, ok := p.(*ast.FuncLit); ok {
-			return true
-		}
-	}
-	switch pn := parent.(type) {
-	case *ast.SelectorExpr:
-		return pn.X != child // shadowing selector like x.sp — not a use of ours
-	case *ast.AssignStmt:
-		for _, l := range pn.Lhs {
-			if l == child {
-				return false // (re)binding
-			}
-		}
-		return true // span copied into another variable
-	case *ast.ReturnStmt, *ast.SendStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.IndexExpr:
-		return true
-	case *ast.CallExpr:
-		for _, a := range pn.Args {
-			if a == child {
-				return true // passed along; callee owns ending it
-			}
-		}
-		return false // receiver position: sp.End(), sp.Attr(...), ...
-	case *ast.BinaryExpr:
-		return false // comparisons (sp == nil) don't retain
-	}
-	return false
-}
+// The escape and deferred-End judgments moved to the shared summary layer
+// (objEscapes / deferredDischarge in summary.go), which credits delegation
+// to local helpers; only parentMap remains here.
 
 // parentMap builds a child→parent map for the subtree.
 func parentMap(root ast.Node) map[ast.Node]ast.Node {

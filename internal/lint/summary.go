@@ -1,0 +1,664 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the interprocedural half of the dataflow engine: per-function
+// summaries computed bottom-up over the call graph's SCC condensation, so
+// the intraprocedural analyzers can see through one level of indirection —
+// an obligation delegated to a helper (releaseAll(scope), endSpans(sp)) is
+// credited at the call site instead of being a false negative, and a value
+// passed to a helper that keeps it local stops counting as an escape.
+//
+// The summary lattice is mixed-monotone, solved per SCC by iterating its
+// members to a fixpoint against each other:
+//
+//   - must-facts (EndsSpan, ReleasesScope, WaitsWG, errNever/errAlways)
+//     start optimistically true inside a recursive component and are only
+//     lowered, so a pair of mutually recursive enders stays credited while
+//     any unsatisfied escape route lowers the whole cycle;
+//   - may-facts (DonesWG, SendsChan, UsesCtx, Escapes, mayLock) start at
+//     bottom (false/empty) and only grow, the usual least fixpoint.
+//
+// Soundness caveats, by design: function literals have no summaries (their
+// bodies are opaque to the CFG and the call graph alike); calls through
+// function values or interface methods resolve to nothing, so delegation
+// through them is never credited and arguments passed to them always count
+// as escapes; and lock-helper facts inside a recursive SCC start
+// pessimistically empty, so a self-recursive lock helper is not credited.
+
+// paramFacts is what a function's summary says about one parameter.
+type paramFacts struct {
+	// EndsSpan: the *obs.Span argument is ended on every path to return
+	// (directly, by delegation, or by defer).
+	EndsSpan bool
+	// ReleasesScope: the *tensor.Scope argument is released on every path.
+	ReleasesScope bool
+	// WaitsWG: the *sync.WaitGroup argument is waited on on every path.
+	WaitsWG bool
+	// DonesWG: the function may call Done on the WaitGroup argument —
+	// the worker half of the launch protocol.
+	DonesWG bool
+	// SendsChan: the function may send on or close the channel argument.
+	SendsChan bool
+	// UsesCtx: the context.Context argument is mentioned at all.
+	UsesCtx bool
+	// Escapes: the argument may leave the callee's hands (stored, returned,
+	// captured, or passed somewhere unknown).
+	Escapes bool
+}
+
+// lockMode distinguishes write locks from read locks on a sync.RWMutex
+// (a plain Mutex only ever holds lockWrite).
+type lockMode uint8
+
+const (
+	lockWrite lockMode = 1 + iota
+	lockRead
+)
+
+func (m lockMode) lockName() string {
+	if m == lockRead {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+func (m lockMode) unlockName() string {
+	if m == lockRead {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// lockSym names a mutex in a function's own frame of reference, so lock
+// effects can be translated across call sites: rooted at the method
+// receiver, at a parameter, or at a package-level variable, plus the
+// selector path from the root down to the mutex ("" when the root itself
+// is the mutex).
+type lockSym struct {
+	recv   bool
+	param  int          // parameter index when >= 0 (and recv is false)
+	global types.Object // package-level root when non-nil
+	rel    string       // ".mu", ".state.mu", or ""
+}
+
+// funcSummary is the interprocedural fact sheet of one declared function.
+type funcSummary struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+
+	// params holds one fact set per signature parameter (receiver excluded).
+	params []paramFacts
+
+	// errNever / errAlways classify the error result across all returns:
+	// provably always nil, or provably always non-nil. Both false when the
+	// function has no error result or the returns are mixed/unknown.
+	errNever  bool
+	errAlways bool
+
+	// holdsAtExit: locks acquired here and still held on every path to
+	// return — the lock-helper shape; callers inherit the held state.
+	holdsAtExit map[lockSym]lockMode
+	// releasesLock: locks released here without a local acquisition on
+	// every path — the unlock-helper shape.
+	releasesLock map[lockSym]lockMode
+	// mayLock: locks this function may acquire anywhere, transitively
+	// through local callees; used for re-acquisition deadlock checks.
+	mayLock map[lockSym]lockMode
+
+	// spawnsUnjoined: the function launches a goroutine the goroutinejoin
+	// analyzer cannot tie to a join protocol.
+	spawnsUnjoined bool
+}
+
+// paramIndex maps a call-site argument index to a parameter index,
+// folding a variadic tail onto the last parameter; -1 if out of range.
+func (sum *funcSummary) paramIndex(arg int) int {
+	sig := sum.fn.Type().(*types.Signature)
+	n := sig.Params().Len()
+	if sig.Variadic() && arg >= n-1 {
+		return n - 1
+	}
+	if arg < n {
+		return arg
+	}
+	return -1
+}
+
+func (sum *funcSummary) equal(o *funcSummary) bool {
+	if o == nil {
+		return false
+	}
+	if len(sum.params) != len(o.params) ||
+		sum.errNever != o.errNever || sum.errAlways != o.errAlways ||
+		sum.spawnsUnjoined != o.spawnsUnjoined {
+		return false
+	}
+	for i := range sum.params {
+		if sum.params[i] != o.params[i] {
+			return false
+		}
+	}
+	return lockMapsEqual(sum.holdsAtExit, o.holdsAtExit) &&
+		lockMapsEqual(sum.releasesLock, o.releasesLock) &&
+		lockMapsEqual(sum.mayLock, o.mayLock)
+}
+
+func lockMapsEqual(a, b map[lockSym]lockMode) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// summarySet is one package's interprocedural layer: the call graph plus a
+// summary per declared function.
+type summarySet struct {
+	pkg   *Package
+	graph *callGraph
+	byFn  map[*types.Func]*funcSummary
+}
+
+// summaries returns the package's interprocedural summary set, computed
+// once on first use and shared by every summary-aware analyzer.
+func (p *Package) summaries() *summarySet {
+	p.sumOnce.Do(func() { p.sums = computeSummaries(p) })
+	return p.sums
+}
+
+// of returns the summary for a callee object, or nil for anything that is
+// not a declared function of this package.
+func (s *summarySet) of(obj types.Object) *funcSummary {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return s.byFn[fn]
+}
+
+// calleeSummary resolves a call expression to the local callee's summary,
+// or nil (external function, interface method, function value).
+func (s *summarySet) calleeSummary(call *ast.CallExpr) *funcSummary {
+	return s.of(calleeObj(s.pkg.Info, call))
+}
+
+// computeSummaries builds the call graph and solves every SCC bottom-up.
+func computeSummaries(pkg *Package) *summarySet {
+	s := &summarySet{pkg: pkg, graph: buildCallGraph(pkg), byFn: map[*types.Func]*funcSummary{}}
+	for _, scc := range s.graph.sccs {
+		recursive := len(scc) > 1 || scc[0].selfRecursive()
+		if recursive {
+			for _, n := range scc {
+				s.byFn[n.fn] = s.optimisticInit(n)
+			}
+		}
+		// Bounded in case a fact interaction is not perfectly monotone; real
+		// components converge in a handful of rounds.
+		for round := 0; round < 4*len(scc)+8; round++ {
+			changed := false
+			for _, n := range scc {
+				ns := s.compute(n)
+				if !ns.equal(s.byFn[n.fn]) {
+					s.byFn[n.fn] = ns
+					changed = true
+				}
+			}
+			if !recursive || !changed {
+				break
+			}
+		}
+	}
+	// spawnsUnjoined consumes the converged protocol facts (DonesWG,
+	// SendsChan, WaitsWG), so it runs as a post-pass, not in the fixpoint.
+	for _, n := range s.graph.order {
+		unjoined := false
+		fb := funcBody{decl: n.decl, typ: n.decl.Type, body: n.decl.Body}
+		goroutineJoinFunc(pkg.Info, s, fb, func(token.Pos, string, ...any) { unjoined = true })
+		s.byFn[n.fn].spawnsUnjoined = unjoined
+	}
+	return s
+}
+
+// optimisticInit seeds a recursive SCC member: must-facts true wherever the
+// parameter type is eligible, may-facts and lock maps at bottom.
+func (s *summarySet) optimisticInit(n *cgNode) *funcSummary {
+	sum := &funcSummary{fn: n.fn, decl: n.decl}
+	sig := n.fn.Type().(*types.Signature)
+	sum.params = make([]paramFacts, sig.Params().Len())
+	for i := range sum.params {
+		t := sig.Params().At(i).Type()
+		sum.params[i].EndsSpan = namedType(t, obsPkgPath, "Span")
+		sum.params[i].ReleasesScope = namedType(t, tensorPkgPath, "Scope")
+		sum.params[i].WaitsWG = namedType(t, "sync", "WaitGroup")
+	}
+	sum.errNever, sum.errAlways = hasErrorResult(sig), hasErrorResult(sig)
+	return sum
+}
+
+func hasErrorResult(sig *types.Signature) bool {
+	errType := types.Universe.Lookup("error").Type()
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}
+
+// compute derives one function's summary against the current state of its
+// callees' summaries (final for lower SCCs, in-flight for its own).
+func (s *summarySet) compute(n *cgNode) *funcSummary {
+	info := s.pkg.Info
+	sum := &funcSummary{fn: n.fn, decl: n.decl}
+	sig := n.fn.Type().(*types.Signature)
+	cfg := n.funcCFG()
+	body := n.decl.Body
+
+	sum.params = make([]paramFacts, sig.Params().Len())
+	for i := range sum.params {
+		obj := sig.Params().At(i)
+		if obj.Name() == "" || obj.Name() == "_" {
+			continue
+		}
+		pf := &sum.params[i]
+		t := obj.Type()
+		switch {
+		case namedType(t, obsPkgPath, "Span"):
+			pf.EndsSpan = s.mustDischarge(cfg, body, obj, "End", func(f paramFacts) bool { return f.EndsSpan })
+		case namedType(t, tensorPkgPath, "Scope"):
+			pf.ReleasesScope = s.mustDischarge(cfg, body, obj, "Release", func(f paramFacts) bool { return f.ReleasesScope })
+		case namedType(t, "sync", "WaitGroup"):
+			pf.WaitsWG = s.mustDischarge(cfg, body, obj, "Wait", func(f paramFacts) bool { return f.WaitsWG })
+			pf.DonesWG = callsMethodOnAnywhere(info, body, obj, "Done") ||
+				delegatesAnywhere(s, body, obj, func(f paramFacts) bool { return f.DonesWG })
+		case isChanType(t):
+			pf.SendsChan = sendsOrCloses(info, body, obj) ||
+				delegatesAnywhere(s, body, obj, func(f paramFacts) bool { return f.SendsChan })
+		case namedType(t, "context", "Context"):
+			pf.UsesCtx = mentionsAnywhere(info, body, obj)
+		}
+		pf.Escapes = objEscapes(info, s, body, obj)
+	}
+
+	sum.errNever, sum.errAlways = s.errorFacts(n, sig)
+	lockSummaryFacts(s, n, sum)
+	if cur := s.byFn[n.fn]; cur != nil {
+		sum.spawnsUnjoined = cur.spawnsUnjoined // preserved; set by the post-pass
+	}
+	return sum
+}
+
+// mustDischarge reports whether every path from entry to return discharges
+// the obligation on obj: a direct method call (End/Release/Wait), a call
+// delegating to a local function whose summary discharges that argument,
+// or a defer of either form.
+func (s *summarySet) mustDischarge(cfg *funcCFG, body *ast.BlockStmt, obj types.Object, method string, pred func(paramFacts) bool) bool {
+	if s.deferredDischarge(body, obj, method, pred) {
+		return true
+	}
+	must := cfg.mustPass(func(n *cfgNode) bool {
+		return headerContains(n, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			return ok && s.dischargesAt(call, obj, method, pred)
+		})
+	})
+	return must[cfg.entry]
+}
+
+// dischargesAt reports whether one call discharges the obligation on obj.
+func (s *summarySet) dischargesAt(call *ast.CallExpr, obj types.Object, method string, pred func(paramFacts) bool) bool {
+	if recv, ok := methodCallOn(call, method); ok && identObj(s.pkg.Info, recv) == obj {
+		return true
+	}
+	return s.callDelegates(call, obj, pred)
+}
+
+// callDelegates reports whether call passes obj as an argument to a local
+// function whose summary satisfies pred at that parameter position.
+func (s *summarySet) callDelegates(call *ast.CallExpr, obj types.Object, pred func(paramFacts) bool) bool {
+	sum := s.calleeSummary(call)
+	if sum == nil {
+		return false
+	}
+	for i, a := range call.Args {
+		if argRootObj(s.pkg.Info, a) != obj {
+			continue
+		}
+		if pi := sum.paramIndex(i); pi >= 0 && pred(sum.params[pi]) {
+			return true
+		}
+	}
+	return false
+}
+
+// deferredDischarge reports whether any defer in the body discharges obj:
+// `defer obj.Method()`, a deferred closure containing such a call, or a
+// deferred delegation to a local discharger.
+func (s *summarySet) deferredDischarge(body *ast.BlockStmt, obj types.Object, method string, pred func(paramFacts) bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if s.dischargesAt(ds.Call, obj, method, pred) {
+			found = true
+			return false
+		}
+		if lit, ok := ds.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok && s.dischargesAt(call, obj, method, pred) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// argRootObj resolves a call argument (through parens and a leading &) to
+// the object of a plain identifier, or nil.
+func argRootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				e = x.X
+				continue
+			}
+		}
+		break
+	}
+	return identObj(info, e)
+}
+
+// callsMethodOnAnywhere reports a call obj.sel(...) anywhere in the body,
+// nested closures included — the worker-side Done shape.
+func callsMethodOnAnywhere(info *types.Info, body ast.Node, obj types.Object, sel string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if recv, ok := methodCallOn(call, sel); ok && identObj(info, recv) == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// delegatesAnywhere reports a call anywhere in the body (closures included)
+// passing obj to a local function whose summary satisfies pred.
+func delegatesAnywhere(s *summarySet, body ast.Node, obj types.Object, pred func(paramFacts) bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && s.callDelegates(call, obj, pred) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sendsOrCloses reports a send on or close of channel obj anywhere in the
+// body, nested closures included.
+func sendsOrCloses(info *types.Info, body ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if identObj(info, x.Chan) == obj {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "close" && len(x.Args) == 1 {
+				if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin && identObj(info, x.Args[0]) == obj {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsAnywhere reports any identifier use of obj in the body, nested
+// closures included.
+func mentionsAnywhere(info *types.Info, body ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isChanType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// errorFacts classifies the function's error result across all explicit
+// returns. Naked returns, no returns, and unknown expressions make both
+// facts false (the conservative "could be either").
+func (s *summarySet) errorFacts(n *cgNode, sig *types.Signature) (never, always bool) {
+	errType := types.Universe.Lookup("error").Type()
+	errIdx := -1
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			errIdx = i
+		}
+	}
+	if errIdx < 0 {
+		return false, false
+	}
+	never, always = true, true
+	returns := 0
+	shallowInspect(n.decl.Body, func(x ast.Node) bool {
+		rs, ok := x.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		returns++
+		canNil, canNonNil := true, true
+		switch {
+		case len(rs.Results) == 0:
+			// Naked return through named results: unknown.
+		case len(rs.Results) == 1 && sig.Results().Len() > 1:
+			// Tuple-forward: return g(...) — judged by the callee's facts.
+			if call, ok := rs.Results[0].(*ast.CallExpr); ok {
+				canNil, canNonNil = s.errExprRange(call)
+			}
+		case errIdx < len(rs.Results):
+			canNil, canNonNil = s.errExprRange(rs.Results[errIdx])
+		}
+		if canNonNil {
+			never = false
+		}
+		if canNil {
+			always = false
+		}
+		return true
+	})
+	if returns == 0 {
+		return false, false
+	}
+	return never, always
+}
+
+// errExprRange bounds what an error-position expression can evaluate to:
+// (can be nil, can be non-nil).
+func (s *summarySet) errExprRange(e ast.Expr) (canNil, canNonNil bool) {
+	info := s.pkg.Info
+	if tv, ok := info.Types[e]; ok && tv.IsNil() {
+		return true, false
+	}
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		if fn, ok := calleeObj(info, x).(*types.Func); ok && fn.Pkg() != nil {
+			switch {
+			case fn.Pkg().Path() == "errors" && fn.Name() == "New",
+				fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+				return false, true
+			}
+		}
+		if sum := s.calleeSummary(x); sum != nil {
+			if sum.errNever {
+				return true, false
+			}
+			if sum.errAlways {
+				return false, true
+			}
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			if _, ok := x.X.(*ast.CompositeLit); ok {
+				return false, true
+			}
+		}
+	}
+	return true, true
+}
+
+// objEscapes reports whether obj's value can leave the enclosing function's
+// hands: returned, stored beyond a plain rebind, placed in a composite /
+// index / channel send, captured by a function literal, handed to a
+// goroutine, or passed to a call not known (by local summary) to keep the
+// argument local. sums may be nil for a purely syntactic judgment.
+func objEscapes(info *types.Info, sums *summarySet, body *ast.BlockStmt, obj types.Object) bool {
+	parents := parentMap(body)
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || info.ObjectOf(id) != obj {
+			return true
+		}
+		if useEscapes(info, sums, parents, id) {
+			escaped = true
+		}
+		return !escaped
+	})
+	return escaped
+}
+
+// useEscapes classifies one identifier use of a tracked variable.
+func useEscapes(info *types.Info, sums *summarySet, parents map[ast.Node]ast.Node, id *ast.Ident) bool {
+	var child ast.Node = id
+	parent := parents[id]
+	for {
+		if pe, ok := parent.(*ast.ParenExpr); ok {
+			child = pe
+			parent = parents[pe]
+			continue
+		}
+		break
+	}
+	// Inside any function literal, the closure owns the value's fate —
+	// callers credit the deferred-discharge pattern before asking here.
+	for p := parent; p != nil; p = parents[p] {
+		if _, ok := p.(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	switch pn := parent.(type) {
+	case *ast.SelectorExpr:
+		return pn.X != child // shadowing selector like x.sp — not a use of ours
+	case *ast.AssignStmt:
+		for _, l := range pn.Lhs {
+			if l == child {
+				return false // (re)binding
+			}
+		}
+		return true // copied into another variable
+	case *ast.ReturnStmt, *ast.SendStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.IndexExpr:
+		return true
+	case *ast.UnaryExpr:
+		// &obj: judge the address expression by its own context.
+		if pn.Op == token.AND {
+			return useEscapesFrom(info, sums, parents, pn)
+		}
+		return false
+	case *ast.CallExpr:
+		return callArgEscapes(info, sums, parents, pn, child)
+	case *ast.BinaryExpr:
+		return false // comparisons (x == nil) don't retain
+	}
+	return false
+}
+
+// useEscapesFrom re-judges an enclosing expression (an &obj node) by the
+// same rules, so `helper(&wg)` gets summary treatment while `s.f = &wg`
+// still escapes.
+func useEscapesFrom(info *types.Info, sums *summarySet, parents map[ast.Node]ast.Node, e ast.Expr) bool {
+	var child ast.Node = e
+	parent := parents[e]
+	for {
+		if pe, ok := parent.(*ast.ParenExpr); ok {
+			child = pe
+			parent = parents[pe]
+			continue
+		}
+		break
+	}
+	if call, ok := parent.(*ast.CallExpr); ok {
+		return callArgEscapes(info, sums, parents, call, child)
+	}
+	return true // address stored/returned/compared: keep it conservative
+}
+
+// callArgEscapes judges a value passed as a call argument: handing it to a
+// goroutine or to an unknown callee is an escape; a local callee whose
+// summary says the parameter stays local is not.
+func callArgEscapes(info *types.Info, sums *summarySet, parents map[ast.Node]ast.Node, call *ast.CallExpr, child ast.Node) bool {
+	for i, a := range call.Args {
+		if a != child {
+			continue
+		}
+		if _, ok := parents[call].(*ast.GoStmt); ok {
+			return true // another goroutine owns it now
+		}
+		if sums != nil {
+			if sum := sums.calleeSummary(call); sum != nil {
+				if pi := sum.paramIndex(i); pi >= 0 && !sum.params[pi].Escapes {
+					return false // callee keeps it local; obligations transfer
+				}
+			}
+		}
+		return true
+	}
+	return false // receiver position: obj.End(), obj.Attr(...), ...
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func loadSummaryFixture(t *testing.T) *summarySet {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", "summaries")
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg.summaries()
+}
+
+func summaryByName(t *testing.T, s *summarySet, name string) *funcSummary {
+	t.Helper()
+	for fn, sum := range s.byFn {
+		if fn.Name() == name {
+			return sum
+		}
+	}
+	t.Fatalf("no summary for %s", name)
+	return nil
+}
+
+func TestSummaryEndsSpan(t *testing.T) {
+	s := loadSummaryFixture(t)
+	for name, want := range map[string]bool{
+		"endSpan":          true,
+		"endSpanBranch":    false,
+		"endSpanDelegated": true, // one level of delegation
+		"endSpanMutualA":   true, // mutual recursion converges optimistically
+		"endSpanMutualB":   true,
+		"spanCycleLeaky":   false, // the escape path lowers the seed
+	} {
+		if got := summaryByName(t, s, name).params[0].EndsSpan; got != want {
+			t.Errorf("%s EndsSpan = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestSummaryReleasesScope(t *testing.T) {
+	s := loadSummaryFixture(t)
+	if !summaryByName(t, s, "releaseScope").params[0].ReleasesScope {
+		t.Error("releaseScope does not summarize as releasing its scope")
+	}
+}
+
+func TestSummaryErrorFacts(t *testing.T) {
+	s := loadSummaryFixture(t)
+	cases := map[string][2]bool{ // {errNever, errAlways}
+		"errNil":     {true, false},
+		"errBoom":    {false, true},
+		"errMixed":   {false, false},
+		"errForward": {true, false}, // inherits errNil through the call
+	}
+	for name, want := range cases {
+		sum := summaryByName(t, s, name)
+		if sum.errNever != want[0] || sum.errAlways != want[1] {
+			t.Errorf("%s = (never %v, always %v), want (never %v, always %v)",
+				name, sum.errNever, sum.errAlways, want[0], want[1])
+		}
+	}
+}
+
+func TestSummaryLockHelpers(t *testing.T) {
+	s := loadSummaryFixture(t)
+	lock := summaryByName(t, s, "lock")
+	if len(lock.holdsAtExit) != 1 {
+		t.Fatalf("lock holdsAtExit = %v, want one receiver-rooted entry", lock.holdsAtExit)
+	}
+	for sym, mode := range lock.holdsAtExit {
+		if !sym.recv || sym.rel != ".mu" || mode != lockWrite {
+			t.Errorf("lock holdsAtExit entry = %+v mode %v, want recv .mu write", sym, mode)
+		}
+	}
+	unlock := summaryByName(t, s, "unlock")
+	if len(unlock.releasesLock) != 1 {
+		t.Fatalf("unlock releasesLock = %v, want one receiver-rooted entry", unlock.releasesLock)
+	}
+	bump := summaryByName(t, s, "bump")
+	if len(bump.holdsAtExit) != 0 {
+		t.Errorf("bump holdsAtExit = %v, want empty (helper-acquired lock is defer-released)", bump.holdsAtExit)
+	}
+	if len(bump.mayLock) == 0 {
+		t.Error("bump mayLock is empty; the helper's acquisition should surface transitively")
+	}
+}
+
+func TestSummaryEscapes(t *testing.T) {
+	s := loadSummaryFixture(t)
+	if summaryByName(t, s, "keepLocal").params[0].Escapes {
+		t.Error("keepLocal's nil-comparison counts as an escape")
+	}
+	if !summaryByName(t, s, "stash").params[0].Escapes {
+		t.Error("stash stores to a package variable but does not summarize as escaping")
+	}
+	if !summaryByName(t, s, "endSpan").params[0].EndsSpan {
+		t.Fatal("precondition: endSpan ends its span")
+	}
+}
+
+func TestSummaryGoroutineProtocolFacts(t *testing.T) {
+	s := loadSummaryFixture(t)
+	if !summaryByName(t, s, "doneWorker").params[0].DonesWG {
+		t.Error("doneWorker does not summarize as Done-ing its WaitGroup")
+	}
+	if !summaryByName(t, s, "waiter").params[0].WaitsWG {
+		t.Error("waiter does not summarize as waiting on its WaitGroup")
+	}
+	if !summaryByName(t, s, "sender").params[0].SendsChan {
+		t.Error("sender does not summarize as sending on its channel")
+	}
+}

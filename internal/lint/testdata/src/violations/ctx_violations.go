@@ -1,0 +1,56 @@
+package violations
+
+import "context"
+
+// Helpers for the ctxflow fixtures: one that genuinely consumes its
+// context, one whose blank parameter provably ignores it.
+
+func ctxAwait(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func ctxIgnorer(_ context.Context, n int) int {
+	return n + 1
+}
+
+// Ctxflow: a fresh Background context severs the caller's cancellation.
+
+func ctxBackgroundDrop(ctx context.Context) {
+	_ = ctx.Err()
+	ctxAwait(context.Background()) // want "ctxflow: context.Background passed to ctxAwait while ctx is in scope; propagate the caller's context"
+}
+
+// Ctxflow: context.TODO is the same drop wearing a different name.
+
+func ctxTodoDrop(ctx context.Context) {
+	_ = ctx.Err()
+	ctxAwait(context.TODO()) // want "ctxflow: context.TODO passed to ctxAwait while ctx is in scope; propagate the caller's context"
+}
+
+// Ctxflow: a context parameter the body never touches.
+
+func ctxUnused(ctx context.Context, n int) int { // want "ctxflow: context parameter ctx is never used; propagate it to downstream calls or rename it _"
+	return n * 2
+}
+
+// Clean: the context is threaded through.
+
+func ctxPropagates(ctx context.Context) {
+	ctxAwait(ctx)
+}
+
+// Clean: the callee's summary proves its context parameter is ignored, so
+// substituting a fresh one changes nothing.
+
+func ctxFreshToIgnorer(ctx context.Context) int {
+	ctxAwait(ctx)
+	return ctxIgnorer(context.Background(), 1)
+}
+
+// Suppressed: a deliberate detachment (fire-and-forget audit write),
+// documented in place.
+
+//lint:ignore ctxflow this fixture models a deliberately detached background task
+func ctxDetached(ctx context.Context, n int) int {
+	return n
+}

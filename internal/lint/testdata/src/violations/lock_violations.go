@@ -1,0 +1,126 @@
+package violations
+
+import "sync"
+
+// Locksafe: an early return leaves the mutex held on one path.
+
+type lockedCounter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *lockedCounter) bumpLeaky(skip bool) {
+	c.mu.Lock() // want "locksafe: c.mu.Lock is not released on every path to return; add defer c.mu.Unlock() or unlock the missed branch"
+	if skip {
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// Locksafe: a panic edge escapes the critical section with the lock held.
+
+func (c *lockedCounter) bumpPanicky(n int) {
+	c.mu.Lock() // want "locksafe: c.mu.Lock is not released on every path to return; add defer c.mu.Unlock() or unlock the missed branch"
+	if n < 0 {
+		panic("negative increment")
+	}
+	c.n += n
+	c.mu.Unlock()
+}
+
+// Locksafe: releasing a read lock with the write-side Unlock.
+
+type lockedIndex struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func (ix *lockedIndex) lookupMismatched(k string) int {
+	ix.mu.RLock()
+	v := ix.m[k]
+	ix.mu.Unlock() // want "locksafe: ix.mu is read-locked here; release it with RUnlock, not Unlock"
+	return v
+}
+
+// Locksafe: double Lock of a plain mutex self-deadlocks.
+
+func (c *lockedCounter) bumpTwice() {
+	c.mu.Lock()
+	c.mu.Lock() // want "locksafe: second Lock of c.mu deadlocks: it is already locked on this path"
+	c.n += 2
+	c.mu.Unlock()
+}
+
+// Locksafe: self-recursion re-enters the critical section — the summary's
+// may-acquire set catches the cycle at the recursive call.
+
+func (c *lockedCounter) drainRecursive(n int) {
+	if n == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.n--
+	c.drainRecursive(n - 1) // want "locksafe: drainRecursive may Lock c.mu, which is already held at this call; the re-acquisition deadlocks"
+	c.mu.Unlock()
+}
+
+// Clean: the canonical defer pairing.
+
+func (c *lockedCounter) bumpDeferred() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Clean: both branches release before returning.
+
+func (ix *lockedIndex) lookupBranches(k string, fast bool) int {
+	ix.mu.RLock()
+	if fast {
+		v := ix.m[k]
+		ix.mu.RUnlock()
+		return v
+	}
+	v := ix.m[k] * 2
+	ix.mu.RUnlock()
+	return v
+}
+
+// Clean: lock/unlock helper pair — the lock helper's held-at-exit summary
+// transfers the obligation to the caller, and the deferred unlock helper
+// discharges it.
+
+func (c *lockedCounter) lock()   { c.mu.Lock() }
+func (c *lockedCounter) unlock() { c.mu.Unlock() }
+
+func (c *lockedCounter) bumpViaHelpers() {
+	c.lock()
+	defer c.unlock()
+	c.n++
+}
+
+// Locksafe: a lock helper whose caller never releases — the inherited
+// held state leaks at the caller's early return.
+
+func (c *lockedCounter) bumpHelperLeaky(skip bool) {
+	c.lock() // want "locksafe: c.mu.Lock is not released on every path to return; add defer c.mu.Unlock() or unlock the missed branch"
+	if skip {
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// Suppressed: intentionally held across the return (handed to a paired
+// unlock elsewhere), documented in place.
+
+func (c *lockedCounter) bumpSuppressed(skip bool) {
+	//lint:ignore locksafe the lock is intentionally handed to the caller's cleanup in this fixture
+	c.mu.Lock()
+	if skip {
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint lint-fixtures check bench trace-demo bench-json
+.PHONY: build test lint lint-fixtures check bench trace-demo bench-json bench-baseline
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,9 @@ lint-fixtures:
 
 # check is the full pre-merge gate: vet + build + the full analyzer
 # suite (interprocedural summaries included) + the race detector over the
-# concurrent planning, execution, and storage layers.
+# concurrent planning, execution, observability, and storage layers, plus
+# the perf-regression gate against the committed baseline (noise-aware
+# ratio metrics; nonzero exit on regression).
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -34,7 +36,8 @@ check:
 	$(GO) test -race ./internal/exec/... ./internal/train/...
 	$(GO) test -race ./internal/core/...
 	$(GO) test -race ./internal/tensor/... ./internal/graph/...
-	$(GO) test -race ./internal/storage/...
+	$(GO) test -race ./internal/storage/... ./internal/obs/...
+	$(GO) run ./cmd/nautilus-bench -exp obs,replan,calib -baseline BENCH_baseline.json
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -49,10 +52,18 @@ trace-demo:
 # bench-json measures observability overhead on the trainer hot loop
 # (no tracer vs nil sink vs active sink), the incremental-replan savings
 # after AddCandidates, the hot-path engine (parallel kernels + step
-# arena), and the lint suite's per-analyzer wall time, writing
-# BENCH_obs.json + BENCH_replan.json + BENCH_kernels.json + BENCH_lint.json.
+# arena), the lint suite's per-analyzer wall time, and the trace-calibration
+# conformance tightening, writing BENCH_obs.json + BENCH_replan.json +
+# BENCH_kernels.json + BENCH_lint.json + BENCH_calib.json.
 bench-json:
 	$(GO) run ./cmd/nautilus-bench -exp obs -obsjson BENCH_obs.json
 	$(GO) run ./cmd/nautilus-bench -exp replan -replanjson BENCH_replan.json
 	$(GO) run ./cmd/nautilus-bench -exp kernels -kernelsjson BENCH_kernels.json
 	$(GO) run ./cmd/nautilus-bench -exp lint -lintjson BENCH_lint.json
+	$(GO) run ./cmd/nautilus-bench -exp calib -calibjson BENCH_calib.json
+
+# bench-baseline rewrites the committed perf-regression baseline from a
+# fresh run of the gated experiments. Run it after an intentional perf
+# change, eyeball the diff, and commit the new BENCH_baseline.json.
+bench-baseline:
+	$(GO) run ./cmd/nautilus-bench -exp obs,replan,calib -write-baseline BENCH_baseline.json

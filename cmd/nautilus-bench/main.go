@@ -7,12 +7,15 @@
 //	nautilus-bench -exp all
 //	nautilus-bench -exp fig6a
 //	nautilus-bench -exp fig7 -fig7lrs 3 -fig7cycles 5
+//	nautilus-bench -exp obs,replan,calib -baseline BENCH_baseline.json
+//	nautilus-bench -exp obs,replan,calib -write-baseline BENCH_baseline.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"nautilus/internal/experiments"
 	"nautilus/internal/obs"
@@ -20,18 +23,22 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3 fig6a fig6b fig6c fig7 fig7b fig8 fig9 fig10a fig10b fig11 hwsweep solver obs replan kernels lint all")
+	exp := flag.String("exp", "all", "comma-separated experiments: table3 fig6a fig6b fig6c fig7 fig7b fig8 fig9 fig10a fig10b fig11 hwsweep solver obs replan kernels lint calib all")
 	fig7LRs := flag.Int("fig7lrs", 2, "learning rates per strategy in fig7's real-training run")
 	fig7Cycles := flag.Int("fig7cycles", 4, "labeling cycles in fig7's real-training run")
-	obsRuns := flag.Int("obsruns", 3, "averaged trainer passes per mode in the obs overhead experiment")
+	obsRuns := flag.Int("obsruns", 5, "individually timed trainer passes per mode in the obs overhead experiment")
 	obsJSON := flag.String("obsjson", "", "write the obs overhead result as JSON to this file")
 	replanJSON := flag.String("replanjson", "", "write the replan benchmark result as JSON to this file")
 	kernelsRuns := flag.Int("kernelsruns", 3, "averaged training passes per regime in the kernels experiment")
 	kernelsJSON := flag.String("kernelsjson", "", "write the kernels benchmark result as JSON to this file")
 	lintJSON := flag.String("lintjson", "", "write the lint benchmark result as JSON to this file")
+	calibJSON := flag.String("calibjson", "", "write the calibration benchmark result as JSON to this file")
+	baselinePath := flag.String("baseline", "", "compare this run's gated metrics against this baseline file; exit nonzero on regression")
+	writeBaseline := flag.String("write-baseline", "", "write this run's gated metrics as a new baseline file")
 	tracePath := flag.String("trace", "", "trace experiment execution spans to this file")
 	traceFormat := flag.String("trace-format", obs.FormatChrome, "trace file format: chrome or jsonl")
 	metricsPath := flag.String("metrics", "", "write metrics + conformance JSON to this file")
+	listen := flag.String("listen", "", "serve live telemetry over HTTP on this address while experiments run")
 	flag.Parse()
 
 	var tracer *obs.Tracer
@@ -42,6 +49,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "nautilus-bench:", err)
 			os.Exit(1)
 		}
+	} else if *listen != "" {
+		// Live export needs a tracer even without a trace file.
+		tracer = obs.New(nil)
+	}
+	if tracer != nil {
 		experiments.SetObs(tracer)
 		defer func() {
 			if *metricsPath != "" {
@@ -54,9 +66,32 @@ func main() {
 			}
 		}()
 	}
+	if *listen != "" {
+		exporter, err := obs.StartExporter(tracer, obs.ExporterConfig{Listen: *listen})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nautilus-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("live telemetry on http://%s (/metrics /conformance /spans /debug/pprof/)\n", exporter.Addr())
+		defer func() {
+			if err := exporter.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "nautilus-bench:", err)
+			}
+		}()
+	}
+
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			selected[name] = true
+		}
+	}
+	// Metrics the gated experiments contribute toward -baseline /
+	// -write-baseline.
+	var gated []experiments.BaselineMetric
 
 	run := func(name string, fn func() error) {
-		if *exp != "all" && *exp != name {
+		if !selected["all"] && !selected[name] {
 			return
 		}
 		fmt.Printf("==== %s ====\n", name)
@@ -170,6 +205,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		gated = append(gated, experiments.ObsBaselineMetrics(r)...)
 		if err := experiments.PrintObsOverhead(os.Stdout, r); err != nil {
 			return err
 		}
@@ -186,6 +222,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		gated = append(gated, experiments.ReplanBaselineMetrics(r)...)
 		if err := experiments.PrintReplan(os.Stdout, r); err != nil {
 			return err
 		}
@@ -229,4 +266,46 @@ func main() {
 		}
 		return nil
 	})
+	run("calib", func() error {
+		r, err := experiments.Calib()
+		if err != nil {
+			return err
+		}
+		gated = append(gated, experiments.CalibBaselineMetrics(r)...)
+		if err := experiments.PrintCalib(os.Stdout, r); err != nil {
+			return err
+		}
+		if *calibJSON != "" {
+			if err := experiments.WriteCalibJSON(*calibJSON, r); err != nil {
+				return err
+			}
+			fmt.Printf("calibration JSON written to %s\n", *calibJSON)
+		}
+		return nil
+	})
+
+	if *writeBaseline != "" {
+		if err := experiments.WriteBaseline(*writeBaseline, gated); err != nil {
+			fmt.Fprintln(os.Stderr, "nautilus-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("baseline written to %s (%d metrics)\n", *writeBaseline, len(gated))
+	}
+	if *baselinePath != "" {
+		base, err := experiments.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nautilus-bench:", err)
+			os.Exit(1)
+		}
+		comparisons, regressions := experiments.CompareBaseline(base, gated)
+		if err := experiments.PrintBaselineComparison(os.Stdout, comparisons, regressions); err != nil {
+			fmt.Fprintln(os.Stderr, "nautilus-bench:", err)
+			os.Exit(1)
+		}
+		if regressions > 0 {
+			// Exits without running the trace/exporter defers: a failing gate
+			// is a CI stop, not a clean report.
+			os.Exit(1)
+		}
+	}
 }

@@ -32,6 +32,7 @@ func main() {
 	maxRecords := flag.Int("max-records", 5000, "expected maximum training records r")
 	dot := flag.Bool("dot", false, "emit the first group's reuse plan as Graphviz DOT and exit")
 	summary := flag.Bool("summary", false, "print the first candidate model's layer table and exit")
+	calibration := flag.String("calibration", "", "plan against measured constants from this calibration file (nautilus-run -calibrate-out)")
 	flag.Parse()
 
 	spec, err := workloads.ByName(*workload)
@@ -42,6 +43,12 @@ func main() {
 	if *scale == "mini" {
 		sc = workloads.Mini
 		hw = experiments.MiniHardware()
+	}
+	if *calibration != "" {
+		hw, err = profile.LoadHardware(*calibration, hw)
+		fatalIf(err)
+		fmt.Printf("calibrated constants from %s: %.3g FLOP/s, %.3g disk B/s\n",
+			*calibration, hw.FLOPSThroughput, hw.DiskThroughput)
 	}
 	fmt.Printf("building %s at %s scale (%d candidate models)...\n", spec.Name, sc, spec.NumModels())
 	inst, err := spec.Build(sc, hw)

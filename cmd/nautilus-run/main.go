@@ -7,6 +7,9 @@
 //	nautilus-run -workload FTR-3 -approach nautilus
 //	nautilus-run -workload FTU -approach current_practice -cycles 4
 //	nautilus-run -workload FTR-3 -trace run.trace -metrics run.json
+//	nautilus-run -workload FTR-3 -calibrate-out hw.json     # fit measured constants
+//	nautilus-run -workload FTR-3 -calibration hw.json       # plan against them
+//	nautilus-run -workload FTR-3 -listen localhost:6060 -live live.jsonl
 package main
 
 import (
@@ -18,6 +21,8 @@ import (
 	"nautilus/internal/core"
 	"nautilus/internal/experiments"
 	"nautilus/internal/obs"
+	"nautilus/internal/obs/calib"
+	"nautilus/internal/profile"
 	"nautilus/internal/verify"
 	"nautilus/internal/workloads"
 )
@@ -32,6 +37,11 @@ func main() {
 	tracePath := flag.String("trace", "", "write a span trace to this file")
 	traceFormat := flag.String("trace-format", obs.FormatChrome, "trace file format: chrome (chrome://tracing / perfetto) or jsonl")
 	metricsPath := flag.String("metrics", "", "write metrics + conformance JSON to this file")
+	calibration := flag.String("calibration", "", "plan against measured constants from this calibration file")
+	calibrateOut := flag.String("calibrate-out", "", "fit a hardware calibration from this run's trace and write it here")
+	listen := flag.String("listen", "", "serve live telemetry over HTTP on this address (/metrics, /conformance, /spans, /debug/pprof/)")
+	livePath := flag.String("live", "", "append periodic live-telemetry snapshots (JSONL) to this file")
+	driftWarn := flag.Float64("drift-warn", 1.5, "flag conformance groups whose actual/predicted time ratio falls outside [1/t, t]; <= 1 disables")
 	flag.Parse()
 
 	if *compare {
@@ -61,8 +71,30 @@ func main() {
 		fatalIf(err)
 		cfg.Obs = tr
 	}
+	if cfg.Obs == nil && (*calibrateOut != "" || *listen != "" || *livePath != "") {
+		// Calibration fitting and live export need the tracer's metering even
+		// when no trace file was requested; a sinkless tracer carries it.
+		cfg.Obs = obs.New(nil)
+	}
+	cfg.CalibrationPath = *calibration
+	cfg.DriftWarn = *driftWarn
+
+	var exporter *obs.Exporter
+	if *listen != "" || *livePath != "" {
+		exporter, err = obs.StartExporter(cfg.Obs, obs.ExporterConfig{SnapshotPath: *livePath, Listen: *listen})
+		fatalIf(err)
+		if *listen != "" {
+			fmt.Printf("live telemetry on http://%s (/metrics /conformance /spans /debug/pprof/)\n", exporter.Addr())
+		}
+	}
 
 	report, err := core.Run(inst, cfg, *seed, *cycles)
+	if exporter != nil {
+		fatalIf(exporter.Close())
+		if *livePath != "" {
+			fmt.Printf("live snapshots written to %s\n", *livePath)
+		}
+	}
 	fatalIf(err)
 
 	fmt.Printf("\n%s on %s (mini scale, real training)\n", report.Approach, report.Workload)
@@ -74,7 +106,10 @@ func main() {
 	for _, c := range report.Cycles {
 		fmt.Printf("%-6d %10d %12v %9.4f  %s\n", c.Cycle, c.TrainSize, c.Duration.Round(1e6), c.BestAcc, c.BestModel)
 	}
-	hw := cfg.HW
+	// Model the totals with the same constants the planner used: the
+	// calibrated hardware when a calibration file was given.
+	hw, err := profile.LoadHardware(cfg.CalibrationPath, cfg.HW)
+	fatalIf(err)
 	fmt.Printf("\ntotal: %v | compute %.1f GFLOPs (%.1fs modeled) | disk read %.1f MB (%.1fs modeled) written %.1f MB\n",
 		report.Total.Round(1e6),
 		float64(report.Metrics.ComputeFLOPs)/1e9,
@@ -90,6 +125,14 @@ func main() {
 		if *metricsPath != "" {
 			fatalIf(obs.WriteMetricsFile(*metricsPath, cfg.Obs))
 			fmt.Printf("metrics JSON written to %s\n", *metricsPath)
+		}
+		if *calibrateOut != "" {
+			c, err := calib.FromTracer(cfg.Obs, fmt.Sprintf("nautilus-run %s %s", *workload, *approach))
+			fatalIf(err)
+			fatalIf(profile.SaveCalibration(*calibrateOut, c))
+			fmt.Printf("calibration written to %s: compute %.3g FLOP/s (%d samples, %d trimmed), read %.3g B/s, write %.3g B/s\n",
+				*calibrateOut, c.Compute.Throughput, c.Compute.Samples, c.Compute.Trimmed,
+				c.Read.Throughput, c.Write.Throughput)
 		}
 		fatalIf(cfg.Obs.Close())
 		if *tracePath != "" {

@@ -88,6 +88,16 @@ type Config struct {
 	// trainer, and tensor store. nil (the default) disables all
 	// instrumentation at nil-check cost.
 	Obs *obs.Tracer
+	// CalibrationPath, when non-empty, names a calibration file
+	// (profile.Calibration JSON fitted by nautilus-run -calibrate-out);
+	// its measured throughputs override HW's static constants before
+	// planning, so the cost model runs against this machine rather than the
+	// paper's reference hardware.
+	CalibrationPath string
+	// DriftWarn is the conformance drift-ratio threshold: a group whose
+	// actual/predicted time ratio falls outside [1/DriftWarn, DriftWarn] is
+	// flagged in the conformance report. <= 1 disables the warning.
+	DriftWarn float64
 }
 
 // DefaultConfig returns the paper's experimental configuration.
@@ -104,6 +114,7 @@ func DefaultConfig(workDir string) Config {
 		PageCacheBytes:  2 << 30,
 		Prefetch:        true,
 		Arena:           true,
+		DriftWarn:       1.5,
 	}
 }
 
@@ -167,6 +178,18 @@ func New(items []opt.WorkItem, mm *mmg.MultiModel, cfg Config) (*ModelSelection,
 	if cfg.Approach == "" {
 		cfg.Approach = Nautilus
 	}
+	if cfg.CalibrationPath != "" {
+		hw, err := profile.LoadHardware(cfg.CalibrationPath, cfg.HW)
+		if err != nil {
+			return nil, &ConfigError{Field: "CalibrationPath", Reason: err.Error()}
+		}
+		cfg.HW = hw
+	}
+	// Hand the planning rates to the conformance account so group reports
+	// can compare predicted seconds (FLOPs/rate, bytes/rate) against the
+	// wall time the trainer meters.
+	cfg.Obs.Conformance().SetRates(cfg.HW.FLOPSThroughput, cfg.HW.DiskThroughput)
+	cfg.Obs.Conformance().SetDriftWarn(cfg.DriftWarn)
 	planner, err := NewPlanner(items, mm, cfg)
 	if err != nil {
 		return nil, err

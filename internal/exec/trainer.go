@@ -121,6 +121,7 @@ func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchRes
 	cLoad := reg.Counter("trainer.load_bytes")
 	cSteps := reg.Counter("trainer.steps")
 	hWait := reg.Histogram("trainer.feed_wait_ns", feedWaitBuckets)
+	samples := t.Obs.Samples()
 	defer t.publishArenaStats(reg)
 
 	// Live-tensor replay of the Section 4.3.3 peak-memory estimate: params
@@ -143,7 +144,7 @@ func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchRes
 	for epoch := 0; epoch < g.Epochs(); epoch++ {
 		es = span.Child("train/epoch", obs.Int("epoch", int64(epoch)))
 		batches := train.Batches(n, g.BatchSize(), rng)
-		nextFeeds := t.feedPipeline(planModel, feeds, snap, batches, span)
+		nextFeeds := t.feedPipeline(planModel, feeds, snap, batches, span, gc)
 		// Drain on every exit: an early error return below would otherwise
 		// strand the prefetch goroutine blocked on send (and its prefetched
 		// scope unrecycled). After a clean epoch the channel is already
@@ -157,7 +158,8 @@ func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchRes
 			bs = es.Child("train/batch", obs.Int("batch", int64(bi)), obs.Int("records", int64(len(idx))))
 			ws := bs.Child("train/feed_wait")
 			fed := <-nextFeeds
-			hWait.Observe(ws.End().Nanoseconds())
+			wait := ws.End()
+			hWait.Observe(wait.Nanoseconds())
 			if fed.err != nil {
 				fed.scope.Release()
 				return nil, fed.err
@@ -216,7 +218,13 @@ func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchRes
 			// The optimizer has stepped and metering is done: every tensor
 			// of this batch (feeds, activations, caches, gradients) is dead.
 			fed.scope.Release()
-			bs.End()
+			// The batch's wall time minus the feed wait is pure compute: it
+			// feeds both the conformance drift account (predicted vs actual
+			// seconds) and the calibration sample log (FLOPs vs wall time).
+			if d := bs.End() - wait; d > 0 {
+				gc.AddComputeTime(d)
+				samples.AddCompute(computePerRecord*int64(len(idx)), d)
+			}
 		}
 		es.End()
 	}
@@ -244,13 +252,17 @@ func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchRes
 			}
 			idx := idxAll[lo:hi]
 			scope := t.Arena.Scope()
+			fa := vs.Child("train/feed_assemble", obs.Int("records", int64(len(idx))))
 			feedsMap, err := t.batchFeedsIn(planModel, feeds, Valid, snap.ValidX, idx, allocOf(scope))
+			gc.AddLoadTime(fa.End())
 			if err != nil {
 				vs.End()
 				return nil, err
 			}
+			vb := vs.Child("train/valid_batch", obs.Int("records", int64(len(idx))))
 			tape, err := planModel.ForwardOpts(feedsMap, graph.ForwardOptions{Alloc: allocOf(scope)})
 			if err != nil {
+				vb.End()
 				vs.End()
 				return nil, err
 			}
@@ -261,6 +273,11 @@ func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchRes
 				correctW[bi] += t.Loss.Accuracy(out, yb) * w
 				l, _ := t.Loss.Compute(out, yb)
 				lossW[bi] += l * w
+			}
+			// Forward + scoring wall time is validation's compute leg.
+			if d := vb.End(); d > 0 {
+				gc.AddComputeTime(d)
+				samples.AddCompute(forwardPerRecord*int64(len(idx)), d)
 			}
 			if t.Metrics != nil {
 				// Validation pays the forward-only share of the plan.
@@ -381,7 +398,7 @@ var feedWaitBuckets = []int64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
 // assembled lazily on receive. Assembly spans are children of the group
 // span on a separate track, so the trace shows the overlap (or its
 // absence) directly against the batch spans.
-func (t *Trainer) feedPipeline(planModel *graph.Model, feedSigs map[string]graph.Signature, snap data.Snapshot, batches [][]int, group *obs.Span) <-chan fedBatch {
+func (t *Trainer) feedPipeline(planModel *graph.Model, feedSigs map[string]graph.Signature, snap data.Snapshot, batches [][]int, group *obs.Span, gc *obs.GroupConformance) <-chan fedBatch {
 	buf := 0
 	if t.Prefetch {
 		buf = 1
@@ -397,7 +414,9 @@ func (t *Trainer) feedPipeline(planModel *graph.Model, feedSigs map[string]graph
 			// the pipeline boundary.
 			scope := t.Arena.Scope()
 			feeds, err := t.batchFeedsIn(planModel, feedSigs, Train, snap.TrainX, idx, allocOf(scope))
-			as.End()
+			// Assembly time (store reads + host gathers) is the actual load
+			// leg of the conformance drift account.
+			gc.AddLoadTime(as.End())
 			ch <- fedBatch{feeds: feeds, scope: scope, err: err}
 			if err != nil {
 				return

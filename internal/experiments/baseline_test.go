@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineRoundTripAndCompare(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	base := []BaselineMetric{
+		{Name: "lower_better", Value: 100, Higher: false, TolPct: 10},
+		{Name: "higher_better", Value: 50, Higher: true, TolPct: 10},
+		{Name: "dropped", Value: 1, Higher: false, TolPct: 5},
+	}
+	if err := WriteBaseline(path, base); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(base) || loaded[0] != base[0] {
+		t.Fatalf("round trip mismatch: %+v", loaded)
+	}
+
+	current := []BaselineMetric{
+		{Name: "lower_better", Value: 125}, // 25% worse, beyond 10% tol
+		{Name: "higher_better", Value: 47}, // 6% worse, within tol
+		{Name: "unbaselined", Value: 3},    // informational only
+	}
+	comparisons, regressions := CompareBaseline(loaded, current)
+	// lower_better regressed + dropped missing = 2; higher_better within tol.
+	if regressions != 2 {
+		t.Fatalf("regressions = %d, want 2: %+v", regressions, comparisons)
+	}
+	byName := map[string]BaselineComparison{}
+	for _, c := range comparisons {
+		byName[c.Name] = c
+	}
+	if !byName["lower_better"].Regressed {
+		t.Error("25%% worsening beyond 10%% tolerance not flagged")
+	}
+	if byName["higher_better"].Regressed {
+		t.Error("within-tolerance worsening flagged as regression")
+	}
+	if c := byName["dropped"]; !c.Missing || !c.Regressed {
+		t.Errorf("missing metric not counted as regression: %+v", c)
+	}
+	if c := byName["unbaselined"]; !c.Unbaselined || c.Regressed {
+		t.Errorf("new metric mishandled: %+v", c)
+	}
+
+	// An improvement in either direction is never a regression.
+	better := []BaselineMetric{
+		{Name: "lower_better", Value: 80},
+		{Name: "higher_better", Value: 60},
+		{Name: "dropped", Value: 1},
+	}
+	if _, n := CompareBaseline(loaded, better); n != 0 {
+		t.Errorf("improvements counted as regressions: %d", n)
+	}
+}
+
+func TestBaselineVersionCheck(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := WriteBaseline(path, []BaselineMetric{{Name: "m", Value: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Overwriting with a skewed version must be rejected on load.
+	skew := BaselineFile{Version: BaselineVersion + 1, Metrics: []BaselineMetric{{Name: "m", Value: 1}}}
+	raw, err := json.Marshal(skew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("version-skewed baseline accepted")
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"os"
 	"time"
 
@@ -19,16 +20,28 @@ import (
 // ObsOverheadResult quantifies the cost of the observability layer on the
 // trainer hot loop: the same group trained with no tracer at all, with a
 // sinkless tracer (spans allocated, nothing emitted), and with an active
-// Chrome-trace sink writing to a discard writer.
+// Chrome-trace sink writing to a discard writer. Each leg reports the mean
+// and standard deviation over individually timed passes; an overhead
+// within one combined standard deviation of zero is flagged WithinNoise
+// and clamped to zero rather than reported as a (meaningless) negative
+// percentage.
 type ObsOverheadResult struct {
-	Runs          int     `json:"runs"`
-	NoObsSec      float64 `json:"no_obs_sec"`
-	NilSinkSec    float64 `json:"nil_sink_sec"`
-	ActiveSinkSec float64 `json:"active_sink_sec"`
+	Runs             int     `json:"runs"`
+	NoObsSec         float64 `json:"no_obs_sec"`
+	NoObsStdDev      float64 `json:"no_obs_stddev_sec"`
+	NilSinkSec       float64 `json:"nil_sink_sec"`
+	NilSinkStdDev    float64 `json:"nil_sink_stddev_sec"`
+	ActiveSinkSec    float64 `json:"active_sink_sec"`
+	ActiveSinkStdDev float64 `json:"active_sink_stddev_sec"`
 	// NilSinkOverheadPct is the acceptance metric: nil-tracer instrumentation
 	// cost relative to the uninstrumented trainer, in percent.
-	NilSinkOverheadPct    float64 `json:"nil_sink_overhead_pct"`
+	NilSinkOverheadPct float64 `json:"nil_sink_overhead_pct"`
+	// NilSinkWithinNoise reports that the nil-sink delta was smaller than
+	// the run-to-run noise (sum of both legs' standard deviations), so the
+	// overhead percentage is a floor (clamped at 0), not a measurement.
+	NilSinkWithinNoise    bool    `json:"nil_sink_within_noise"`
 	ActiveSinkOverheadPct float64 `json:"active_sink_overhead_pct"`
+	ActiveSinkWithinNoise bool    `json:"active_sink_within_noise"`
 	SpansPerRun           int64   `json:"spans_per_run"`
 }
 
@@ -59,10 +72,10 @@ func obsOverheadWorkload(dir string) (*opt.FusedGroup, *storage.TensorStore, err
 }
 
 // ObsOverhead measures trainer wall time across the three instrumentation
-// modes, averaged over runs passes.
+// modes, averaged over runs individually-timed passes.
 func ObsOverhead(runs int) (*ObsOverheadResult, error) {
 	if runs <= 0 {
-		runs = 3
+		runs = 5
 	}
 	dir, err := os.MkdirTemp("", "nautilus-obsbench-")
 	if err != nil {
@@ -78,44 +91,93 @@ func ObsOverhead(runs int) (*ObsOverheadResult, error) {
 
 	res := &ObsOverheadResult{Runs: runs}
 	type mode struct {
-		secs   *float64
-		tracer func() *obs.Tracer
+		secs    *float64
+		sd      *float64
+		tracer  *obs.Tracer
+		trainer *exec.Trainer
+		passes  []float64
 	}
-	modes := []mode{
-		{&res.NoObsSec, func() *obs.Tracer { return nil }},
-		{&res.NilSinkSec, func() *obs.Tracer { return obs.New(nil) }},
-		{&res.ActiveSinkSec, func() *obs.Tracer { return obs.New(obs.NewChromeTraceSink(nopWriteCloser{io.Discard})) }},
+	modes := []*mode{
+		{secs: &res.NoObsSec, sd: &res.NoObsStdDev, tracer: nil},
+		{secs: &res.NilSinkSec, sd: &res.NilSinkStdDev, tracer: obs.New(nil)},
+		{secs: &res.ActiveSinkSec, sd: &res.ActiveSinkStdDev, tracer: obs.New(obs.NewChromeTraceSink(nopWriteCloser{io.Discard}))},
 	}
+	// One warmup pass per mode outside the timed window settles allocator
+	// state and the store's read cache; the timed passes then interleave
+	// the modes round-robin, so slow machine drift (page cache, CPU
+	// frequency) lands on every leg equally instead of biasing whichever
+	// leg happens to run last.
 	for _, md := range modes {
-		// One warmup pass outside the timed window settles allocator state.
-		tr := md.tracer()
-		trainer := &exec.Trainer{Store: store, Loss: train.SoftmaxCrossEntropy{}, Seed: 7, Obs: tr}
-		if _, err := trainer.TrainGroup(group, snap); err != nil {
+		md.trainer = &exec.Trainer{Store: store, Loss: train.SoftmaxCrossEntropy{}, Seed: 7, Obs: md.tracer}
+		md.passes = make([]float64, runs)
+		if _, err := md.trainer.TrainGroup(group, snap); err != nil {
 			return nil, err
 		}
-		//lint:ignore determinism wall-clock benchmark measurement is the experiment's output
-		start := time.Now()
-		for i := 0; i < runs; i++ {
-			if _, err := trainer.TrainGroup(group, snap); err != nil {
+	}
+	for i := 0; i < runs; i++ {
+		for _, md := range modes {
+			//lint:ignore determinism wall-clock benchmark measurement is the experiment's output
+			start := time.Now()
+			if _, err := md.trainer.TrainGroup(group, snap); err != nil {
 				return nil, err
 			}
+			//lint:ignore determinism wall-clock benchmark measurement is the experiment's output
+			md.passes[i] = time.Since(start).Seconds()
 		}
-		//lint:ignore determinism wall-clock benchmark measurement is the experiment's output
-		*md.secs = time.Since(start).Seconds() / float64(runs)
-		if tr != nil {
+	}
+	for _, md := range modes {
+		*md.secs, *md.sd = meanStdDev(md.passes)
+		if md.tracer != nil {
 			var spans int64
-			for _, st := range tr.SpanStats() {
+			for _, st := range md.tracer.SpanStats() {
 				spans += st.Count
 			}
 			res.SpansPerRun = spans / int64(runs+1)
-			if err := tr.Close(); err != nil {
+			if err := md.tracer.Close(); err != nil {
 				return nil, err
 			}
 		}
 	}
-	res.NilSinkOverheadPct = 100 * (res.NilSinkSec - res.NoObsSec) / res.NoObsSec
-	res.ActiveSinkOverheadPct = 100 * (res.ActiveSinkSec - res.NoObsSec) / res.NoObsSec
+	res.NilSinkOverheadPct, res.NilSinkWithinNoise =
+		overheadPct(res.NilSinkSec, res.NilSinkStdDev, res.NoObsSec, res.NoObsStdDev)
+	res.ActiveSinkOverheadPct, res.ActiveSinkWithinNoise =
+		overheadPct(res.ActiveSinkSec, res.ActiveSinkStdDev, res.NoObsSec, res.NoObsStdDev)
 	return res, nil
+}
+
+// meanStdDev returns the sample mean and (population) standard deviation.
+func meanStdDev(xs []float64) (mean, sd float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)))
+}
+
+// overheadPct converts an instrumented-vs-bare pair into an overhead
+// percentage. A delta smaller than the two legs' combined standard
+// deviation is run-to-run noise: the result is flagged and a negative
+// percentage (instrumentation "speeding up" training) is clamped to 0.
+func overheadPct(sec, sd, baseSec, baseSD float64) (pct float64, withinNoise bool) {
+	if baseSec <= 0 {
+		return 0, true
+	}
+	delta := sec - baseSec
+	pct = 100 * delta / baseSec
+	if math.Abs(delta) <= sd+baseSD {
+		withinNoise = true
+		if pct < 0 {
+			pct = 0
+		}
+	}
+	return pct, withinNoise
 }
 
 // obsSnapshot labels a couple of cycles of synthetic NER data for the
@@ -137,12 +199,18 @@ func (nopWriteCloser) Close() error { return nil }
 
 // PrintObsOverhead renders the overhead comparison.
 func PrintObsOverhead(w io.Writer, r *ObsOverheadResult) error {
+	noise := func(within bool) string {
+		if within {
+			return "  (within noise)"
+		}
+		return ""
+	}
 	p := &printer{w: w}
 	p.printf("Observability overhead on the trainer hot loop (%d runs averaged)\n", r.Runs)
-	p.printf("%-14s %10s %10s\n", "mode", "sec/run", "overhead")
-	p.printf("%-14s %10.3f %10s\n", "no tracer", r.NoObsSec, "-")
-	p.printf("%-14s %10.3f %9.2f%%\n", "nil sink", r.NilSinkSec, r.NilSinkOverheadPct)
-	p.printf("%-14s %10.3f %9.2f%%\n", "active sink", r.ActiveSinkSec, r.ActiveSinkOverheadPct)
+	p.printf("%-14s %16s %10s\n", "mode", "sec/run", "overhead")
+	p.printf("%-14s %9.3f±%.3f %10s\n", "no tracer", r.NoObsSec, r.NoObsStdDev, "-")
+	p.printf("%-14s %9.3f±%.3f %9.2f%%%s\n", "nil sink", r.NilSinkSec, r.NilSinkStdDev, r.NilSinkOverheadPct, noise(r.NilSinkWithinNoise))
+	p.printf("%-14s %9.3f±%.3f %9.2f%%%s\n", "active sink", r.ActiveSinkSec, r.ActiveSinkStdDev, r.ActiveSinkOverheadPct, noise(r.ActiveSinkWithinNoise))
 	p.printf("spans per run (active): %d\n", r.SpansPerRun)
 	return p.err
 }

@@ -18,7 +18,10 @@ import (
 //  1. WaitGroup protocol — the literal calls wg.Done() on a WaitGroup from
 //     the enclosing function: requires a wg.Add(...) textually before the
 //     launch and a wg.Wait() on every path from the launch to the exit
-//     (a deferred Wait also counts).
+//     (a deferred Wait also counts). A WaitGroup reached through a struct
+//     field (`defer e.wg.Done()`) still demands the Add before the launch,
+//     but not the Wait — the join legitimately rides on the owning value's
+//     state, typically a Close method joining a background loop.
 //  2. Channel protocol — the literal sends on or closes an enclosing
 //     channel: requires the channel to leave the function (returned or
 //     passed on — the pipeline-constructor shape, whose consumers are
@@ -87,6 +90,15 @@ func goLitCheck(info *types.Info, sums *summarySet, cfg *funcCFG, fb funcBody, n
 		} else if !waitJoins(info, sums, cfg, n, wg) {
 			report(gs.Pos(), "goroutine joined by %s.Wait, but a path from the launch reaches return without waiting", wg.Name())
 		}
+		return
+	}
+	if wgf := fieldWaitGroupDone(info, lit); wgf != nil {
+		if !fieldAddBeforeLaunch(info, fb.body, wgf, gs) {
+			report(gs.Pos(), "goroutine calls %s.Done but no %s.Add precedes the launch", wgf.Name(), wgf.Name())
+		}
+		// The Wait rides on the owning value's state — typically a Close
+		// method joining the loop — which this function can't see. The
+		// Add-before-launch half of the protocol is still checkable.
 		return
 	}
 	chans := enclosingChannelActivity(info, lit, fb.body)
@@ -219,6 +231,67 @@ func enclosingWaitGroupDone(info *types.Info, lit *ast.FuncLit, encl ast.Node) t
 		return false
 	})
 	return wg
+}
+
+// fieldObj resolves a selector expression (`e.wg`) to the struct field it
+// names, or nil for anything else.
+func fieldObj(info *types.Info, e ast.Expr) *types.Var {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	v, ok := info.ObjectOf(sel.Sel).(*types.Var)
+	if ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// fieldWaitGroupDone returns the struct-field sync.WaitGroup on which the
+// literal calls Done through a selector (`defer e.wg.Done()`), or nil.
+func fieldWaitGroupDone(info *types.Info, lit *ast.FuncLit) *types.Var {
+	var wg *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if wg != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := methodCallOn(call, "Done")
+		if !ok {
+			return true
+		}
+		f := fieldObj(info, recv)
+		if f == nil || !namedType(f.Type(), "sync", "WaitGroup") {
+			return true
+		}
+		wg = f
+		return false
+	})
+	return wg
+}
+
+// fieldAddBeforeLaunch reports whether wg.Add(...) on the same struct field
+// appears before the go statement in the enclosing body.
+func fieldAddBeforeLaunch(info *types.Info, body ast.Node, wg *types.Var, gs *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := methodCallOn(call, "Add")
+		if ok && fieldObj(info, recv) == wg && call.Pos() < gs.Pos() {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // addBeforeLaunch reports whether wg.Add(...) appears before the go

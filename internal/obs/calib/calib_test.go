@@ -1,0 +1,209 @@
+package calib_test
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nautilus/internal/obs"
+	"nautilus/internal/obs/calib"
+	"nautilus/internal/profile"
+)
+
+// synthSamples fabricates a trace of n samples from a machine whose true
+// throughput is truth work-units/s, with multiplicative jitter of ±noise
+// and, every outlierEvery samples, a gross outlier (a 20x stall — the GC
+// pause / cold-start shape real traces carry).
+func synthSamples(rng *rand.Rand, n int, truth float64, noise float64, outlierEvery int) []obs.Sample {
+	out := make([]obs.Sample, 0, n)
+	for i := 0; i < n; i++ {
+		work := int64(1e6 + rng.Intn(9e6))
+		thr := truth * (1 + noise*(2*rng.Float64()-1))
+		if outlierEvery > 0 && i%outlierEvery == outlierEvery-1 {
+			thr = truth / 20 // stalled sample: same work, 20x the time
+		}
+		dur := time.Duration(float64(work) / thr * 1e9)
+		out = append(out, obs.Sample{Work: work, DurNs: dur.Nanoseconds()})
+	}
+	return out
+}
+
+// TestFitRecoversKnownConstants pins fit correctness: on synthetic traces
+// from known hardware with 10% jitter and injected 20x outliers, the
+// median-of-ratios fit lands within 5% of the truth on every channel and
+// reports the outliers it trimmed.
+func TestFitRecoversKnownConstants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const flops, readBps, writeBps = 3.2e9, 480e6, 210e6
+
+	log := &obs.SampleLog{}
+	for _, s := range synthSamples(rng, 200, flops, 0.10, 10) {
+		log.AddCompute(s.Work, time.Duration(s.DurNs))
+	}
+	for _, s := range synthSamples(rng, 120, readBps, 0.10, 12) {
+		log.AddRead(s.Work, time.Duration(s.DurNs))
+	}
+	for _, s := range synthSamples(rng, 80, writeBps, 0.10, 8) {
+		log.AddWrite(s.Work, time.Duration(s.DurNs))
+	}
+
+	c, err := calib.Fit(log, "synthetic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name  string
+		fit   profile.ChannelFit
+		truth float64
+	}{
+		{"compute", c.Compute, flops},
+		{"read", c.Read, readBps},
+		{"write", c.Write, writeBps},
+	}
+	for _, ck := range checks {
+		rel := (ck.fit.Throughput - ck.truth) / ck.truth
+		if rel < -0.05 || rel > 0.05 {
+			t.Errorf("%s: fitted %.3g, truth %.3g (%.1f%% off)", ck.name, ck.fit.Throughput, ck.truth, 100*rel)
+		}
+		if ck.fit.Trimmed == 0 {
+			t.Errorf("%s: fit trimmed no samples despite injected outliers", ck.name)
+		}
+		if ck.fit.Spread <= 0 || ck.fit.Spread > 0.2 {
+			t.Errorf("%s: implausible spread %.3g", ck.name, ck.fit.Spread)
+		}
+	}
+}
+
+// TestFitTightensConformance is the acceptance assertion on synthetic
+// traces: the mean absolute predicted-vs-actual error for compute seconds
+// and load seconds is strictly lower under the fitted constants than
+// under DefaultHardware()'s paper constants.
+func TestFitTightensConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	log := &obs.SampleLog{}
+	compute := synthSamples(rng, 150, 2.1e9, 0.15, 9)
+	read := synthSamples(rng, 90, 350e6, 0.15, 9)
+	for _, s := range compute {
+		log.AddCompute(s.Work, time.Duration(s.DurNs))
+	}
+	for _, s := range read {
+		log.AddRead(s.Work, time.Duration(s.DurNs))
+	}
+	c, err := calib.Fit(log, "synthetic")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := profile.DefaultHardware()
+	fitted := c.Apply(base)
+	if fitted.WorkspaceBytes != base.WorkspaceBytes {
+		t.Errorf("Apply clobbered WorkspaceBytes: %d != %d", fitted.WorkspaceBytes, base.WorkspaceBytes)
+	}
+	for _, ch := range []struct {
+		name          string
+		samples       []obs.Sample
+		before, after float64
+	}{
+		{"compute", compute, base.FLOPSThroughput, fitted.FLOPSThroughput},
+		{"load", read, base.DiskThroughput, fitted.DiskThroughput},
+	} {
+		errBefore := calib.MeanAbsRelErr(ch.samples, ch.before)
+		errAfter := calib.MeanAbsRelErr(ch.samples, ch.after)
+		if errAfter >= errBefore {
+			t.Errorf("%s seconds: fitted error %.4f not below default-hardware error %.4f", ch.name, errAfter, errBefore)
+		}
+	}
+}
+
+// TestFitInsufficientSamples asserts the compute channel is mandatory and
+// under-sampled IO channels degrade to the static constants.
+func TestFitInsufficientSamples(t *testing.T) {
+	log := &obs.SampleLog{}
+	log.AddCompute(1e6, time.Millisecond)
+	if _, err := calib.Fit(log, "x"); err == nil {
+		t.Fatal("fit with 1 compute sample did not error")
+	}
+
+	for i := 0; i < 10; i++ {
+		log.AddCompute(1e6, time.Millisecond)
+	}
+	log.AddRead(4096, time.Millisecond) // below MinSamples: read stays unfitted
+	c, err := calib.Fit(log, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Read.Throughput != 0 {
+		t.Errorf("read channel fitted from %d sample(s): %.3g", c.Read.Samples, c.Read.Throughput)
+	}
+	base := profile.DefaultHardware()
+	if hw := c.Apply(base); hw.DiskThroughput != base.DiskThroughput {
+		t.Errorf("unfitted read channel overrode DiskThroughput: %.3g", hw.DiskThroughput)
+	}
+}
+
+// TestCalibrationRoundTrip persists a fit and loads it back through both
+// LoadCalibration and the LoadHardware convenience path.
+func TestCalibrationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	log := &obs.SampleLog{}
+	for _, s := range synthSamples(rng, 50, 1.5e9, 0.05, 0) {
+		log.AddCompute(s.Work, time.Duration(s.DurNs))
+	}
+	for _, s := range synthSamples(rng, 50, 200e6, 0.05, 0) {
+		log.AddRead(s.Work, time.Duration(s.DurNs))
+	}
+	c, err := calib.Fit(log, "roundtrip-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "calib.json")
+	if err := profile.SaveCalibration(path, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := profile.LoadCalibration(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *back != *c {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, c)
+	}
+
+	hw, err := profile.LoadHardware(path, profile.DefaultHardware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.FLOPSThroughput != c.Compute.Throughput || hw.DiskThroughput != c.Read.Throughput {
+		t.Errorf("LoadHardware did not apply the fit: %+v vs %+v", hw, c)
+	}
+}
+
+// TestCalibrationVersionCheck asserts a version-skewed file is rejected
+// with a message naming the refit path.
+func TestCalibrationVersionCheck(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "calib.json")
+	c := &profile.Calibration{Compute: profile.ChannelFit{Samples: 10, Throughput: 1e9}}
+	if err := profile.SaveCalibration(path, c); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the version in place.
+	loaded, err := profile.LoadCalibration(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded.Version = profile.CalibrationVersion + 1
+	raw, err := json.Marshal(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := profile.LoadCalibration(path); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("version skew not rejected: %v", err)
+	}
+}

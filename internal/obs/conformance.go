@@ -1,6 +1,9 @@
 package obs
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // CostPrediction holds the optimizer's per-record cost-model outputs for
 // one fused group: Eq. 5 training compute, the forward-only validation
@@ -20,11 +23,45 @@ type Conformance struct {
 	mu     sync.Mutex
 	groups map[string]*GroupConformance
 	order  []string
+	// flopsPerSec and readBytesPerSec are the cost-model rates predicted
+	// seconds are derived from (the planner's profile.Hardware constants).
+	// Zero rates leave the time-domain drift columns empty.
+	flopsPerSec     float64
+	readBytesPerSec float64
+	// driftWarn is the drift-ratio threshold beyond which a group report
+	// is flagged (ratio outside [1/driftWarn, driftWarn]). <= 1 disables.
+	driftWarn float64
 }
 
 // NewConformance returns an empty conformance report.
 func NewConformance() *Conformance {
 	return &Conformance{groups: map[string]*GroupConformance{}}
+}
+
+// SetRates installs the planner's cost-model throughput constants
+// (FLOP/s, read bytes/s) so group reports can convert predicted FLOPs and
+// bytes into predicted seconds and compare them against measured wall
+// time — the drift ratio that tells a stale calibration from a tight one.
+func (c *Conformance) SetRates(flopsPerSec, readBytesPerSec float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.flopsPerSec = flopsPerSec
+	c.readBytesPerSec = readBytesPerSec
+	c.mu.Unlock()
+}
+
+// SetDriftWarn sets the drift-ratio warn threshold: a group whose
+// actual/predicted time ratio falls outside [1/t, t] is flagged in the
+// report. t <= 1 disables the warning.
+func (c *Conformance) SetDriftWarn(t float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.driftWarn = t
+	c.mu.Unlock()
 }
 
 // Group returns the named group's accumulator, creating it on first use
@@ -55,6 +92,8 @@ type GroupConformance struct {
 	computeFLOPs int64
 	loadBytes    int64
 	peakMemory   int64 // high-water mark over all batches
+	computeTime  time.Duration
+	loadTime     time.Duration
 }
 
 // SetPredicted records the plan's cost predictions (last call wins).
@@ -107,6 +146,28 @@ func (g *GroupConformance) AddLoadBytes(b int64) {
 	g.mu.Unlock()
 }
 
+// AddComputeTime meters wall time spent computing (forward/backward/step,
+// feed waits excluded).
+func (g *GroupConformance) AddComputeTime(d time.Duration) {
+	if g == nil || d <= 0 {
+		return
+	}
+	g.mu.Lock()
+	g.computeTime += d
+	g.mu.Unlock()
+}
+
+// AddLoadTime meters wall time spent assembling feeds (store reads plus
+// host-side gathers) — the executor-side cost the c_load constant models.
+func (g *GroupConformance) AddLoadTime(d time.Duration) {
+	if g == nil || d <= 0 {
+		return
+	}
+	g.mu.Lock()
+	g.loadTime += d
+	g.mu.Unlock()
+}
+
 // ObservePeakMemory raises the group's live-tensor high-water mark.
 func (g *GroupConformance) ObservePeakMemory(bytes int64) {
 	if g == nil {
@@ -143,6 +204,22 @@ type GroupReport struct {
 	PredictedPeakMemoryBytes int64   `json:"predicted_peak_memory_bytes"`
 	ActualPeakMemoryBytes    int64   `json:"actual_peak_memory_bytes"`
 	MemoryUsePct             float64 `json:"memory_use_pct"`
+
+	// Time-domain drift: predicted seconds derive from the predicted FLOPs
+	// and bytes via the planner's hardware rates (SetRates); actual seconds
+	// are metered wall time. A drift ratio (actual/predicted) near 1 means
+	// the calibration is tight; ratios far from 1 mean the planner is
+	// costing against the wrong constants. Zero when rates or metered time
+	// are absent.
+	PredictedComputeSec float64 `json:"predicted_compute_sec,omitempty"`
+	ActualComputeSec    float64 `json:"actual_compute_sec,omitempty"`
+	ComputeDrift        float64 `json:"compute_drift,omitempty"`
+	PredictedLoadSec    float64 `json:"predicted_load_sec,omitempty"`
+	ActualLoadSec       float64 `json:"actual_load_sec,omitempty"`
+	LoadDrift           float64 `json:"load_drift,omitempty"`
+	// DriftWarn is set when a drift ratio falls outside the configured
+	// [1/threshold, threshold] band (SetDriftWarn).
+	DriftWarn bool `json:"drift_warn,omitempty"`
 }
 
 // Report renders every group's comparison in first-seen order (nil → nil).
@@ -154,12 +231,12 @@ func (c *Conformance) Report() []GroupReport {
 	defer c.mu.Unlock()
 	out := make([]GroupReport, 0, len(c.order))
 	for _, name := range c.order {
-		out = append(out, c.groups[name].report())
+		out = append(out, c.groups[name].report(c.flopsPerSec, c.readBytesPerSec, c.driftWarn))
 	}
 	return out
 }
 
-func (g *GroupConformance) report() GroupReport {
+func (g *GroupConformance) report(flopsPerSec, readBytesPerSec, driftWarn float64) GroupReport {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	r := GroupReport{
@@ -183,6 +260,27 @@ func (g *GroupConformance) report() GroupReport {
 	r.LoadErrPct = errPct(r.LoadDelta, r.PredictedLoadBytes)
 	if r.PredictedPeakMemoryBytes > 0 {
 		r.MemoryUsePct = 100 * float64(r.ActualPeakMemoryBytes) / float64(r.PredictedPeakMemoryBytes)
+	}
+	r.ActualComputeSec = g.computeTime.Seconds()
+	r.ActualLoadSec = g.loadTime.Seconds()
+	if flopsPerSec > 0 {
+		r.PredictedComputeSec = float64(r.PredictedComputeFLOPs) / flopsPerSec
+	}
+	if readBytesPerSec > 0 {
+		r.PredictedLoadSec = float64(r.PredictedLoadBytes) / readBytesPerSec
+	}
+	if r.PredictedComputeSec > 0 && r.ActualComputeSec > 0 {
+		r.ComputeDrift = r.ActualComputeSec / r.PredictedComputeSec
+	}
+	if r.PredictedLoadSec > 0 && r.ActualLoadSec > 0 {
+		r.LoadDrift = r.ActualLoadSec / r.PredictedLoadSec
+	}
+	if driftWarn > 1 {
+		for _, ratio := range []float64{r.ComputeDrift, r.LoadDrift} {
+			if ratio > 0 && (ratio > driftWarn || ratio < 1/driftWarn) {
+				r.DriftWarn = true
+			}
+		}
 	}
 	return r
 }

@@ -1,0 +1,171 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nautilus/internal/obs"
+)
+
+// TestExporterSnapshotsUnderLoad runs the exporter at a fast interval
+// while worker goroutines hammer the tracer with spans, metrics, and
+// conformance records — the shape `go test -race` needs to certify the
+// live snapshot path. Close must join the snapshot goroutine and leave a
+// parseable JSONL file whose last line reflects the finished run.
+func TestExporterSnapshotsUnderLoad(t *testing.T) {
+	tr := obs.New(nil)
+	path := filepath.Join(t.TempDir(), "live.jsonl")
+	e, err := obs.StartExporter(tr, obs.ExporterConfig{
+		SnapshotPath: path,
+		Interval:     time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, perWorker = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gc := tr.Conformance().Group(fmt.Sprintf("g%d", w))
+			for i := 0; i < perWorker; i++ {
+				sp := tr.Start("load/op")
+				tr.Registry().Counter("ops").Add(1)
+				tr.Registry().Histogram("op_bytes", []int64{10, 100, 1000}).Observe(int64(i))
+				gc.AddComputeFLOPs(1000)
+				gc.AddComputeTime(time.Microsecond)
+				tr.Samples().AddCompute(1000, time.Microsecond)
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("exporter wrote no snapshots")
+	}
+	var last obs.LiveSnapshot
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("final snapshot is not valid JSON: %v", err)
+	}
+	if last.Metrics == nil || last.Metrics.Counters["ops"] != workers*perWorker {
+		t.Errorf("final snapshot missed work: %+v", last.Metrics)
+	}
+	if len(last.Conformance) != workers {
+		t.Errorf("final snapshot has %d conformance groups, want %d", len(last.Conformance), workers)
+	}
+	if len(last.OpenSpans) != 0 {
+		t.Errorf("final snapshot reports %d open spans after all ended", len(last.OpenSpans))
+	}
+}
+
+// TestExporterRejectsEmptyConfig pins the constructor's validation.
+func TestExporterRejectsEmptyConfig(t *testing.T) {
+	if _, err := obs.StartExporter(nil, obs.ExporterConfig{SnapshotPath: "x"}); err == nil {
+		t.Error("nil tracer accepted")
+	}
+	if _, err := obs.StartExporter(obs.New(nil), obs.ExporterConfig{}); err == nil {
+		t.Error("config with neither snapshot path nor listen address accepted")
+	}
+}
+
+// TestExporterHTTPEndpoints is the live-endpoint smoke test: an exporter
+// on an ephemeral port must serve /metrics (expvar-style flat JSON),
+// /conformance, /spans, and the pprof index. Skipped under -short so the
+// fast loop stays network-free.
+func TestExporterHTTPEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("HTTP smoke test skipped in -short mode")
+	}
+	tr := obs.New(nil)
+	tr.Registry().Counter("requests").Add(7)
+	tr.Registry().Gauge("arena_bytes").Set(4096)
+	gc := tr.Conformance().Group("g0")
+	gc.SetPredicted(obs.CostPrediction{ComputeFLOPsPerRecord: 10})
+	gc.AddTrainRecords(100)
+	gc.AddComputeFLOPs(900)
+	sp := tr.Start("live/root") // stays open so /spans has an open entry
+
+	e, err := obs.StartExporter(tr, obs.ExporterConfig{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		sp.End()
+		if err := e.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	if e.Addr() == "" {
+		t.Fatal("exporter with listener reports empty Addr")
+	}
+	base := "http://" + e.Addr()
+
+	get := func(path string) []byte {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read body: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return body
+	}
+
+	var metrics map[string]any
+	if err := json.Unmarshal(get("/metrics"), &metrics); err != nil {
+		t.Fatalf("/metrics is not JSON: %v", err)
+	}
+	if v, ok := metrics["requests"].(float64); !ok || v != 7 {
+		t.Errorf("/metrics[requests] = %v, want 7", metrics["requests"])
+	}
+	if v, ok := metrics["arena_bytes"].(float64); !ok || v != 4096 {
+		t.Errorf("/metrics[arena_bytes] = %v, want 4096", metrics["arena_bytes"])
+	}
+
+	var conf []obs.GroupReport
+	if err := json.Unmarshal(get("/conformance"), &conf); err != nil {
+		t.Fatalf("/conformance is not JSON: %v", err)
+	}
+	if len(conf) != 1 || conf[0].Group != "g0" {
+		t.Errorf("/conformance = %+v, want one g0 group", conf)
+	}
+
+	var spans struct {
+		Open  []obs.OpenSpan `json:"open"`
+		Stats []obs.SpanStat `json:"stats"`
+	}
+	if err := json.Unmarshal(get("/spans"), &spans); err != nil {
+		t.Fatalf("/spans is not JSON: %v", err)
+	}
+	if len(spans.Open) != 1 || spans.Open[0].Name != "live/root" {
+		t.Errorf("/spans open = %+v, want the live/root span", spans.Open)
+	}
+
+	if body := get("/debug/pprof/"); !strings.Contains(string(body), "goroutine") {
+		t.Error("/debug/pprof/ index does not list profiles")
+	}
+}

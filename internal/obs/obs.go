@@ -16,6 +16,7 @@
 package obs
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -32,17 +33,21 @@ func now() time.Time {
 // metrics registry and the conformance report, and forwards finished spans
 // to its sink. A nil Tracer disables everything.
 type Tracer struct {
-	sink Sink
-	reg  *Registry
-	conf *Conformance
-	base time.Time
+	sink    Sink
+	reg     *Registry
+	conf    *Conformance
+	samples *SampleLog
+	base    time.Time
 
 	mu     sync.Mutex
 	nextID uint64
 	// childTime accumulates, per *open* span, the total duration of its
 	// ended children — the bookkeeping behind exclusive (self) time.
 	childTime map[uint64]time.Duration
-	stats     map[string]*SpanStat
+	// open tracks every span not yet ended, keyed by id, so the live
+	// exporter can snapshot the in-flight span tree.
+	open  map[uint64]*Span
+	stats map[string]*SpanStat
 }
 
 // New creates a Tracer emitting finished spans to sink. sink may be nil:
@@ -53,8 +58,10 @@ func New(sink Sink) *Tracer {
 		sink:      sink,
 		reg:       NewRegistry(),
 		conf:      NewConformance(),
+		samples:   &SampleLog{},
 		base:      now(),
 		childTime: map[uint64]time.Duration{},
+		open:      map[uint64]*Span{},
 		stats:     map[string]*SpanStat{},
 	}
 }
@@ -80,6 +87,52 @@ func (t *Tracer) Conformance() *Conformance {
 	return t.conf
 }
 
+// Samples returns the tracer's throughput-sample log (nil for a nil
+// tracer; all SampleLog operations are nil-safe in turn).
+func (t *Tracer) Samples() *SampleLog {
+	if t == nil {
+		return nil
+	}
+	return t.samples
+}
+
+// OpenSpan is one still-running span in a live snapshot. StartNs is
+// relative to the tracer's base time; ElapsedNs is how long the span has
+// been open at snapshot time.
+type OpenSpan struct {
+	ID        uint64 `json:"id"`
+	Parent    uint64 `json:"parent,omitempty"`
+	Track     int    `json:"track,omitempty"`
+	Name      string `json:"name"`
+	StartNs   int64  `json:"start_ns"`
+	ElapsedNs int64  `json:"elapsed_ns"`
+}
+
+// OpenSpans snapshots every span currently open, ordered by id (creation
+// order). Only creation-time fields are read, so a snapshot never races
+// the owning goroutine's Attr calls.
+func (t *Tracer) OpenSpans() []OpenSpan {
+	if t == nil {
+		return nil
+	}
+	at := now().Sub(t.base)
+	t.mu.Lock()
+	out := make([]OpenSpan, 0, len(t.open))
+	for _, s := range t.open {
+		out = append(out, OpenSpan{
+			ID:        s.id,
+			Parent:    s.parent,
+			Track:     s.track,
+			Name:      s.name,
+			StartNs:   s.start.Nanoseconds(),
+			ElapsedNs: (at - s.start).Nanoseconds(),
+		})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // Close flushes and closes the sink, if any.
 func (t *Tracer) Close() error {
 	if t == nil || t.sink == nil {
@@ -102,8 +155,10 @@ func (t *Tracer) newSpan(parent uint64, track int, name string, attrs []Attr) *S
 	t.nextID++
 	id := t.nextID
 	t.childTime[id] = 0
+	s := &Span{t: t, id: id, parent: parent, track: track, name: name, start: start, attrs: attrs}
+	t.open[id] = s
 	t.mu.Unlock()
-	return &Span{t: t, id: id, parent: parent, track: track, name: name, start: start, attrs: attrs}
+	return s
 }
 
 // Span is one timed region of execution. Spans form a tree via Child; End
@@ -167,6 +222,7 @@ func (s *Span) End() time.Duration {
 	s.dur = end - s.start
 	child := t.childTime[s.id]
 	delete(t.childTime, s.id)
+	delete(t.open, s.id)
 	excl := s.dur - child
 	if excl < 0 {
 		excl = 0

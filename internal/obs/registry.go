@@ -157,12 +157,55 @@ type Snapshot struct {
 }
 
 // HistogramSnapshot copies one histogram's buckets. Counts has
-// len(Bounds)+1 entries; the last is the overflow bucket.
+// len(Bounds)+1 entries; the last is the overflow bucket. P50/P95/P99
+// are bucket-interpolated quantile estimates (see Quantile).
 type HistogramSnapshot struct {
 	Count  int64   `json:"count"`
 	Sum    int64   `json:"sum"`
 	Bounds []int64 `json:"bounds"`
 	Counts []int64 `json:"counts"`
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts
+// by linear interpolation inside the bucket holding the target rank, the
+// usual fixed-bucket estimator: exact to bucket resolution, clamped to
+// the top finite bound when the rank lands in the overflow bucket.
+// Returns 0 for an empty histogram.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count <= 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var seen float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if seen+float64(c) >= rank {
+			if i >= len(h.Bounds) {
+				// Overflow bucket: no upper bound to interpolate toward.
+				return float64(h.Bounds[len(h.Bounds)-1])
+			}
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(h.Bounds[i-1])
+			}
+			hi := float64(h.Bounds[i])
+			frac := (rank - seen) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		seen += float64(c)
+	}
+	return float64(h.Bounds[len(h.Bounds)-1])
 }
 
 // Snapshot copies the registry's current state (nil for a nil registry).
@@ -197,6 +240,9 @@ func (r *Registry) Snapshot() *Snapshot {
 			for i := range h.counts {
 				hs.Counts[i] = h.counts[i].Load()
 			}
+			hs.P50 = hs.Quantile(0.50)
+			hs.P95 = hs.Quantile(0.95)
+			hs.P99 = hs.Quantile(0.99)
 			s.Histograms[name] = hs
 		}
 	}

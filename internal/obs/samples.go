@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Sample is one measured unit of throughput evidence: Work units (FLOPs
+// for the compute channel, bytes for the read/write channels) done in
+// DurNs of wall time. The calibration fitter consumes these to recover
+// the hardware constants the cost model should plan with.
+type Sample struct {
+	Work  int64 `json:"work"`
+	DurNs int64 `json:"dur_ns"`
+}
+
+// Ratio returns the sample's throughput in work units per second, or 0
+// for a degenerate sample.
+func (s Sample) Ratio() float64 {
+	if s.DurNs <= 0 {
+		return 0
+	}
+	return float64(s.Work) / (float64(s.DurNs) / 1e9)
+}
+
+// SampleLog accumulates throughput samples on three channels — compute
+// (FLOPs vs wall time), read (bytes vs store-read time), and write (bytes
+// vs store-append time). The executor and the tensor store feed it from
+// their span timings; internal/obs/calib fits a profile.Hardware from it.
+// A nil SampleLog ignores everything.
+type SampleLog struct {
+	mu      sync.Mutex
+	compute []Sample
+	read    []Sample
+	write   []Sample
+}
+
+// add appends a sample, dropping degenerate measurements (non-positive
+// work or duration carry no throughput evidence).
+func (l *SampleLog) add(dst *[]Sample, work int64, d time.Duration) {
+	if l == nil || work <= 0 || d <= 0 {
+		return
+	}
+	l.mu.Lock()
+	*dst = append(*dst, Sample{Work: work, DurNs: d.Nanoseconds()})
+	l.mu.Unlock()
+}
+
+// AddCompute records work FLOPs executed in d.
+func (l *SampleLog) AddCompute(work int64, d time.Duration) {
+	if l == nil {
+		return
+	}
+	l.add(&l.compute, work, d)
+}
+
+// AddRead records work bytes read from the store in d.
+func (l *SampleLog) AddRead(work int64, d time.Duration) {
+	if l == nil {
+		return
+	}
+	l.add(&l.read, work, d)
+}
+
+// AddWrite records work bytes written to the store in d.
+func (l *SampleLog) AddWrite(work int64, d time.Duration) {
+	if l == nil {
+		return
+	}
+	l.add(&l.write, work, d)
+}
+
+// Compute returns a copy of the compute-channel samples.
+func (l *SampleLog) Compute() []Sample { return l.copyOf(&l.compute) }
+
+// Read returns a copy of the read-channel samples.
+func (l *SampleLog) Read() []Sample { return l.copyOf(&l.read) }
+
+// Write returns a copy of the write-channel samples.
+func (l *SampleLog) Write() []Sample { return l.copyOf(&l.write) }
+
+func (l *SampleLog) copyOf(src *[]Sample) []Sample {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Sample(nil), *src...)
+}

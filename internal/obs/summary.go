@@ -90,7 +90,42 @@ func WriteSummary(w io.Writer, t *Tracer, topN int) error {
 			}
 		}
 	}
+	if err := writeHistograms(w, t.Registry().Snapshot()); err != nil {
+		return err
+	}
 	return WriteConformance(w, t.Conformance())
+}
+
+// writeHistograms prints every registry histogram with its count, mean,
+// and bucket-interpolated p50/p95/p99 estimates.
+func writeHistograms(w io.Writer, s *Snapshot) error {
+	if s == nil || len(s.Histograms) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ew := &errWriter{w: w}
+	ew.printf("-- histograms --\n")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	tew := &errWriter{w: tw}
+	tew.printf("histogram\tcount\tmean\tp50\tp95\tp99\n")
+	for _, name := range names {
+		h := s.Histograms[name]
+		mean := 0.0
+		if h.Count > 0 {
+			mean = float64(h.Sum) / float64(h.Count)
+		}
+		tew.printf("%s\t%d\t%.3g\t%.3g\t%.3g\t%.3g\n", name, h.Count, mean, h.P50, h.P95, h.P99)
+	}
+	for _, err := range []error{ew.err, tew.err, tw.Flush()} {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteConformance prints the predicted-vs-actual cost-model comparison,
@@ -110,6 +145,15 @@ func WriteConformance(w io.Writer, c *Conformance) error {
 			r.PredictedLoadBytes, r.ActualLoadBytes, r.LoadDelta, r.LoadErrPct)
 		ew.printf("  peak memory    bound %d  metered %d (%.1f%% of bound)\n",
 			r.PredictedPeakMemoryBytes, r.ActualPeakMemoryBytes, r.MemoryUsePct)
+		if r.ComputeDrift > 0 || r.LoadDrift > 0 {
+			warn := ""
+			if r.DriftWarn {
+				warn = "  DRIFT WARNING: calibrate the hardware profile (see -calibrate-out)"
+			}
+			ew.printf("  time drift     compute %.3fs pred / %.3fs actual (x%.2f)  load %.3fs pred / %.3fs actual (x%.2f)%s\n",
+				r.PredictedComputeSec, r.ActualComputeSec, r.ComputeDrift,
+				r.PredictedLoadSec, r.ActualLoadSec, r.LoadDrift, warn)
+		}
 	}
 	return ew.err
 }

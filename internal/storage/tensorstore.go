@@ -135,7 +135,14 @@ func (s *TensorStore) Append(key string, recs *tensor.Tensor) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sp := s.obs.Start("store/append", obs.Str("key", key), obs.Int("records", int64(recs.Dim(0))))
-	defer sp.End()
+	// The span's wall time over the bytes written is one throughput sample
+	// for the calibration fitter's write channel.
+	var wroteBytes int64
+	defer func() {
+		if d := sp.End(); wroteBytes > 0 {
+			s.obs.Samples().AddWrite(wroteBytes, d)
+		}
+	}()
 	f, err := s.open(key)
 	if err != nil {
 		return err
@@ -172,6 +179,7 @@ func (s *TensorStore) Append(key string, recs *tensor.Tensor) error {
 		return fmt.Errorf("storage: append %q: %w", key, err)
 	}
 	s.counters.AddWrite(int64(len(buf)))
+	wroteBytes = int64(len(buf))
 	sp.Attr(obs.Int("bytes", int64(len(buf))))
 	s.obs.Registry().Counter("store.append.bytes").Add(int64(len(buf)))
 	return nil
@@ -230,7 +238,15 @@ func (s *TensorStore) ReadRowsIn(key string, idx []int, a tensor.Alloc) (*tensor
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sp := s.obs.Start("store/read", obs.Str("key", key), obs.Int("rows", int64(len(idx))))
-	defer sp.End()
+	// Cold bytes over the call's wall time is one throughput sample for the
+	// calibration fitter's read channel; fully cache-served calls carry no
+	// disk signal and are skipped.
+	var coldSample int64
+	defer func() {
+		if d := sp.End(); coldSample > 0 {
+			s.obs.Samples().AddRead(coldSample, d)
+		}
+	}()
 	f, err := s.open(key)
 	if err != nil {
 		return nil, err
@@ -275,6 +291,7 @@ func (s *TensorStore) ReadRowsIn(key string, idx []int, a tensor.Alloc) (*tensor
 	}
 	if coldBytes > 0 {
 		s.counters.AddRead(coldBytes)
+		coldSample = coldBytes
 	}
 	if s.obs.Enabled() {
 		coldRows := int(coldBytes / recBytes)

@@ -35,9 +35,10 @@ check:
 	$(GO) run ./cmd/nautilus-lint -analyzers= ./...
 	$(GO) test -race ./internal/exec/... ./internal/train/...
 	$(GO) test -race ./internal/core/...
+	$(GO) test -race ./internal/opt/...
 	$(GO) test -race ./internal/tensor/... ./internal/graph/...
 	$(GO) test -race ./internal/storage/... ./internal/obs/...
-	$(GO) run ./cmd/nautilus-bench -exp obs,replan,calib -baseline BENCH_baseline.json
+	$(GO) run ./cmd/nautilus-bench -exp obs,replan,calib,fusion -baseline BENCH_baseline.json
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -52,18 +53,20 @@ trace-demo:
 # bench-json measures observability overhead on the trainer hot loop
 # (no tracer vs nil sink vs active sink), the incremental-replan savings
 # after AddCandidates, the hot-path engine (parallel kernels + step
-# arena), the lint suite's per-analyzer wall time, and the trace-calibration
-# conformance tightening, writing BENCH_obs.json + BENCH_replan.json +
-# BENCH_kernels.json + BENCH_lint.json + BENCH_calib.json.
+# arena), the lint suite's per-analyzer wall time, the trace-calibration
+# conformance tightening, and the enum-vs-greedy fusion plan quality,
+# writing BENCH_obs.json + BENCH_replan.json + BENCH_kernels.json +
+# BENCH_lint.json + BENCH_calib.json + BENCH_fusion.json.
 bench-json:
 	$(GO) run ./cmd/nautilus-bench -exp obs -obsjson BENCH_obs.json
 	$(GO) run ./cmd/nautilus-bench -exp replan -replanjson BENCH_replan.json
 	$(GO) run ./cmd/nautilus-bench -exp kernels -kernelsjson BENCH_kernels.json
 	$(GO) run ./cmd/nautilus-bench -exp lint -lintjson BENCH_lint.json
 	$(GO) run ./cmd/nautilus-bench -exp calib -calibjson BENCH_calib.json
+	$(GO) run ./cmd/nautilus-bench -exp fusion -fusionjson BENCH_fusion.json
 
 # bench-baseline rewrites the committed perf-regression baseline from a
 # fresh run of the gated experiments. Run it after an intentional perf
 # change, eyeball the diff, and commit the new BENCH_baseline.json.
 bench-baseline:
-	$(GO) run ./cmd/nautilus-bench -exp obs,replan,calib -write-baseline BENCH_baseline.json
+	$(GO) run ./cmd/nautilus-bench -exp obs,replan,calib,fusion -write-baseline BENCH_baseline.json

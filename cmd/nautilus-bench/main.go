@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: table3 fig6a fig6b fig6c fig7 fig7b fig8 fig9 fig10a fig10b fig11 hwsweep solver obs replan kernels lint calib all")
+	exp := flag.String("exp", "all", "comma-separated experiments: table3 fig6a fig6b fig6c fig7 fig7b fig8 fig9 fig10a fig10b fig11 hwsweep solver obs replan kernels lint calib fusion all")
 	fig7LRs := flag.Int("fig7lrs", 2, "learning rates per strategy in fig7's real-training run")
 	fig7Cycles := flag.Int("fig7cycles", 4, "labeling cycles in fig7's real-training run")
 	obsRuns := flag.Int("obsruns", 5, "individually timed trainer passes per mode in the obs overhead experiment")
@@ -33,6 +33,9 @@ func main() {
 	kernelsJSON := flag.String("kernelsjson", "", "write the kernels benchmark result as JSON to this file")
 	lintJSON := flag.String("lintjson", "", "write the lint benchmark result as JSON to this file")
 	calibJSON := flag.String("calibjson", "", "write the calibration benchmark result as JSON to this file")
+	fusionJSON := flag.String("fusionjson", "", "write the fusion benchmark result as JSON to this file")
+	fuser := flag.String("fuser", "", "override the fusion strategy for all experiments: greedy or enum (default: per-experiment)")
+	fuseBudget := flag.Int("fuse-budget", 0, "enum fuser state budget override (0 = default)")
 	baselinePath := flag.String("baseline", "", "compare this run's gated metrics against this baseline file; exit nonzero on regression")
 	writeBaseline := flag.String("write-baseline", "", "write this run's gated metrics as a new baseline file")
 	tracePath := flag.String("trace", "", "trace experiment execution spans to this file")
@@ -40,6 +43,7 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write metrics + conformance JSON to this file")
 	listen := flag.String("listen", "", "serve live telemetry over HTTP on this address while experiments run")
 	flag.Parse()
+	experiments.SetFuser(*fuser, *fuseBudget)
 
 	var tracer *obs.Tracer
 	if *tracePath != "" || *metricsPath != "" {
@@ -280,6 +284,24 @@ func main() {
 				return err
 			}
 			fmt.Printf("calibration JSON written to %s\n", *calibJSON)
+		}
+		return nil
+	})
+
+	run("fusion", func() error {
+		r, err := experiments.Fusion()
+		if err != nil {
+			return err
+		}
+		gated = append(gated, experiments.FusionBaselineMetrics(r)...)
+		if err := experiments.PrintFusion(os.Stdout, r); err != nil {
+			return err
+		}
+		if *fusionJSON != "" {
+			if err := experiments.WriteFusionJSON(*fusionJSON, r); err != nil {
+				return err
+			}
+			fmt.Printf("fusion JSON written to %s\n", *fusionJSON)
 		}
 		return nil
 	})

@@ -30,6 +30,8 @@ func main() {
 	diskGB := flag.Float64("disk-gb", 25, "disk storage budget B_disk in GB")
 	memGB := flag.Float64("mem-gb", 10, "runtime memory budget B_mem in GB")
 	maxRecords := flag.Int("max-records", 5000, "expected maximum training records r")
+	fuser := flag.String("fuser", opt.FuserGreedy, "fusion strategy: greedy (Algorithm 1) or enum (cost-based partition search)")
+	fuseBudget := flag.Int("fuse-budget", 0, "enum fuser state budget (candidate groups profiled before falling back to greedy; 0 = default)")
 	dot := flag.Bool("dot", false, "emit the first group's reuse plan as Graphviz DOT and exit")
 	summary := flag.Bool("summary", false, "print the first candidate model's layer table and exit")
 	calibration := flag.String("calibration", "", "plan against measured constants from this calibration file (nautilus-run -calibrate-out)")
@@ -59,6 +61,8 @@ func main() {
 	cfg.HW = hw
 	cfg.DiskBudgetBytes = int64(*diskGB * float64(1<<30))
 	cfg.MemBudgetBytes = int64(*memGB * float64(1<<30))
+	cfg.Fuser = *fuser
+	cfg.FuseStateBudget = *fuseBudget
 
 	wp, err := core.PlanWorkload(inst.Items, inst.MM, cfg, *maxRecords)
 	fatalIf(err)
@@ -76,6 +80,13 @@ func main() {
 		cfg.Approach, *diskGB, *memGB, *maxRecords)
 	fmt.Printf("theoretical speedup (Eq. 11): %.2fX\n", experiments.TheoreticalSpeedup(inst))
 	fmt.Printf("optimizer time: %v (%d search nodes)\n", wp.Stats.OptimizeTime, wp.Stats.MatSolveNodes)
+	if fu := wp.Stats.Fuse; fu.Strategy != "" {
+		fmt.Printf("fusion strategy: %s | %d rounds, %d groups built, %d rejected", fu.Strategy, fu.Rounds, fu.PairsEvaluated, fu.PairsRejected)
+		if fu.Strategy == opt.FuserEnum {
+			fmt.Printf(" | %d DP states, %d memo hits, %d bound prunings, %d fallbacks", fu.StatesExplored, fu.MemoHits, fu.BoundPrunings, fu.Fallbacks)
+		}
+		fmt.Println()
+	}
 
 	fmt.Printf("\nmaterialized set V: %d expressions, %.2f GB at r records\n",
 		wp.Stats.Materialized, float64(wp.Stats.StorageBytes)/float64(1<<30))

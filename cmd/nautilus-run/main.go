@@ -22,6 +22,7 @@ import (
 	"nautilus/internal/experiments"
 	"nautilus/internal/obs"
 	"nautilus/internal/obs/calib"
+	"nautilus/internal/opt"
 	"nautilus/internal/profile"
 	"nautilus/internal/verify"
 	"nautilus/internal/workloads"
@@ -42,6 +43,8 @@ func main() {
 	listen := flag.String("listen", "", "serve live telemetry over HTTP on this address (/metrics, /conformance, /spans, /debug/pprof/)")
 	livePath := flag.String("live", "", "append periodic live-telemetry snapshots (JSONL) to this file")
 	driftWarn := flag.Float64("drift-warn", 1.5, "flag conformance groups whose actual/predicted time ratio falls outside [1/t, t]; <= 1 disables")
+	fuser := flag.String("fuser", opt.FuserGreedy, "fusion strategy: greedy (Algorithm 1) or enum (cost-based partition search)")
+	fuseBudget := flag.Int("fuse-budget", 0, "enum fuser state budget (candidate groups profiled before falling back to greedy; 0 = default)")
 	flag.Parse()
 
 	if *compare {
@@ -78,6 +81,8 @@ func main() {
 	}
 	cfg.CalibrationPath = *calibration
 	cfg.DriftWarn = *driftWarn
+	cfg.Fuser = *fuser
+	cfg.FuseStateBudget = *fuseBudget
 
 	var exporter *obs.Exporter
 	if *listen != "" || *livePath != "" {
@@ -101,6 +106,10 @@ func main() {
 	if report.Init != nil {
 		fmt.Printf("optimizer: %d materialized expressions, %d groups, solve %v\n",
 			report.Init.Materialized, report.Init.Groups, report.Init.OptimizeTime)
+		if fu := report.Init.Fuse; fu.Strategy == opt.FuserEnum {
+			fmt.Printf("fusion: %s | %d DP states, %d memo hits, %d bound prunings, %d fallbacks\n",
+				fu.Strategy, fu.StatesExplored, fu.MemoHits, fu.BoundPrunings, fu.Fallbacks)
+		}
 	}
 	fmt.Printf("%-6s %10s %12s %9s  %s\n", "cycle", "train-size", "duration", "best-acc", "best model")
 	for _, c := range report.Cycles {

@@ -67,6 +67,13 @@ type Config struct {
 	MaxRecords int
 	// Solver is the materialization solver ("bnb" or "milp").
 	Solver string
+	// Fuser is the fusion strategy ("greedy" — Algorithm 1 — or "enum",
+	// the cost-based partition enumeration). Empty means greedy.
+	Fuser string
+	// FuseStateBudget caps enumerated candidate-group builds per plan for
+	// the enum fuser (0 means opt.DefaultFuseStateBudget); buckets that
+	// would exceed it degrade to greedy.
+	FuseStateBudget int
 	// WorkDir hosts the tensor store and checkpoints.
 	WorkDir string
 	// Seed drives mini-batch shuffling.
@@ -108,6 +115,7 @@ func DefaultConfig(workDir string) Config {
 		DiskBudgetBytes: 25 << 30,
 		MemBudgetBytes:  10 << 30,
 		MaxRecords:      1000,
+		Fuser:           opt.FuserGreedy,
 		WorkDir:         workDir,
 		Seed:            1,
 		Loss:            train.SoftmaxCrossEntropy{},
@@ -128,6 +136,9 @@ type InitStats struct {
 	StorageBytes int64
 	// Groups is the number of training groups after fusion.
 	Groups int
+	// Fuse carries the fusion strategy's search counters for the last
+	// (re-)optimization (zero-valued for the singleton approaches).
+	Fuse opt.FuseStats
 }
 
 // CandidateResult reports one candidate model's outcome for a cycle.

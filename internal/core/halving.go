@@ -74,7 +74,11 @@ func (ms *ModelSelection) FitHalving(snap data.Snapshot, cfg HalvingConfig) (*Ha
 			it.Epochs = epochs
 			rungItems[i] = it
 		}
-		groups, err := opt.FuseModels(rungItems, ms.MaterializedSignatures(), opt.FuseConfig{
+		fuser, err := opt.NewFuser(ms.cfg.Fuser, ms.cfg.FuseStateBudget)
+		if err != nil {
+			return nil, err
+		}
+		groups, err := fuser.Fuse(rungItems, ms.MaterializedSignatures(), opt.FuseConfig{
 			MemBudgetBytes:     ms.cfg.MemBudgetBytes,
 			OptimizerSlotBytes: 2,
 		})

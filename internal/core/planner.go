@@ -49,6 +49,12 @@ func validateConfig(cfg Config) error {
 	default:
 		return &ConfigError{Field: "Solver", Reason: fmt.Sprintf("unknown solver %q (want \"bnb\" or \"milp\")", cfg.Solver)}
 	}
+	if cfg.FuseStateBudget < 0 {
+		return &ConfigError{Field: "FuseStateBudget", Reason: fmt.Sprintf("must be non-negative (0 = default), got %d", cfg.FuseStateBudget)}
+	}
+	if _, err := opt.NewFuser(cfg.Fuser, cfg.FuseStateBudget); err != nil {
+		return &ConfigError{Field: "Fuser", Reason: fmt.Sprintf("unknown fuser %q (want %q or %q)", cfg.Fuser, opt.FuserGreedy, opt.FuserEnum)}
+	}
 	return nil
 }
 
@@ -321,21 +327,30 @@ func (p *Planner) stageGroups(span *obs.Span, wp *WorkloadPlan) error {
 		wp.Groups = groups
 		return nil
 	}
-	fs := span.Child("plan/fuse_opt")
+	fuser, err := opt.NewFuser(p.cfg.Fuser, p.cfg.FuseStateBudget)
+	if err != nil {
+		return err
+	}
+	fs := span.Child("plan/fuse_opt", obs.Str("fuser", fuser.Name()))
 	var fuseStats opt.FuseStats
-	groups, err := opt.FuseModels(p.items, wp.MatSigs, opt.FuseConfig{
+	groups, err := fuser.Fuse(p.items, wp.MatSigs, opt.FuseConfig{
 		MemBudgetBytes:     p.cfg.MemBudgetBytes,
 		OptimizerSlotBytes: 2, // Adam
 		Stats:              &fuseStats,
 	})
 	fs.Attr(obs.Int("rounds", int64(fuseStats.Rounds)),
 		obs.Int("pairs_evaluated", int64(fuseStats.PairsEvaluated)),
-		obs.Int("pairs_rejected", int64(fuseStats.PairsRejected)))
+		obs.Int("pairs_rejected", int64(fuseStats.PairsRejected)),
+		obs.Int("states_explored", int64(fuseStats.StatesExplored)),
+		obs.Int("memo_hits", int64(fuseStats.MemoHits)),
+		obs.Int("bound_prunings", int64(fuseStats.BoundPrunings)),
+		obs.Int("fallbacks", int64(fuseStats.Fallbacks)))
 	fs.End()
 	if err != nil {
 		return err
 	}
 	wp.Groups = groups
+	wp.Stats.Fuse = fuseStats
 	return nil
 }
 

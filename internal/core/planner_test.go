@@ -67,6 +67,8 @@ func TestConfigValidationRejectsBadBudgets(t *testing.T) {
 		{"negative mem budget", func(c *Config) { c.MemBudgetBytes = -1 }, "MemBudgetBytes"},
 		{"zero max records", func(c *Config) { c.MaxRecords = 0 }, "MaxRecords"},
 		{"unknown solver", func(c *Config) { c.Solver = "simplex" }, "Solver"},
+		{"unknown fuser", func(c *Config) { c.Fuser = "annealing" }, "Fuser"},
+		{"negative fuse budget", func(c *Config) { c.FuseStateBudget = -5 }, "FuseStateBudget"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -93,6 +95,73 @@ func TestConfigValidationRejectsBadBudgets(t *testing.T) {
 			t.Fatalf("solver %q rejected: %v", solver, err)
 		}
 		ms.Close()
+	}
+}
+
+// TestReplanWithEnumFuser drives the full staged pipeline under the enum
+// strategy: the plan must verify, cost no more than greedy's, and surface
+// the enumeration counters through InitStats.
+func TestReplanWithEnumFuser(t *testing.T) {
+	items, mm := tinyWorkload(t)
+	planFor := func(fuser string) *WorkloadPlan {
+		t.Helper()
+		cfg := DefaultConfig(t.TempDir())
+		cfg.HW = miniHW
+		cfg.Fuser = fuser
+		wp, err := PlanWorkload(items, mm, cfg, 600)
+		if err != nil {
+			t.Fatalf("fuser %q: %v", fuser, err)
+		}
+		return wp
+	}
+	greedy := planFor(opt.FuserGreedy)
+	enum := planFor(opt.FuserEnum)
+	if got, want := opt.TotalPlanCost(enum.Groups), opt.TotalPlanCost(greedy.Groups); got > want {
+		t.Errorf("enum plan cost %d exceeds greedy %d", got, want)
+	}
+	if enum.Stats.Fuse.Strategy != opt.FuserEnum || enum.Stats.Fuse.StatesExplored == 0 {
+		t.Errorf("enum Fuse stats not surfaced: %+v", enum.Stats.Fuse)
+	}
+	if greedy.Stats.Fuse.Strategy != opt.FuserGreedy {
+		t.Errorf("greedy Fuse stats not surfaced: %+v", greedy.Stats.Fuse)
+	}
+	if err := verify.Groups(enum.Groups, items, DefaultConfig("").MemBudgetBytes, enum.MatSigs); err != nil {
+		t.Errorf("enum plan fails verify: %v", err)
+	}
+}
+
+// TestPlannerEvolutionWithEnumFuser checks plan deltas and incremental
+// verification keep working when the enum strategy replans an evolved
+// candidate set.
+func TestPlannerEvolutionWithEnumFuser(t *testing.T) {
+	items, mm := tinyWorkload(t)
+	cfg := DefaultConfig(t.TempDir())
+	cfg.HW = miniHW
+	cfg.Fuser = opt.FuserEnum
+	p, err := NewPlanner(items, mm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.GrowData(600)
+	if _, _, err := p.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RemoveCandidate(items[0].Model.Name); err != nil {
+		t.Fatal(err)
+	}
+	wp, delta, err := p.Replan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.GroupsChecked > delta.GroupsTotal {
+		t.Errorf("checked %d of %d groups", delta.GroupsChecked, delta.GroupsTotal)
+	}
+	covered := 0
+	for _, g := range wp.Groups {
+		covered += len(g.Items)
+	}
+	if covered != len(items)-1 {
+		t.Errorf("replanned groups cover %d items, want %d", covered, len(items)-1)
 	}
 }
 

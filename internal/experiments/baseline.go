@@ -177,6 +177,19 @@ func ReplanBaselineMetrics(r *ReplanResult) []BaselineMetric {
 	return ms
 }
 
+// FusionBaselineMetrics gates fusion plan quality: the enum/greedy cost
+// ratio and the fixture improvement are deterministic plan-cost ratios
+// (tight tolerance); the search counters guard against the DP silently
+// exploding or collapsing (loose tolerance — pruning order may shift).
+func FusionBaselineMetrics(r *FusionResult) []BaselineMetric {
+	var ms []BaselineMetric
+	ms = appendMetric(ms, "fusion.cost_ratio", r.CostRatio, false, 1)
+	ms = appendMetric(ms, "fusion.fixture_improvement_pct", r.FixtureImprovementPct, true, 5)
+	ms = appendMetric(ms, "fusion.enum_states", float64(r.EnumStats.StatesExplored), false, 25)
+	ms = appendMetric(ms, "fusion.enum_groups_built", float64(r.EnumStats.PairsEvaluated), false, 25)
+	return ms
+}
+
 // CalibBaselineMetrics gates calibration quality: the fitted constants'
 // conformance error (dimensionless, machine-local) must stay tight, and
 // the sample volume must not silently collapse.

@@ -42,8 +42,23 @@ func PaperConfig(approach core.Approach) core.Config {
 	cfg := core.DefaultConfig("")
 	cfg.Approach = approach
 	cfg.MaxRecords = paperMaxRecords
+	if fuserName != "" {
+		cfg.Fuser = fuserName
+	}
+	cfg.FuseStateBudget = fuserBudget
 	return cfg
 }
+
+// fuserName/fuserBudget override the fusion strategy for every experiment
+// config (nautilus-bench -fuser / -fuse-budget).
+var (
+	fuserName   string
+	fuserBudget int
+)
+
+// SetFuser applies a fusion-strategy override to all subsequently built
+// experiment configs. Empty name keeps each experiment's own default.
+func SetFuser(name string, budget int) { fuserName, fuserBudget = name, budget }
 
 // instanceCache memoizes built paper-scale workload instances (building 36
 // BERT-base candidates and profiling them is not free).
@@ -63,12 +78,13 @@ func PaperInstance(spec workloads.Spec) (*workloads.Instance, error) {
 	return inst, nil
 }
 
-// planCache memoizes workload plans keyed by (workload, approach, budgets).
+// planCache memoizes workload plans keyed by (workload, approach, budgets,
+// solver, fusion strategy).
 var planCache = map[string]*core.WorkloadPlan{}
 
 // planFor runs PlanWorkload with memoization.
 func planFor(inst *workloads.Instance, cfg core.Config) (*core.WorkloadPlan, error) {
-	key := fmt.Sprintf("%s|%s|%d|%d|%s", inst.Spec.Name, cfg.Approach, cfg.DiskBudgetBytes, cfg.MemBudgetBytes, cfg.Solver)
+	key := fmt.Sprintf("%s|%s|%d|%d|%s|%s|%d", inst.Spec.Name, cfg.Approach, cfg.DiskBudgetBytes, cfg.MemBudgetBytes, cfg.Solver, cfg.Fuser, cfg.FuseStateBudget)
 	if wp, ok := planCache[key]; ok {
 		return wp, nil
 	}

@@ -1,0 +1,329 @@
+package opt
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"strings"
+
+	"nautilus/internal/graph"
+)
+
+// DefaultFuseStateBudget bounds how many multi-model candidate groups the
+// enum strategy will profile and plan-solve before a bucket degrades to
+// greedy. Each candidate build is a full profile + min-cut solve, so this
+// is the knob that trades search optimality for planning latency.
+const DefaultFuseStateBudget = 4096
+
+// maxEnumBucketItems is the bitmask width cap: a compatibility bucket
+// larger than this always falls back to greedy regardless of budget.
+const maxEnumBucketItems = 20
+
+// errFuseStateBudget aborts a bucket's partition search when the shared
+// state budget runs out mid-enumeration; the bucket is re-solved greedily.
+var errFuseStateBudget = errors.New("opt: fuse state budget exhausted")
+
+// EnumFuser is the cost-based fusion plan enumerator (the SystemML
+// fusion-plan idea applied to FUSE OPT). It splits the workload into
+// compatibility buckets (equal batch size and epochs — only those items
+// can ever fuse), and per bucket selects the minimum-TotalPlanCost
+// partition into fused groups by dynamic programming over member subsets.
+// Candidate groups are memoized on their member set so each subset is
+// profiled and plan-solved at most once, and a branch-and-bound check
+// (each group costs at least its most expensive member's singleton plan)
+// prunes sub-partitions that cannot beat the bucket's incumbent. A state
+// budget caps total candidate builds; a bucket that would (or does)
+// exceed it degrades gracefully to the greedy Algorithm 1 result, which
+// the DP search space contains — so the enum strategy never produces a
+// costlier plan than GreedyFuser.
+type EnumFuser struct {
+	// StateBudget caps multi-model candidate group builds across the whole
+	// Fuse call; 0 means DefaultFuseStateBudget.
+	StateBudget int
+}
+
+// Name implements Fuser.
+func (f *EnumFuser) Name() string { return FuserEnum }
+
+// Fuse implements Fuser.
+func (f *EnumFuser) Fuse(items []WorkItem, matSigs map[graph.Signature]bool, cfg FuseConfig) ([]*FusedGroup, error) {
+	if cfg.Stats != nil {
+		cfg.Stats.Strategy = FuserEnum
+	}
+	budget := f.StateBudget
+	if budget == 0 {
+		budget = DefaultFuseStateBudget
+	}
+	e := &enumState{
+		matSigs:   matSigs,
+		cfg:       cfg,
+		remaining: budget,
+		cache:     map[string]*FusedGroup{},
+	}
+	var out []*FusedGroup
+	for _, bucket := range compatBuckets(items) {
+		groups, err := e.fuseBucket(bucket)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, groups...)
+	}
+	sortGroups(out)
+	return out, nil
+}
+
+// enumState is one Fuse call's search state: the group memo (keyed by the
+// member set) and the remaining candidate-build budget, shared across
+// buckets.
+type enumState struct {
+	matSigs   map[graph.Signature]bool
+	cfg       FuseConfig
+	remaining int
+	cache     map[string]*FusedGroup
+}
+
+// compatBuckets splits items into fusibility classes — equal batch size
+// and equal epoch count — in deterministic order, with each bucket's
+// items sorted by model name so bitmask positions are stable.
+func compatBuckets(items []WorkItem) [][]WorkItem {
+	type key struct{ batch, epochs int }
+	byKey := map[key][]WorkItem{}
+	var keys []key
+	for _, it := range items {
+		k := key{it.BatchSize, it.Epochs}
+		if byKey[k] == nil {
+			keys = append(keys, k)
+		}
+		byKey[k] = append(byKey[k], it)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].batch != keys[j].batch {
+			return keys[i].batch < keys[j].batch
+		}
+		return keys[i].epochs < keys[j].epochs
+	})
+	buckets := make([][]WorkItem, 0, len(keys))
+	for _, k := range keys {
+		b := byKey[k]
+		sort.Slice(b, func(i, j int) bool { return b[i].Model.Name < b[j].Model.Name })
+		buckets = append(buckets, b)
+	}
+	return buckets
+}
+
+// fuseBucket partitions one compatibility bucket, enumerating when the
+// budget allows and falling back to greedy otherwise.
+func (e *enumState) fuseBucket(items []WorkItem) ([]*FusedGroup, error) {
+	if len(items) == 1 {
+		g, err := e.buildCached(items)
+		if err != nil {
+			return nil, err
+		}
+		return []*FusedGroup{g}, nil
+	}
+	// A bucket of n items can require up to 2^n-1 candidate builds; if
+	// that cannot fit the remaining budget, don't start a search that is
+	// doomed to abort.
+	if len(items) > maxEnumBucketItems || (1<<uint(len(items)))-1 > e.remaining {
+		return e.fallbackGreedy(items)
+	}
+	groups, err := e.solveBucket(items)
+	if errors.Is(err, errFuseStateBudget) {
+		return e.fallbackGreedy(items)
+	}
+	return groups, err
+}
+
+// fallbackGreedy solves a bucket with Algorithm 1 (the degradation path
+// when enumeration is too expensive). Singleton builds still hit the
+// shared memo, so work done before an aborted search is not repeated.
+func (e *enumState) fallbackGreedy(items []WorkItem) ([]*FusedGroup, error) {
+	if e.cfg.Stats != nil {
+		e.cfg.Stats.Fallbacks++
+	}
+	groups := make([]*FusedGroup, len(items))
+	for i := range items {
+		g, err := e.buildCached(items[i : i+1])
+		if err != nil {
+			return nil, err
+		}
+		groups[i] = g
+	}
+	return fuseGreedy(groups, e.matSigs, e.cfg)
+}
+
+// solveBucket finds the minimum-cost feasible partition of the bucket by
+// DP over member subsets. Every partition of mask has exactly one group
+// containing mask's lowest set bit, so candidate groups are anchored
+// there and each partition is enumerated once.
+func (e *enumState) solveBucket(items []WorkItem) ([]*FusedGroup, error) {
+	n := len(items)
+	full := (1 << uint(n)) - 1
+
+	// Singleton plans: always feasible (a model the budget cannot hold
+	// fused still has to train alone), and the source of the lower bound —
+	// a fused group costs at least its costliest member's singleton plan,
+	// because the merged plan restricted to that member is itself a valid
+	// plan for it.
+	single := make([]int64, n)
+	for i := 0; i < n; i++ {
+		g, err := e.buildCached(items[i : i+1])
+		if err != nil {
+			return nil, err
+		}
+		single[i] = perEpochCost(g)
+	}
+	// maxSingle[m] = max over set bits of single — both the group-cost
+	// lower bound for a candidate over m and (since any partition of m
+	// has some group containing the max member) the remainder bound.
+	maxSingle := make([]int64, full+1)
+	for m := 1; m <= full; m++ {
+		low := m & (-m)
+		maxSingle[m] = single[bitIndex(low)]
+		if rest := m & (m - 1); rest != 0 && maxSingle[rest] > maxSingle[m] {
+			maxSingle[m] = maxSingle[rest]
+		}
+	}
+
+	memo := make(map[int]int64, full)
+	choice := make(map[int]int, full)
+	var solve func(mask int) (int64, error)
+	solve = func(mask int) (int64, error) {
+		if mask == 0 {
+			return 0, nil
+		}
+		if c, ok := memo[mask]; ok {
+			return c, nil
+		}
+		if e.cfg.Stats != nil {
+			e.cfg.Stats.StatesExplored++
+		}
+		low := mask & (-mask)
+		best := int64(math.MaxInt64)
+		bestSub := 0
+		for sub := mask; sub > 0; sub = (sub - 1) & mask {
+			if sub&low == 0 {
+				continue
+			}
+			rest := mask ^ sub
+			if best != math.MaxInt64 && maxSingle[sub]+restBound(maxSingle, rest) >= best {
+				// Even an ideally cheap group over sub cannot beat the
+				// incumbent partition of this mask — skip the build.
+				if e.cfg.Stats != nil {
+					e.cfg.Stats.BoundPrunings++
+				}
+				continue
+			}
+			g, err := e.buildCached(subsetItems(items, sub))
+			if err != nil {
+				return 0, err
+			}
+			if len(g.Items) > 1 && g.PeakMemBytes > e.cfg.MemBudgetBytes {
+				continue // infeasible fusion under B_mem
+			}
+			cost := perEpochCost(g)
+			if best != math.MaxInt64 && cost+restBound(maxSingle, rest) >= best {
+				if e.cfg.Stats != nil {
+					e.cfg.Stats.BoundPrunings++
+				}
+				continue
+			}
+			restCost, err := solve(rest)
+			if err != nil {
+				return 0, err
+			}
+			if total := cost + restCost; total < best {
+				best = total
+				bestSub = sub
+			}
+		}
+		memo[mask] = best
+		choice[mask] = bestSub
+		return best, nil
+	}
+	if _, err := solve(full); err != nil {
+		return nil, err
+	}
+
+	// Reconstruct the winning partition; every chosen subset is in the
+	// memo, so these builds are cache hits.
+	var groups []*FusedGroup
+	for mask := full; mask != 0; {
+		sub := choice[mask]
+		g, err := e.buildCached(subsetItems(items, sub))
+		if err != nil {
+			return nil, err
+		}
+		groups = append(groups, g)
+		mask ^= sub
+	}
+	return groups, nil
+}
+
+// restBound lower-bounds the cost of any partition of the remaining mask.
+func restBound(maxSingle []int64, rest int) int64 {
+	if rest == 0 {
+		return 0
+	}
+	return maxSingle[rest]
+}
+
+// buildCached returns the candidate group for a member set, building it at
+// most once per Fuse call. Multi-model builds draw down the state budget;
+// singleton builds are mandatory work every strategy does and are free.
+func (e *enumState) buildCached(items []WorkItem) (*FusedGroup, error) {
+	key := memberKey(items)
+	if g, ok := e.cache[key]; ok {
+		if e.cfg.Stats != nil {
+			e.cfg.Stats.MemoHits++
+		}
+		return g, nil
+	}
+	if len(items) > 1 {
+		if e.remaining <= 0 {
+			return nil, errFuseStateBudget
+		}
+		e.remaining--
+	}
+	g, err := buildItemsGroup(append([]WorkItem(nil), items...), e.matSigs, e.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(items) > 1 && e.cfg.Stats != nil {
+		e.cfg.Stats.PairsEvaluated++
+	}
+	e.cache[key] = g
+	return g, nil
+}
+
+// memberKey is the memo key for a candidate group: its sorted member
+// model names. Buckets never share items, so the key is unique globally.
+func memberKey(items []WorkItem) string {
+	names := make([]string, len(items))
+	for i, it := range items {
+		names[i] = it.Model.Name
+	}
+	sort.Strings(names)
+	return strings.Join(names, "|")
+}
+
+// subsetItems extracts the bucket items named by a bitmask, in bit order.
+func subsetItems(items []WorkItem, mask int) []WorkItem {
+	out := make([]WorkItem, 0, 4)
+	for i := 0; mask != 0; i, mask = i+1, mask>>1 {
+		if mask&1 != 0 {
+			out = append(out, items[i])
+		}
+	}
+	return out
+}
+
+// bitIndex returns the index of the (single) set bit of a power of two.
+func bitIndex(bit int) int {
+	i := 0
+	for bit > 1 {
+		bit >>= 1
+		i++
+	}
+	return i
+}

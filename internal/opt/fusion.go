@@ -9,6 +9,42 @@ import (
 	"nautilus/internal/profile"
 )
 
+// Fusion strategy names accepted by NewFuser (and core.Config.Fuser).
+const (
+	// FuserGreedy is the paper's Algorithm 1: greedy best-pair merging.
+	FuserGreedy = "greedy"
+	// FuserEnum is the cost-based partition enumeration (SystemML-style):
+	// a memoized DP over subset partitions per compatibility bucket.
+	FuserEnum = "enum"
+)
+
+// Fuser is a model-fusion strategy (FUSE OPT, Section 4.3): it partitions
+// the workload into fused groups, each with a profiled merged graph, an
+// optimal reuse plan given V, and a peak-memory estimate. Every strategy
+// must emit a partition of the input items (each item in exactly one
+// group) whose multi-model groups respect cfg.MemBudgetBytes; the
+// strategies differ only in which partition they pick.
+type Fuser interface {
+	// Name identifies the strategy in stats, traces, and CLI flags.
+	Name() string
+	// Fuse partitions the work items into fused groups given the
+	// materialized set V (by expression signature).
+	Fuse(items []WorkItem, matSigs map[graph.Signature]bool, cfg FuseConfig) ([]*FusedGroup, error)
+}
+
+// NewFuser resolves a strategy name ("" means greedy). stateBudget only
+// affects the enum strategy (0 means DefaultFuseStateBudget).
+func NewFuser(name string, stateBudget int) (Fuser, error) {
+	switch name {
+	case "", FuserGreedy:
+		return GreedyFuser{}, nil
+	case FuserEnum:
+		return &EnumFuser{StateBudget: stateBudget}, nil
+	default:
+		return nil, fmt.Errorf("opt: unknown fuser %q (want %q or %q)", name, FuserGreedy, FuserEnum)
+	}
+}
+
 // FuseConfig configures the model fusion optimization.
 type FuseConfig struct {
 	// MemBudgetBytes is B_mem, the runtime memory budget a fused model's
@@ -17,21 +53,37 @@ type FuseConfig struct {
 	// OptimizerSlotBytes is the optimizer state overhead per trainable
 	// parameter byte (2 for Adam).
 	OptimizerSlotBytes int64
-	// Stats, when set, receives Algorithm 1 search counters.
+	// Stats, when set, receives the strategy's search counters.
 	Stats *FuseStats
 }
 
-// FuseStats counts the work of one FuseModels run (Algorithm 1).
+// FuseStats counts the work of one Fuse run. The greedy strategy fills
+// the Algorithm 1 counters; the enum strategy additionally fills the
+// partition-search counters.
 type FuseStats struct {
+	// Strategy is the Fuser.Name() that produced these stats.
+	Strategy string
 	// Rounds is the number of greedy iterations that merged a pair.
 	Rounds int
 	// PairsEvaluated counts fused candidate groups actually built
-	// (profile + reuse-plan solve + memory estimate); cached pairs don't
-	// recount.
+	// (profile + reuse-plan solve + memory estimate): greedy pairs and
+	// enumerated subset candidates alike. Cached groups don't recount.
 	PairsEvaluated int
-	// PairsRejected counts pairs dismissed for non-positive gain or a
-	// B_mem violation.
+	// PairsRejected counts greedy pairs dismissed for non-positive gain
+	// or a B_mem violation.
 	PairsRejected int
+	// StatesExplored counts partition-DP subproblems solved by the enum
+	// strategy (memoized states are not recounted).
+	StatesExplored int
+	// MemoHits counts candidate-group lookups answered by the subset-
+	// fingerprint memo instead of a fresh profile + solve.
+	MemoHits int
+	// BoundPrunings counts candidate sub-partitions skipped because a
+	// lower bound already met or exceeded the best known completion.
+	BoundPrunings int
+	// Fallbacks counts compatibility buckets the enum strategy degraded
+	// to greedy because the state budget was (or would be) exhausted.
+	Fallbacks int
 }
 
 // FusedGroup is one entry of the optimized training plan: one or more
@@ -40,8 +92,8 @@ type FuseStats struct {
 type FusedGroup struct {
 	// Items are the source (M_i, ϕ_i) pairs fused into this group.
 	Items []WorkItem
-	// MM is the merged graph of the group's models (nil for singletons? no:
-	// always set, a single-model group wraps its model).
+	// MM is the merged graph of the group's models. It is always set: a
+	// single-model group wraps its model in a one-model merge.
 	MM *mmg.MultiModel
 	// Plan is the optimal reuse plan over the merged graph given V.
 	Plan *Plan
@@ -69,23 +121,49 @@ func (g *FusedGroup) Name() string {
 }
 
 // FuseModels implements Algorithm 1 (FuseModels): greedy pairwise fusion.
-// Starting from each model's optimal reuse plan given the materialized set
-// V, it repeatedly fuses the pair of groups with the highest cost reduction
-// whose fused peak memory fits B_mem, until no beneficial fusible pair
-// remains. Only groups with equal batch size and equal epoch count fuse:
-// batch size because fused branches train on the same mini-batches (the
-// paper's condition), epochs because the fused model runs one training
-// loop.
+// It is the GreedyFuser strategy kept as a plain function for callers that
+// don't select a strategy.
 func FuseModels(items []WorkItem, matSigs map[graph.Signature]bool, cfg FuseConfig) ([]*FusedGroup, error) {
+	return GreedyFuser{}.Fuse(items, matSigs, cfg)
+}
+
+// GreedyFuser is the paper's Algorithm 1. Starting from each model's
+// optimal reuse plan given the materialized set V, it repeatedly fuses the
+// pair of groups with the highest cost reduction whose fused peak memory
+// fits B_mem, until no beneficial fusible pair remains. Only groups with
+// equal batch size and equal epoch count fuse: batch size because fused
+// branches train on the same mini-batches (the paper's condition), epochs
+// because the fused model runs one training loop.
+type GreedyFuser struct{}
+
+// Name implements Fuser.
+func (GreedyFuser) Name() string { return FuserGreedy }
+
+// Fuse implements Fuser.
+func (GreedyFuser) Fuse(items []WorkItem, matSigs map[graph.Signature]bool, cfg FuseConfig) ([]*FusedGroup, error) {
+	if cfg.Stats != nil {
+		cfg.Stats.Strategy = FuserGreedy
+	}
 	var groups []*FusedGroup
 	for _, it := range items {
-		g, err := singletonGroup(it, matSigs, cfg)
+		g, err := buildItemsGroup([]WorkItem{it}, matSigs, cfg)
 		if err != nil {
 			return nil, err
 		}
 		groups = append(groups, g)
 	}
+	groups, err := fuseGreedy(groups, matSigs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sortGroups(groups)
+	return groups, nil
+}
 
+// fuseGreedy runs the greedy merge loop over pre-built singleton (or
+// partially fused) groups. The result is unsorted; callers sort once at
+// the end.
+func fuseGreedy(groups []*FusedGroup, matSigs map[graph.Signature]bool, cfg FuseConfig) ([]*FusedGroup, error) {
 	type pairKey struct{ a, b *FusedGroup }
 	rejected := map[pairKey]bool{}
 	// Groups are immutable once built, so a pair's fused candidate can be
@@ -139,7 +217,21 @@ func FuseModels(items []WorkItem, matSigs map[graph.Signature]bool, cfg FuseConf
 		if cfg.Stats != nil {
 			cfg.Stats.Rounds++
 		}
-		// Replace the pair with the fused group.
+		// Replace the pair with the fused group, and drop cache entries
+		// that reference the merged-away groups: no future pair can name
+		// them again, and keeping them would retain their profiled graphs
+		// (O(n²) dead *FusedGroup pointers over a full run).
+		merged := map[*FusedGroup]bool{groups[bestI]: true, groups[bestJ]: true}
+		for key := range rejected {
+			if merged[key.a] || merged[key.b] {
+				delete(rejected, key)
+			}
+		}
+		for key := range fusedCache {
+			if merged[key.a] || merged[key.b] {
+				delete(fusedCache, key)
+			}
+		}
 		next := groups[:0:0]
 		for k, g := range groups {
 			if k != bestI && k != bestJ {
@@ -148,31 +240,32 @@ func FuseModels(items []WorkItem, matSigs map[graph.Signature]bool, cfg FuseConf
 		}
 		groups = append(next, bestGroup)
 	}
-
-	sort.Slice(groups, func(i, j int) bool {
-		return groups[i].Items[0].Model.Name < groups[j].Items[0].Model.Name
-	})
 	return groups, nil
 }
 
-// perEpochCost is the group's per-record-per-epoch cost × epochs — the
-// quantity Algorithm 1's gain compares.
-func perEpochCost(g *FusedGroup) int64 {
-	return g.Plan.CostPerRecord * int64(g.Epochs())
+// sortGroups orders a training plan deterministically by each group's
+// first member name.
+func sortGroups(groups []*FusedGroup) {
+	sort.Slice(groups, func(i, j int) bool {
+		return groups[i].Items[0].Model.Name < groups[j].Items[0].Model.Name
+	})
 }
 
-// singletonGroup wraps one work item as an unfused group.
-func singletonGroup(it WorkItem, matSigs map[graph.Signature]bool, cfg FuseConfig) (*FusedGroup, error) {
-	mm, err := mmg.Build(it.Model)
-	if err != nil {
-		return nil, err
-	}
-	return buildGroup([]WorkItem{it}, mm, matSigs, cfg)
+// perEpochCost is the group's per-record-per-epoch cost × epochs — the
+// quantity the fusion strategies minimize the sum of.
+func perEpochCost(g *FusedGroup) int64 {
+	return g.Plan.CostPerRecord * int64(g.Epochs())
 }
 
 // fusePair builds the fused group for two groups' combined models.
 func fusePair(a, b *FusedGroup, matSigs map[graph.Signature]bool, cfg FuseConfig) (*FusedGroup, error) {
 	items := append(append([]WorkItem(nil), a.Items...), b.Items...)
+	return buildItemsGroup(items, matSigs, cfg)
+}
+
+// buildItemsGroup merges the items' models into one graph and builds the
+// candidate group (a singleton group when len(items) == 1).
+func buildItemsGroup(items []WorkItem, matSigs map[graph.Signature]bool, cfg FuseConfig) (*FusedGroup, error) {
 	ms := make([]*graph.Model, len(items))
 	for i, it := range items {
 		ms[i] = it.Model
@@ -201,7 +294,8 @@ func buildGroup(items []WorkItem, mm *mmg.MultiModel, matSigs map[graph.Signatur
 }
 
 // TotalPlanCost returns Σ over groups of cost/record × epochs — the
-// per-record workload cost of an optimized training plan.
+// workload's planned cost per training record summed across every group's
+// full epoch schedule (the quantity Equation 6 scales by r).
 func TotalPlanCost(groups []*FusedGroup) int64 {
 	var total int64
 	for _, g := range groups {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint lint-fixtures check bench trace-demo bench-json bench-baseline
+.PHONY: build test lint lint-fixtures check bench trace-demo bench-json bench-baseline tune
 
 build:
 	$(GO) build ./...
@@ -38,7 +38,7 @@ check:
 	$(GO) test -race ./internal/opt/...
 	$(GO) test -race ./internal/tensor/... ./internal/graph/...
 	$(GO) test -race ./internal/storage/... ./internal/obs/...
-	$(GO) run ./cmd/nautilus-bench -exp obs,replan,calib,fusion -baseline BENCH_baseline.json
+	$(GO) run ./cmd/nautilus-bench -exp obs,replan,calib,fusion,kernels -tune-table TUNE_table.json -baseline BENCH_baseline.json
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -60,7 +60,7 @@ trace-demo:
 bench-json:
 	$(GO) run ./cmd/nautilus-bench -exp obs -obsjson BENCH_obs.json
 	$(GO) run ./cmd/nautilus-bench -exp replan -replanjson BENCH_replan.json
-	$(GO) run ./cmd/nautilus-bench -exp kernels -kernelsjson BENCH_kernels.json
+	$(GO) run ./cmd/nautilus-bench -exp kernels -tune-table TUNE_table.json -kernelsjson BENCH_kernels.json
 	$(GO) run ./cmd/nautilus-bench -exp lint -lintjson BENCH_lint.json
 	$(GO) run ./cmd/nautilus-bench -exp calib -calibjson BENCH_calib.json
 	$(GO) run ./cmd/nautilus-bench -exp fusion -fusionjson BENCH_fusion.json
@@ -69,4 +69,12 @@ bench-json:
 # fresh run of the gated experiments. Run it after an intentional perf
 # change, eyeball the diff, and commit the new BENCH_baseline.json.
 bench-baseline:
-	$(GO) run ./cmd/nautilus-bench -exp obs,replan,calib,fusion -write-baseline BENCH_baseline.json
+	$(GO) run ./cmd/nautilus-bench -exp obs,replan,calib,fusion,kernels -tune-table TUNE_table.json -write-baseline BENCH_baseline.json
+
+# tune re-benchmarks every kernel shape class on this machine and
+# rewrites the committed schedule table. Run it after kernel changes or
+# on new hardware; check loads the table and hard-errors on a version
+# mismatch, so regenerate + commit TUNE_table.json together with any
+# table-format change.
+tune:
+	$(GO) run ./cmd/nautilus-bench -exp tune -tune-out TUNE_table.json

@@ -15,15 +15,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"nautilus/internal/experiments"
 	"nautilus/internal/obs"
+	"nautilus/internal/tensor"
+	"nautilus/internal/tensor/tune"
 	"nautilus/internal/workloads"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: table3 fig6a fig6b fig6c fig7 fig7b fig8 fig9 fig10a fig10b fig11 hwsweep solver obs replan kernels lint calib fusion all")
+	exp := flag.String("exp", "all", "comma-separated experiments: table3 fig6a fig6b fig6c fig7 fig7b fig8 fig9 fig10a fig10b fig11 hwsweep solver obs replan kernels tune lint calib fusion all")
 	fig7LRs := flag.Int("fig7lrs", 2, "learning rates per strategy in fig7's real-training run")
 	fig7Cycles := flag.Int("fig7cycles", 4, "labeling cycles in fig7's real-training run")
 	obsRuns := flag.Int("obsruns", 5, "individually timed trainer passes per mode in the obs overhead experiment")
@@ -31,6 +34,8 @@ func main() {
 	replanJSON := flag.String("replanjson", "", "write the replan benchmark result as JSON to this file")
 	kernelsRuns := flag.Int("kernelsruns", 3, "averaged training passes per regime in the kernels experiment")
 	kernelsJSON := flag.String("kernelsjson", "", "write the kernels benchmark result as JSON to this file")
+	tuneTable := flag.String("tune-table", "", "dispatch tensor kernels on this autotuned schedule table (make tune)")
+	tuneOut := flag.String("tune-out", "", "write the tune experiment's schedule table to this file")
 	lintJSON := flag.String("lintjson", "", "write the lint benchmark result as JSON to this file")
 	calibJSON := flag.String("calibjson", "", "write the calibration benchmark result as JSON to this file")
 	fusionJSON := flag.String("fusionjson", "", "write the fusion benchmark result as JSON to this file")
@@ -44,6 +49,17 @@ func main() {
 	listen := flag.String("listen", "", "serve live telemetry over HTTP on this address while experiments run")
 	flag.Parse()
 	experiments.SetFuser(*fuser, *fuseBudget)
+
+	if *tuneTable != "" {
+		table, err := tune.Load(*tuneTable)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nautilus-bench:", err)
+			os.Exit(1)
+		}
+		tensor.SetScheduleSource(table)
+		fmt.Printf("kernel schedules from %s: %d entries (tuned for %d workers)\n",
+			*tuneTable, len(table.Entries), table.Workers)
+	}
 
 	var tracer *obs.Tracer
 	if *tracePath != "" || *metricsPath != "" {
@@ -238,11 +254,30 @@ func main() {
 		}
 		return nil
 	})
+	run("tune", func() error {
+		t, err := tune.Tune(tune.DefaultCases(), tune.Options{
+			Source: fmt.Sprintf("nautilus-bench -exp tune (%s/%s)", runtime.GOOS, runtime.GOARCH),
+			Log: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		if *tuneOut != "" {
+			if err := tune.Save(*tuneOut, t); err != nil {
+				return err
+			}
+			fmt.Printf("schedule table written to %s (%d entries)\n", *tuneOut, len(t.Entries))
+		}
+		return nil
+	})
 	run("kernels", func() error {
 		r, err := experiments.Kernels(*kernelsRuns)
 		if err != nil {
 			return err
 		}
+		gated = append(gated, experiments.KernelsBaselineMetrics(r)...)
 		if err := experiments.PrintKernels(os.Stdout, r); err != nil {
 			return err
 		}

@@ -19,6 +19,8 @@ import (
 	"nautilus/internal/experiments"
 	"nautilus/internal/opt"
 	"nautilus/internal/profile"
+	"nautilus/internal/tensor"
+	"nautilus/internal/tensor/tune"
 	"nautilus/internal/verify"
 	"nautilus/internal/workloads"
 )
@@ -35,6 +37,7 @@ func main() {
 	dot := flag.Bool("dot", false, "emit the first group's reuse plan as Graphviz DOT and exit")
 	summary := flag.Bool("summary", false, "print the first candidate model's layer table and exit")
 	calibration := flag.String("calibration", "", "plan against measured constants from this calibration file (nautilus-run -calibrate-out)")
+	tuneTable := flag.String("tune-table", "", "dispatch tensor kernels on this autotuned schedule table (make tune)")
 	flag.Parse()
 
 	spec, err := workloads.ByName(*workload)
@@ -51,6 +54,13 @@ func main() {
 		fatalIf(err)
 		fmt.Printf("calibrated constants from %s: %.3g FLOP/s, %.3g disk B/s\n",
 			*calibration, hw.FLOPSThroughput, hw.DiskThroughput)
+	}
+	if *tuneTable != "" {
+		table, err := tune.Load(*tuneTable)
+		fatalIf(err)
+		tensor.SetScheduleSource(table)
+		fmt.Printf("kernel schedules from %s: %d entries (tuned for %d workers)\n",
+			*tuneTable, len(table.Entries), table.Workers)
 	}
 	fmt.Printf("building %s at %s scale (%d candidate models)...\n", spec.Name, sc, spec.NumModels())
 	inst, err := spec.Build(sc, hw)

@@ -39,6 +39,7 @@ func main() {
 	traceFormat := flag.String("trace-format", obs.FormatChrome, "trace file format: chrome (chrome://tracing / perfetto) or jsonl")
 	metricsPath := flag.String("metrics", "", "write metrics + conformance JSON to this file")
 	calibration := flag.String("calibration", "", "plan against measured constants from this calibration file")
+	tuneTable := flag.String("tune-table", "", "dispatch tensor kernels on this autotuned schedule table (make tune)")
 	calibrateOut := flag.String("calibrate-out", "", "fit a hardware calibration from this run's trace and write it here")
 	listen := flag.String("listen", "", "serve live telemetry over HTTP on this address (/metrics, /conformance, /spans, /debug/pprof/)")
 	livePath := flag.String("live", "", "append periodic live-telemetry snapshots (JSONL) to this file")
@@ -80,6 +81,7 @@ func main() {
 		cfg.Obs = obs.New(nil)
 	}
 	cfg.CalibrationPath = *calibration
+	cfg.TuneTablePath = *tuneTable
 	cfg.DriftWarn = *driftWarn
 	cfg.Fuser = *fuser
 	cfg.FuseStateBudget = *fuseBudget

@@ -1,0 +1,35 @@
+package exec
+
+import (
+	"nautilus/internal/obs"
+	"nautilus/internal/tensor"
+)
+
+// dispatchAttrs diffs two kernel-dispatch snapshots taken around a traced
+// phase and renders span attributes: how many kernel launches in the
+// window resolved a tuned schedule versus fell back to the default
+// heuristics, plus, per op that dispatched, the schedule that fired last
+// — so a trace shows exactly which tuned schedules a training group or
+// materialization pass ran under.
+func dispatchAttrs(before, after []tensor.OpDispatch) []obs.Attr {
+	prev := make(map[tensor.Op]tensor.OpDispatch, len(before))
+	for _, d := range before {
+		prev[d.Op] = d
+	}
+	var tuned, fallback int64
+	var attrs []obs.Attr
+	for _, d := range after {
+		p := prev[d.Op]
+		dt, df := d.Tuned-p.Tuned, d.Fallback-p.Fallback
+		if dt == 0 && df == 0 {
+			continue
+		}
+		tuned += dt
+		fallback += df
+		attrs = append(attrs, obs.Str("sched."+string(d.Op), d.Last.String()))
+	}
+	attrs = append(attrs,
+		obs.Int("sched_tuned", tuned),
+		obs.Int("sched_fallback", fallback))
+	return attrs
+}

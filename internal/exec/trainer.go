@@ -73,6 +73,10 @@ func (t *Trainer) TrainGroup(g *opt.FusedGroup, snap data.Snapshot) ([]BranchRes
 		obs.Int("epochs", int64(g.Epochs())),
 		obs.Int("batch_size", int64(g.BatchSize())))
 	defer span.End()
+	if t.Obs.Enabled() {
+		before := tensor.DispatchSnapshot()
+		defer func() { span.Attr(dispatchAttrs(before, tensor.DispatchSnapshot())...) }()
+	}
 	planModel, feeds, err := opt.BuildPlanModel(g.Plan)
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"math/rand"
 	"os"
@@ -18,13 +19,27 @@ import (
 	"nautilus/internal/train"
 )
 
-// KernelResult is one micro-kernel timed serial (one worker) versus
-// parallel (the ambient worker cap).
+// KernelResult is one micro-kernel timed under its dispatched schedule
+// (the installed tuned table, or the default heuristics) against the seed
+// reference: the naive kernel body, single-threaded — the pre-autotuning
+// baseline.
 type KernelResult struct {
-	Name       string  `json:"name"`
-	SerialNsOp float64 `json:"serial_ns_op"`
-	ParNsOp    float64 `json:"parallel_ns_op"`
-	Speedup    float64 `json:"speedup"`
+	Name string `json:"name"`
+	Op   string `json:"op"`
+	// Schedule is the compact descriptor of the schedule that fires for
+	// this shape; Tuned reports whether it came from the installed table.
+	Schedule string `json:"schedule"`
+	Tuned    bool   `json:"tuned"`
+
+	SeedNsOp      float64 `json:"seed_ns_op"`  // naive kernel, one worker
+	TunedNsOp     float64 `json:"tuned_ns_op"` // as dispatched
+	SpeedupVsSeed float64 `json:"speedup_vs_seed"`
+	// ParallelSpeedup compares the dispatched schedule against the same
+	// schedule forced serial. Exactly 1.0 when the dispatch runs serially
+	// anyway (same code path, nothing to compare) — so any value below
+	// 1.0 means a schedule parallelized into a slowdown, which Kernels
+	// treats as an error.
+	ParallelSpeedup float64 `json:"parallel_speedup"`
 }
 
 // TrainHotPathResult compares full conv-model training epochs across the
@@ -60,18 +75,53 @@ type KernelsResult struct {
 }
 
 // kernelCase is one micro-benchmark body; it must touch only tensors built
-// by its setup so repeated calls are independent.
+// by its setup so repeated calls are independent. op/dims mirror the
+// kernel's own dispatch key; chunkN/work mirror its parallelFor arguments
+// (they decide whether a schedule's dispatch actually parallelizes).
 type kernelCase struct {
-	name string
-	fn   func()
+	name   string
+	op     tensor.Op
+	dims   [3]int
+	chunkN int
+	work   int
+	fn     func()
 }
 
-// kernelCases builds the micro-benchmark suite over shapes big enough to
-// clear the parallel threshold (conv shapes follow ResNetMini's stem).
+// kernelCases builds the micro-benchmark suite: square, skinny, large,
+// and conv-lowered matmul shapes (forward plus both backward transpose
+// forms), the conv/pool family at the mini-ResNet block geometry, and the
+// elementwise/rowwise ops.
 func kernelCases() []kernelCase {
 	rng := rand.New(rand.NewSource(42))
-	a := tensor.RandNormal(rng, 1, 256, 256)
-	b := tensor.RandNormal(rng, 1, 256, 256)
+	var cases []kernelCase
+
+	matmul := func(name string, m, k, n int) {
+		a := tensor.RandNormal(rng, 1, m, k)
+		b := tensor.RandNormal(rng, 1, k, n)
+		cases = append(cases, kernelCase{
+			name: name, op: tensor.OpMatMul, dims: [3]int{m, k, n}, chunkN: m, work: m * k * n,
+			fn: func() { tensor.MatMul(a, b) },
+		})
+	}
+	matmul("matmul_256", 256, 256, 256)
+	matmul("matmul_skinny_64x512x64", 64, 512, 64)
+	matmul("matmul_1024", 1024, 1024, 1024)
+	matmul("matmul_conv_4096x72x16", 4096, 72, 16) // im2col-lowered stem conv
+
+	{
+		m, k, n := 256, 256, 256
+		a := tensor.RandNormal(rng, 1, m, k)
+		bt := tensor.RandNormal(rng, 1, n, k)
+		at := tensor.RandNormal(rng, 1, k, m)
+		b := tensor.RandNormal(rng, 1, k, n)
+		cases = append(cases,
+			kernelCase{name: "matmul_bt_256", op: tensor.OpMatMulBT, dims: [3]int{m, k, n}, chunkN: m, work: m * k * n,
+				fn: func() { tensor.MatMulBT(a, bt) }},
+			kernelCase{name: "matmul_at_256", op: tensor.OpMatMulAT, dims: [3]int{m, k, n}, chunkN: m, work: m * k * n,
+				fn: func() { tensor.MatMulAT(at, b) }},
+		)
+	}
+
 	x := tensor.RandNormal(rng, 1, 16, 32, 32, 8)
 	g := tensor.ConvGeom{InH: 32, InW: 32, InC: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
 	pool := tensor.ConvGeom{InH: 32, InW: 32, InC: 8, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
@@ -79,17 +129,38 @@ func kernelCases() []kernelCase {
 	mp, arg := tensor.MaxPool2D(x, pool)
 	gap := tensor.GlobalAvgPool(x)
 	soft := tensor.RandNormal(rng, 1, 2048, 64)
-	return []kernelCase{
-		{"matmul_256", func() { tensor.MatMul(a, b) }},
-		{"im2col_16x32x32x8_k3", func() { tensor.Im2Col(x, g) }},
-		{"col2im_16x32x32x8_k3", func() { tensor.Col2Im(cols, 16, g) }},
-		{"maxpool_16x32x32x8", func() { tensor.MaxPool2D(x, pool) }},
-		{"maxpool_back_16x32x32x8", func() { tensor.MaxPool2DBackward(mp, arg, x.Shape()) }},
-		{"gap_16x32x32x8", func() { tensor.GlobalAvgPool(x) }},
-		{"gap_back_16x32x32x8", func() { tensor.GlobalAvgPoolBackward(gap, x.Shape()) }},
-		{"add_256x256", func() { tensor.Add(a, b) }},
-		{"softmax_2048x64", func() { tensor.SoftmaxRows(soft) }},
-	}
+	ea := tensor.RandNormal(rng, 1, 256, 256)
+	eb := tensor.RandNormal(rng, 1, 256, 256)
+	convRows := 16 * g.OutH() * g.OutW()
+	convCols := g.KH * g.KW * g.InC
+	poolRows := 16 * pool.OutH() * pool.OutW()
+	cases = append(cases,
+		kernelCase{name: "im2col_16x32x32x8_k3", op: tensor.OpIm2Col,
+			dims: [3]int{convRows, convCols, 0}, chunkN: convRows, work: convRows * convCols,
+			fn: func() { tensor.Im2Col(x, g) }},
+		kernelCase{name: "col2im_16x32x32x8_k3", op: tensor.OpCol2Im,
+			dims: [3]int{16, g.OutH() * g.OutW(), convCols}, chunkN: 16, work: cols.Len(),
+			fn: func() { tensor.Col2Im(cols, 16, g) }},
+		kernelCase{name: "maxpool_16x32x32x8", op: tensor.OpMaxPool,
+			dims: [3]int{poolRows, pool.InC, pool.KH * pool.KW}, chunkN: poolRows, work: poolRows * pool.InC * pool.KH * pool.KW,
+			fn: func() { tensor.MaxPool2D(x, pool) }},
+		kernelCase{name: "maxpool_back_16x32x32x8", op: tensor.OpMaxPoolBack,
+			dims: [3]int{16, len(arg) / 16, 0}, chunkN: 16, work: len(arg),
+			fn: func() { tensor.MaxPool2DBackward(mp, arg, x.Shape()) }},
+		kernelCase{name: "gap_16x32x32x8", op: tensor.OpGap,
+			dims: [3]int{16, 32 * 32, 8}, chunkN: 16, work: x.Len(),
+			fn: func() { tensor.GlobalAvgPool(x) }},
+		kernelCase{name: "gap_back_16x32x32x8", op: tensor.OpGapBack,
+			dims: [3]int{16, 32 * 32, 8}, chunkN: 16, work: x.Len(),
+			fn: func() { tensor.GlobalAvgPoolBackward(gap, x.Shape()) }},
+		kernelCase{name: "add_256x256", op: tensor.OpEltwise,
+			dims: [3]int{256 * 256, 0, 0}, chunkN: 256 * 256, work: 256 * 256,
+			fn: func() { tensor.Add(ea, eb) }},
+		kernelCase{name: "softmax_2048x64", op: tensor.OpRowwise,
+			dims: [3]int{2048, 64, 0}, chunkN: 2048, work: 2048 * 64 * 8,
+			fn: func() { tensor.SoftmaxRows(soft) }},
+	)
+	return cases
 }
 
 // timeKernel returns ns/op: the best of three measurement windows, each
@@ -186,9 +257,28 @@ func trainEpochStats(g *opt.FusedGroup, store *storage.TensorStore, snap data.Sn
 	return
 }
 
-// Kernels measures the hot-path execution engine: per-kernel serial vs
-// parallel timings, then full conv-model training in baseline (serial +
-// heap), parallel + heap, and parallel + arena regimes.
+// forcedSchedule pins every dispatch to one schedule while a leg runs.
+type forcedSchedule struct{ sch tensor.Schedule }
+
+func (f forcedSchedule) Schedule(tensor.Op, [3]int, int) (tensor.Schedule, bool) {
+	return f.sch, true
+}
+
+// timeKernelForced times fn with every dispatch pinned to sch, restoring
+// the ambient schedule source (the loaded tuned table, usually) after.
+func timeKernelForced(fn func(), sch tensor.Schedule) float64 {
+	prev := tensor.CurrentScheduleSource()
+	tensor.SetScheduleSource(forcedSchedule{sch: sch})
+	defer tensor.SetScheduleSource(prev)
+	return timeKernel(fn)
+}
+
+// Kernels measures the hot-path execution engine: each micro-kernel under
+// its dispatched schedule versus the seed reference (naive body, one
+// worker), then full conv-model training in baseline (serial + heap),
+// parallel + heap, and parallel + arena regimes. A kernel whose schedule
+// parallelizes into a slowdown (ParallelSpeedup < 1.0 after one retry) is
+// an error: the tuned cutoffs exist precisely to prevent that.
 func Kernels(runs int) (*KernelsResult, error) {
 	if runs <= 0 {
 		runs = 3
@@ -196,13 +286,32 @@ func Kernels(runs int) (*KernelsResult, error) {
 	res := &KernelsResult{Workers: tensor.MaxWorkers()}
 
 	for _, kc := range kernelCases() {
-		tensor.SetMaxWorkers(1)
-		serial := timeKernel(kc.fn)
-		tensor.SetMaxWorkers(0)
-		par := timeKernel(kc.fn)
-		res.Kernels = append(res.Kernels, KernelResult{
-			Name: kc.name, SerialNsOp: serial, ParNsOp: par, Speedup: serial / par,
-		})
+		seed := timeKernelForced(kc.fn, tensor.Schedule{Kernel: "naive", Workers: 1})
+		tuned := timeKernel(kc.fn)
+		sch, fromTable := tensor.ScheduleFor(kc.op, kc.dims)
+		kr := KernelResult{
+			Name: kc.name, Op: string(kc.op), Schedule: sch.String(), Tuned: fromTable,
+			SeedNsOp: seed, TunedNsOp: tuned, SpeedupVsSeed: seed / tuned,
+			ParallelSpeedup: 1.0,
+		}
+		if tensor.WouldParallelize(sch, kc.chunkN, kc.work) {
+			serialSch := sch
+			serialSch.Workers = 1
+			serialNs := timeKernelForced(kc.fn, serialSch)
+			kr.ParallelSpeedup = serialNs / tuned
+			if kr.ParallelSpeedup < 1.0 {
+				// One retry: parallel timings are the noisiest leg.
+				tuned = timeKernel(kc.fn)
+				kr.TunedNsOp = tuned
+				kr.SpeedupVsSeed = seed / tuned
+				kr.ParallelSpeedup = serialNs / tuned
+			}
+			if kr.ParallelSpeedup < 1.0 {
+				return nil, fmt.Errorf("kernels: %s dispatches parallel schedule %q but runs %.2fx slower than its serial path — the tuned cutoff is wrong, re-tune (make tune)",
+					kc.name, sch.String(), 1/kr.ParallelSpeedup)
+			}
+		}
+		res.Kernels = append(res.Kernels, kr)
 	}
 
 	dir, err := os.MkdirTemp("", "nautilus-kernbench-")
@@ -258,9 +367,14 @@ func Kernels(runs int) (*KernelsResult, error) {
 func PrintKernels(w io.Writer, r *KernelsResult) error {
 	p := &printer{w: w}
 	p.printf("Hot-path engine benchmarks (%d workers)\n", r.Workers)
-	p.printf("%-26s %14s %14s %8s\n", "kernel", "serial ns/op", "parallel ns/op", "speedup")
+	p.printf("%-26s %-22s %12s %12s %9s %7s\n", "kernel", "schedule", "seed ns/op", "ns/op", "vs seed", "par")
 	for _, k := range r.Kernels {
-		p.printf("%-26s %14.0f %14.0f %7.2fx\n", k.Name, k.SerialNsOp, k.ParNsOp, k.Speedup)
+		src := ""
+		if k.Tuned {
+			src = " [tuned]"
+		}
+		p.printf("%-26s %-22s %12.0f %12.0f %8.2fx %6.2fx\n",
+			k.Name, k.Schedule+src, k.SeedNsOp, k.TunedNsOp, k.SpeedupVsSeed, k.ParallelSpeedup)
 	}
 	t := r.Train
 	p.printf("\nconv-model training: %s, %d records, batch %d (%d steps/epoch)\n",

@@ -32,7 +32,7 @@ import (
 // are skipped.
 var ChunkDisjointAnalyzer = &Analyzer{
 	Name: "chunkdisjoint",
-	Doc:  "flags tensor.Parallel callbacks whose writes can alias across chunks or touch shared variables without synchronization",
+	Doc:  "flags tensor.Parallel/parallelFor callbacks whose writes can alias across chunks or touch shared variables without synchronization",
 	Run:  runChunkDisjoint,
 }
 
@@ -56,7 +56,10 @@ func runChunkDisjoint(p *Pass) {
 
 // parallelCallback matches tensor.Parallel(n, work, func(lo, hi int){...})
 // — both the qualified form and bare Parallel calls inside package tensor —
-// and returns the callback literal.
+// plus tensor's schedule-driven parallelFor(sch, n, work, fn), and returns
+// the callback literal. parallelFor carries the same chunk-disjointness
+// contract as Parallel (Parallel is now a thin wrapper over it), so tuned
+// dispatch sites get the same race check as the seed call sites.
 func parallelCallback(p *Pass, call *ast.CallExpr) *ast.FuncLit {
 	if len(call.Args) < 1 {
 		return nil
@@ -72,7 +75,7 @@ func parallelCallback(p *Pass, call *ast.CallExpr) *ast.FuncLit {
 	case *ast.Ident:
 		fnObj = p.Pkg.Info.ObjectOf(fun)
 	}
-	if fnObj == nil || fnObj.Name() != "Parallel" || fnObj.Pkg() == nil || fnObj.Pkg().Path() != tensorPkgPath {
+	if fnObj == nil || (fnObj.Name() != "Parallel" && fnObj.Name() != "parallelFor") || fnObj.Pkg() == nil || fnObj.Pkg().Path() != tensorPkgPath {
 		return nil
 	}
 	lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -366,7 +367,11 @@ func (l *Loader) check(path string, withTests bool) (*Package, error) {
 }
 
 // parseDir parses the package's Go files: all non-test files plus, when
-// withTests is set, _test.go files belonging to the same package.
+// withTests is set, _test.go files belonging to the same package. Files
+// excluded by build constraints (//go:build lines or _GOOS/_GOARCH name
+// suffixes) are skipped for the host platform, exactly as the go tool
+// would — otherwise a portable/assembly file pair (tensor's SIMD
+// fallbacks) would redeclare its symbols under the type checker.
 func (l *Loader) parseDir(dir string, withTests bool) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -381,6 +386,9 @@ func (l *Loader) parseDir(dir string, withTests bool) ([]*ast.File, error) {
 		}
 		isTest := strings.HasSuffix(name, "_test.go")
 		if isTest && !withTests {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)

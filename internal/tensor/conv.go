@@ -17,6 +17,13 @@ func (g ConvGeom) OutH() int { return (g.InH+2*g.PadH-g.KH)/g.StrideH + 1 }
 // OutW returns the output width.
 func (g ConvGeom) OutW() int { return (g.InW+2*g.PadW-g.KW)/g.StrideW + 1 }
 
+// The conv/pool kernels dispatch on the tuned schedule table like the
+// matmul family: each resolves a Schedule for its shape and runs either
+// the cache-aware variant (conv_fast.go) or the seed reference body. The
+// variants differ only in loop organization — merged contiguous copies,
+// divide-free row counters, channel-inner pooling — so results stay
+// bit-identical for any schedule.
+
 // Im2Col lowers an NHWC input [batch, InH, InW, InC] into a matrix
 // [batch*OutH*OutW, KH*KW*InC] so convolution becomes a single MatMul with a
 // [KH*KW*InC, outC] kernel matrix. Each output row is written by exactly one
@@ -31,34 +38,61 @@ func Im2Col(x *Tensor, g ConvGeom) *Tensor {
 	cols := g.KH * g.KW * g.InC
 	rows := batch * oh * ow
 	out := NewFrom(x, rows, cols)
-	Parallel(rows, rows*cols, func(lo, hi int) {
-		for row := lo; row < hi; row++ {
-			b := row / (oh * ow)
-			rem := row - b*oh*ow
-			i := rem / ow
-			j := rem - i*ow
-			dst := out.Row(row)
-			di := 0
-			for ki := 0; ki < g.KH; ki++ {
-				yi := i*g.StrideH + ki - g.PadH
-				if yi < 0 || yi >= g.InH {
-					di += g.KW * g.InC
-					continue
-				}
-				for kj := 0; kj < g.KW; kj++ {
-					xj := j*g.StrideW + kj - g.PadW
-					if xj < 0 || xj >= g.InW {
-						di += g.InC
-						continue
-					}
-					src := ((b*g.InH+yi)*g.InW + xj) * g.InC
-					copy(dst[di:di+g.InC], x.data[src:src+g.InC])
-					di += g.InC
-				}
-			}
-		}
+	sch := scheduleFor(OpIm2Col, [3]int{rows, cols, 0})
+	if sch.Kernel == "naive" {
+		parallelFor(sch, rows, rows*cols, func(lo, hi int) {
+			im2ColRange(out, x, g, oh, ow, lo, hi)
+		})
+		return out
+	}
+	parallelFor(sch, rows, rows*cols, func(lo, hi int) {
+		im2ColFast(out, x, g, oh, ow, lo, hi)
 	})
 	return out
+}
+
+// Im2ColNaive is the seed reference body for Im2Col, single-threaded.
+func Im2ColNaive(x *Tensor, g ConvGeom) *Tensor {
+	s := x.Shape()
+	if len(s) != 4 || s[1] != g.InH || s[2] != g.InW || s[3] != g.InC {
+		panic(fmt.Sprintf("tensor: Im2ColNaive input shape %v does not match geometry %+v", s, g))
+	}
+	batch := s[0]
+	oh, ow := g.OutH(), g.OutW()
+	rows := batch * oh * ow
+	out := NewFrom(x, rows, g.KH*g.KW*g.InC)
+	im2ColRange(out, x, g, oh, ow, 0, rows)
+	return out
+}
+
+// im2ColRange is the seed Im2Col body over output rows [lo,hi): per-row
+// div/mod position recovery and per-kj copies.
+func im2ColRange(out, x *Tensor, g ConvGeom, oh, ow, lo, hi int) {
+	for row := lo; row < hi; row++ {
+		b := row / (oh * ow)
+		rem := row - b*oh*ow
+		i := rem / ow
+		j := rem - i*ow
+		dst := out.Row(row)
+		di := 0
+		for ki := 0; ki < g.KH; ki++ {
+			yi := i*g.StrideH + ki - g.PadH
+			if yi < 0 || yi >= g.InH {
+				di += g.KW * g.InC
+				continue
+			}
+			for kj := 0; kj < g.KW; kj++ {
+				xj := j*g.StrideW + kj - g.PadW
+				if xj < 0 || xj >= g.InW {
+					di += g.InC
+					continue
+				}
+				src := ((b*g.InH+yi)*g.InW + xj) * g.InC
+				copy(dst[di:di+g.InC], x.data[src:src+g.InC])
+				di += g.InC
+			}
+		}
+	}
 }
 
 // Col2Im scatters a column matrix gradient [batch*OutH*OutW, KH*KW*InC] back
@@ -69,38 +103,58 @@ func Im2Col(x *Tensor, g ConvGeom) *Tensor {
 func Col2Im(cols *Tensor, batch int, g ConvGeom) *Tensor {
 	oh, ow := g.OutH(), g.OutW()
 	out := NewFrom(cols, batch, g.InH, g.InW, g.InC)
-	Parallel(batch, cols.Len(), func(blo, bhi int) {
-		for b := blo; b < bhi; b++ {
-			row := b * oh * ow
-			for i := 0; i < oh; i++ {
-				for j := 0; j < ow; j++ {
-					src := cols.Row(row)
-					row++
-					si := 0
-					for ki := 0; ki < g.KH; ki++ {
-						yi := i*g.StrideH + ki - g.PadH
-						if yi < 0 || yi >= g.InH {
-							si += g.KW * g.InC
+	sch := scheduleFor(OpCol2Im, [3]int{batch, oh * ow, g.KH * g.KW * g.InC})
+	if sch.Kernel == "naive" {
+		parallelFor(sch, batch, cols.Len(), func(blo, bhi int) {
+			col2ImRange(out, cols, g, oh, ow, blo, bhi)
+		})
+		return out
+	}
+	parallelFor(sch, batch, cols.Len(), func(blo, bhi int) {
+		col2ImFast(out, cols, g, oh, ow, blo, bhi)
+	})
+	return out
+}
+
+// Col2ImNaive is the seed reference body for Col2Im, single-threaded.
+func Col2ImNaive(cols *Tensor, batch int, g ConvGeom) *Tensor {
+	oh, ow := g.OutH(), g.OutW()
+	out := NewFrom(cols, batch, g.InH, g.InW, g.InC)
+	col2ImRange(out, cols, g, oh, ow, 0, batch)
+	return out
+}
+
+// col2ImRange is the seed Col2Im body over examples [blo,bhi).
+func col2ImRange(out, cols *Tensor, g ConvGeom, oh, ow, blo, bhi int) {
+	for b := blo; b < bhi; b++ {
+		row := b * oh * ow
+		for i := 0; i < oh; i++ {
+			for j := 0; j < ow; j++ {
+				src := cols.Row(row)
+				row++
+				si := 0
+				for ki := 0; ki < g.KH; ki++ {
+					yi := i*g.StrideH + ki - g.PadH
+					if yi < 0 || yi >= g.InH {
+						si += g.KW * g.InC
+						continue
+					}
+					for kj := 0; kj < g.KW; kj++ {
+						xj := j*g.StrideW + kj - g.PadW
+						if xj < 0 || xj >= g.InW {
+							si += g.InC
 							continue
 						}
-						for kj := 0; kj < g.KW; kj++ {
-							xj := j*g.StrideW + kj - g.PadW
-							if xj < 0 || xj >= g.InW {
-								si += g.InC
-								continue
-							}
-							dst := ((b*g.InH+yi)*g.InW + xj) * g.InC
-							for c := 0; c < g.InC; c++ {
-								out.data[dst+c] += src[si+c]
-							}
-							si += g.InC
+						dst := ((b*g.InH+yi)*g.InW + xj) * g.InC
+						for c := 0; c < g.InC; c++ {
+							out.data[dst+c] += src[si+c]
 						}
+						si += g.InC
 					}
 				}
 			}
 		}
-	})
-	return out
+	}
 }
 
 // MaxPool2D applies max pooling to an NHWC tensor and returns the pooled
@@ -113,40 +167,64 @@ func MaxPool2D(x *Tensor, g ConvGeom) (*Tensor, []int32) {
 	out := NewFrom(x, batch, oh, ow, g.InC)
 	arg := make([]int32, out.Len())
 	rows := batch * oh * ow
-	Parallel(rows, out.Len()*g.KH*g.KW, func(lo, hi int) {
-		for row := lo; row < hi; row++ {
-			b := row / (oh * ow)
-			rem := row - b*oh*ow
-			i := rem / ow
-			j := rem - i*ow
-			oi := row * g.InC
-			for c := 0; c < g.InC; c++ {
-				best := float32(0)
-				bestIdx := int32(-1)
-				for ki := 0; ki < g.KH; ki++ {
-					yi := i*g.StrideH + ki - g.PadH
-					if yi < 0 || yi >= g.InH {
-						continue
-					}
-					for kj := 0; kj < g.KW; kj++ {
-						xj := j*g.StrideW + kj - g.PadW
-						if xj < 0 || xj >= g.InW {
-							continue
-						}
-						idx := ((b*g.InH+yi)*g.InW+xj)*g.InC + c
-						v := x.data[idx]
-						if bestIdx < 0 || v > best {
-							best, bestIdx = v, int32(idx)
-						}
-					}
-				}
-				out.data[oi] = best
-				arg[oi] = bestIdx
-				oi++
-			}
-		}
+	sch := scheduleFor(OpMaxPool, [3]int{rows, g.InC, g.KH * g.KW})
+	if sch.Kernel == "naive" {
+		parallelFor(sch, rows, out.Len()*g.KH*g.KW, func(lo, hi int) {
+			maxPoolRange(out, arg, x, g, oh, ow, lo, hi)
+		})
+		return out, arg
+	}
+	parallelFor(sch, rows, out.Len()*g.KH*g.KW, func(lo, hi int) {
+		maxPoolFast(out, arg, x, g, oh, ow, lo, hi)
 	})
 	return out, arg
+}
+
+// MaxPool2DNaive is the seed reference body for MaxPool2D, single-threaded.
+func MaxPool2DNaive(x *Tensor, g ConvGeom) (*Tensor, []int32) {
+	s := x.Shape()
+	batch := s[0]
+	oh, ow := g.OutH(), g.OutW()
+	out := NewFrom(x, batch, oh, ow, g.InC)
+	arg := make([]int32, out.Len())
+	maxPoolRange(out, arg, x, g, oh, ow, 0, batch*oh*ow)
+	return out, arg
+}
+
+// maxPoolRange is the seed MaxPool2D body (channel-outer window scan) over
+// output positions [lo,hi).
+func maxPoolRange(out *Tensor, arg []int32, x *Tensor, g ConvGeom, oh, ow, lo, hi int) {
+	for row := lo; row < hi; row++ {
+		b := row / (oh * ow)
+		rem := row - b*oh*ow
+		i := rem / ow
+		j := rem - i*ow
+		oi := row * g.InC
+		for c := 0; c < g.InC; c++ {
+			best := float32(0)
+			bestIdx := int32(-1)
+			for ki := 0; ki < g.KH; ki++ {
+				yi := i*g.StrideH + ki - g.PadH
+				if yi < 0 || yi >= g.InH {
+					continue
+				}
+				for kj := 0; kj < g.KW; kj++ {
+					xj := j*g.StrideW + kj - g.PadW
+					if xj < 0 || xj >= g.InW {
+						continue
+					}
+					idx := ((b*g.InH+yi)*g.InW+xj)*g.InC + c
+					v := x.data[idx]
+					if bestIdx < 0 || v > best {
+						best, bestIdx = v, int32(idx)
+					}
+				}
+			}
+			out.data[oi] = best
+			arg[oi] = bestIdx
+			oi++
+		}
+	}
 }
 
 // MaxPool2DBackward scatters the pooled-output gradient back to the input
@@ -165,7 +243,8 @@ func MaxPool2DBackward(grad *Tensor, arg []int32, inShape []int) *Tensor {
 		return out
 	}
 	perBatch := len(arg) / batch
-	Parallel(batch, len(arg), func(blo, bhi int) {
+	sch := scheduleFor(OpMaxPoolBack, [3]int{batch, perBatch, 0})
+	parallelFor(sch, batch, len(arg), func(blo, bhi int) {
 		for i := blo * perBatch; i < bhi*perBatch; i++ {
 			if idx := arg[i]; idx >= 0 {
 				out.data[idx] += grad.data[i]
@@ -182,14 +261,18 @@ func GlobalAvgPool(x *Tensor) *Tensor {
 	batch, h, w, c := s[0], s[1], s[2], s[3]
 	out := NewFrom(x, batch, c)
 	inv := 1 / float32(h*w)
-	Parallel(batch, x.Len(), func(blo, bhi int) {
+	sch := scheduleFor(OpGap, [3]int{batch, h * w, c})
+	if sch.Kernel == "naive" {
+		parallelFor(sch, batch, x.Len(), func(blo, bhi int) {
+			gapRange(out, x, h, w, c, inv, blo, bhi)
+		})
+		return out
+	}
+	parallelFor(sch, batch, x.Len(), func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			ob := out.Row(b)
 			for p := 0; p < h*w; p++ {
-				xr := x.data[(b*h*w+p)*c : (b*h*w+p+1)*c]
-				for j := 0; j < c; j++ {
-					ob[j] += xr[j]
-				}
+				vadd(ob, x.data[(b*h*w+p)*c:(b*h*w+p+1)*c])
 			}
 			for j := 0; j < c; j++ {
 				ob[j] *= inv
@@ -199,13 +282,40 @@ func GlobalAvgPool(x *Tensor) *Tensor {
 	return out
 }
 
+// GlobalAvgPoolNaive is the seed reference body for GlobalAvgPool,
+// single-threaded.
+func GlobalAvgPoolNaive(x *Tensor) *Tensor {
+	s := x.Shape()
+	batch, h, w, c := s[0], s[1], s[2], s[3]
+	out := NewFrom(x, batch, c)
+	gapRange(out, x, h, w, c, 1/float32(h*w), 0, batch)
+	return out
+}
+
+// gapRange is the seed GlobalAvgPool body over examples [blo,bhi).
+func gapRange(out, x *Tensor, h, w, c int, inv float32, blo, bhi int) {
+	for b := blo; b < bhi; b++ {
+		ob := out.Row(b)
+		for p := 0; p < h*w; p++ {
+			xr := x.data[(b*h*w+p)*c : (b*h*w+p+1)*c]
+			for j := 0; j < c; j++ {
+				ob[j] += xr[j]
+			}
+		}
+		for j := 0; j < c; j++ {
+			ob[j] *= inv
+		}
+	}
+}
+
 // GlobalAvgPoolBackward broadcasts the [batch, channels] gradient uniformly
 // back over the spatial positions of the NHWC input shape.
 func GlobalAvgPoolBackward(grad *Tensor, inShape []int) *Tensor {
 	batch, h, w, c := inShape[0], inShape[1], inShape[2], inShape[3]
 	out := NewFrom(grad, inShape...)
 	inv := 1 / float32(h*w)
-	Parallel(batch, batch*h*w*c, func(blo, bhi int) {
+	sch := scheduleFor(OpGapBack, [3]int{batch, h * w, c})
+	parallelFor(sch, batch, batch*h*w*c, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			gb := grad.Row(b)
 			for p := 0; p < h*w; p++ {

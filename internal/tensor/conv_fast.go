@@ -1,0 +1,156 @@
+package tensor
+
+// Cache-aware variants of the convolution-lowering and pooling kernels.
+// Two reorganizations, neither of which changes what any output element
+// receives or in what order:
+//
+//   - merged interior copies: a patch row's KW per-kj copies read
+//     consecutive memory whenever the whole row is in bounds (the kj
+//     offset enters the source index with coefficient 1 regardless of
+//     stride), so they collapse into one KW*InC copy/accumulate;
+//   - divide-free iteration: the (b, i, j) output position advances by
+//     carry counters instead of per-row div/mod;
+//   - channel-inner pooling: the window scan streams each [InC] input row
+//     once, comparing all channels per position, instead of rescanning
+//     the window per channel.
+
+// im2ColFast lowers output rows [lo,hi) with merged interior copies.
+func im2ColFast(out, x *Tensor, g ConvGeom, oh, ow, lo, hi int) {
+	rowLen := g.KW * g.InC
+	b := lo / (oh * ow)
+	rem := lo - b*oh*ow
+	i := rem / ow
+	j := rem - i*ow
+	for row := lo; row < hi; row++ {
+		dst := out.Row(row)
+		xj0 := j*g.StrideW - g.PadW
+		interior := xj0 >= 0 && xj0+g.KW <= g.InW
+		di := 0
+		for ki := 0; ki < g.KH; ki++ {
+			yi := i*g.StrideH + ki - g.PadH
+			if yi < 0 || yi >= g.InH {
+				di += rowLen
+				continue
+			}
+			if interior {
+				src := ((b*g.InH+yi)*g.InW + xj0) * g.InC
+				copy(dst[di:di+rowLen], x.data[src:src+rowLen])
+				di += rowLen
+				continue
+			}
+			for kj := 0; kj < g.KW; kj++ {
+				xj := xj0 + kj
+				if xj < 0 || xj >= g.InW {
+					di += g.InC
+					continue
+				}
+				src := ((b*g.InH+yi)*g.InW + xj) * g.InC
+				copy(dst[di:di+g.InC], x.data[src:src+g.InC])
+				di += g.InC
+			}
+		}
+		j++
+		if j == ow {
+			j = 0
+			i++
+			if i == oh {
+				i = 0
+				b++
+			}
+		}
+	}
+}
+
+// col2ImFast scatters examples [blo,bhi) back with merged interior
+// accumulates. Per output element the adds arrive in the same (i, j, ki,
+// kj) order as the reference; the merge only batches independent elements.
+func col2ImFast(out, cols *Tensor, g ConvGeom, oh, ow, blo, bhi int) {
+	rowLen := g.KW * g.InC
+	for b := blo; b < bhi; b++ {
+		row := b * oh * ow
+		for i := 0; i < oh; i++ {
+			for j := 0; j < ow; j++ {
+				src := cols.Row(row)
+				row++
+				xj0 := j*g.StrideW - g.PadW
+				interior := xj0 >= 0 && xj0+g.KW <= g.InW
+				si := 0
+				for ki := 0; ki < g.KH; ki++ {
+					yi := i*g.StrideH + ki - g.PadH
+					if yi < 0 || yi >= g.InH {
+						si += rowLen
+						continue
+					}
+					if interior {
+						dst := ((b*g.InH+yi)*g.InW + xj0) * g.InC
+						vadd(out.data[dst:dst+rowLen], src[si:si+rowLen])
+						si += rowLen
+						continue
+					}
+					for kj := 0; kj < g.KW; kj++ {
+						xj := xj0 + kj
+						if xj < 0 || xj >= g.InW {
+							si += g.InC
+							continue
+						}
+						dst := ((b*g.InH+yi)*g.InW + xj) * g.InC
+						vadd(out.data[dst:dst+g.InC], src[si:si+g.InC])
+						si += g.InC
+					}
+				}
+			}
+		}
+	}
+}
+
+// maxPoolFast pools output positions [lo,hi) channel-inner: per window
+// position one contiguous [InC] input row is streamed and compared across
+// all channels. Per channel the comparisons happen in the same (ki, kj)
+// order with the same strict-greater first-wins rule as the reference, so
+// both the values and the argmax indices are identical.
+func maxPoolFast(out *Tensor, arg []int32, x *Tensor, g ConvGeom, oh, ow, lo, hi int) {
+	c := g.InC
+	best := make([]float32, c)
+	idx := make([]int32, c)
+	b := lo / (oh * ow)
+	rem := lo - b*oh*ow
+	i := rem / ow
+	j := rem - i*ow
+	for row := lo; row < hi; row++ {
+		for cc := 0; cc < c; cc++ {
+			best[cc] = 0
+			idx[cc] = -1
+		}
+		for ki := 0; ki < g.KH; ki++ {
+			yi := i*g.StrideH + ki - g.PadH
+			if yi < 0 || yi >= g.InH {
+				continue
+			}
+			for kj := 0; kj < g.KW; kj++ {
+				xj := j*g.StrideW + kj - g.PadW
+				if xj < 0 || xj >= g.InW {
+					continue
+				}
+				base := ((b*g.InH+yi)*g.InW + xj) * c
+				xr := x.data[base : base+c]
+				for cc, v := range xr {
+					if idx[cc] < 0 || v > best[cc] {
+						best[cc], idx[cc] = v, int32(base+cc)
+					}
+				}
+			}
+		}
+		oi := row * c
+		copy(out.data[oi:oi+c], best)
+		copy(arg[oi:oi+c], idx)
+		j++
+		if j == ow {
+			j = 0
+			i++
+			if i == oh {
+				i = 0
+				b++
+			}
+		}
+	}
+}

@@ -9,7 +9,7 @@ import (
 func Add(a, b *Tensor) *Tensor {
 	checkSame("Add", a, b)
 	out := NewFrom2(a, b, a.shape...)
-	Parallel(len(a.data), len(a.data), func(lo, hi int) {
+	parallelFor(scheduleFor(OpEltwise, [3]int{len(a.data), 0, 0}), len(a.data), len(a.data), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out.data[i] = a.data[i] + b.data[i]
 		}
@@ -21,7 +21,7 @@ func Add(a, b *Tensor) *Tensor {
 func Sub(a, b *Tensor) *Tensor {
 	checkSame("Sub", a, b)
 	out := NewFrom2(a, b, a.shape...)
-	Parallel(len(a.data), len(a.data), func(lo, hi int) {
+	parallelFor(scheduleFor(OpEltwise, [3]int{len(a.data), 0, 0}), len(a.data), len(a.data), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out.data[i] = a.data[i] - b.data[i]
 		}
@@ -33,7 +33,7 @@ func Sub(a, b *Tensor) *Tensor {
 func Mul(a, b *Tensor) *Tensor {
 	checkSame("Mul", a, b)
 	out := NewFrom2(a, b, a.shape...)
-	Parallel(len(a.data), len(a.data), func(lo, hi int) {
+	parallelFor(scheduleFor(OpEltwise, [3]int{len(a.data), 0, 0}), len(a.data), len(a.data), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out.data[i] = a.data[i] * b.data[i]
 		}
@@ -44,7 +44,7 @@ func Mul(a, b *Tensor) *Tensor {
 // Scale returns a*s elementwise.
 func Scale(a *Tensor, s float32) *Tensor {
 	out := NewFrom(a, a.shape...)
-	Parallel(len(a.data), len(a.data), func(lo, hi int) {
+	parallelFor(scheduleFor(OpEltwise, [3]int{len(a.data), 0, 0}), len(a.data), len(a.data), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out.data[i] = a.data[i] * s
 		}
@@ -55,10 +55,8 @@ func Scale(a *Tensor, s float32) *Tensor {
 // AddInPlace accumulates b into a and returns a.
 func AddInPlace(a, b *Tensor) *Tensor {
 	checkSame("AddInPlace", a, b)
-	Parallel(len(a.data), len(a.data), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			a.data[i] += b.data[i]
-		}
+	parallelFor(scheduleFor(OpEltwise, [3]int{len(a.data), 0, 0}), len(a.data), len(a.data), func(lo, hi int) {
+		vadd(a.data[lo:hi], b.data[lo:hi])
 	})
 	return a
 }
@@ -66,17 +64,15 @@ func AddInPlace(a, b *Tensor) *Tensor {
 // AxpyInPlace computes a += s*b and returns a.
 func AxpyInPlace(a *Tensor, s float32, b *Tensor) *Tensor {
 	checkSame("AxpyInPlace", a, b)
-	Parallel(len(a.data), len(a.data), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			a.data[i] += s * b.data[i]
-		}
+	parallelFor(scheduleFor(OpEltwise, [3]int{len(a.data), 0, 0}), len(a.data), len(a.data), func(lo, hi int) {
+		saxpy(a.data[lo:hi], b.data[lo:hi], s)
 	})
 	return a
 }
 
 // ScaleInPlace multiplies every element of a by s and returns a.
 func ScaleInPlace(a *Tensor, s float32) *Tensor {
-	Parallel(len(a.data), len(a.data), func(lo, hi int) {
+	parallelFor(scheduleFor(OpEltwise, [3]int{len(a.data), 0, 0}), len(a.data), len(a.data), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			a.data[i] *= s
 		}
@@ -91,7 +87,7 @@ func AddRowVec(a, v *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: AddRowVec vector length %d != cols %d", v.Len(), c))
 	}
 	out := NewFrom(a, a.shape...)
-	Parallel(a.Rows(), a.Len(), func(lo, hi int) {
+	parallelFor(scheduleFor(OpEltwise, [3]int{a.Rows(), c, 0}), a.Rows(), a.Len(), func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			ar, or := a.Row(r), out.Row(r)
 			for j := 0; j < c; j++ {
@@ -162,7 +158,7 @@ func SoftmaxRows(a *Tensor) *Tensor {
 	c := a.Cols()
 	// Exp dominates; weight the work estimate accordingly so moderate row
 	// counts still parallelize.
-	Parallel(a.Rows(), a.Len()*8, func(lo, hi int) {
+	parallelFor(scheduleFor(OpRowwise, [3]int{a.Rows(), c, 0}), a.Rows(), a.Len()*8, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			ar, or := a.Row(r), out.Row(r)
 			maxv := ar[0]
@@ -192,7 +188,7 @@ func SoftmaxRowsBackward(y, g *Tensor) *Tensor {
 	checkSame("SoftmaxRowsBackward", y, g)
 	out := NewFrom2(y, g, y.shape...)
 	c := y.Cols()
-	Parallel(y.Rows(), y.Len()*2, func(lo, hi int) {
+	parallelFor(scheduleFor(OpRowwise, [3]int{y.Rows(), c, 0}), y.Rows(), y.Len()*2, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			yr, gr, or := y.Row(r), g.Row(r), out.Row(r)
 			var dot float64

@@ -4,7 +4,6 @@ import (
 	"os"
 	"runtime"
 	"strconv"
-	"sync"
 	"sync/atomic"
 )
 
@@ -53,28 +52,8 @@ func MaxWorkers() int {
 // one goroutine per chunk when work (an op count) exceeds the parallel
 // threshold. fn must write only to disjoint state per chunk; every kernel
 // built on Parallel assigns each output element to exactly one chunk, so
-// results are bit-identical to a serial run.
+// results are bit-identical to a serial run. It is parallelFor under the
+// default schedule: ambient worker cap, global threshold.
 func Parallel(n, work int, fn func(lo, hi int)) {
-	workers := MaxWorkers()
-	if work < parallelThreshold || workers <= 1 || n <= 1 {
-		fn(0, n)
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	parallelFor(Schedule{}, n, work, fn)
 }

@@ -1,0 +1,254 @@
+package tensor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Op names a tunable kernel family. The autotuner (internal/tensor/tune)
+// keys its schedule table by Op plus a bucketed shape, and every hot-path
+// kernel asks scheduleFor for its Op before running.
+type Op string
+
+// Tunable kernel families.
+const (
+	OpMatMul      Op = "matmul"       // MatMul: [m,k] x [k,n]
+	OpMatMulBT    Op = "matmul_bt"    // MatMulBT: [m,k] x [n,k]T
+	OpMatMulAT    Op = "matmul_at"    // MatMulAT: [k,m]T x [k,n]
+	OpIm2Col      Op = "im2col"       // convolution lowering
+	OpCol2Im      Op = "col2im"       // im2col adjoint (scatter-accumulate)
+	OpMaxPool     Op = "maxpool"      // max pooling forward
+	OpMaxPoolBack Op = "maxpool_back" // max pooling gradient scatter
+	OpGap         Op = "gap"          // global average pooling
+	OpGapBack     Op = "gap_back"     // global average pooling gradient
+	OpEltwise     Op = "eltwise"      // elementwise add/sub/mul/scale/axpy
+	OpRowwise     Op = "rowwise"      // softmax forward/backward rows
+)
+
+// Schedule parameterizes one kernel execution: which variant to run, its
+// tile sizes, and the parallelization decision. The zero value means "all
+// defaults": the blocked/fast kernel variant with its built-in tiles, the
+// ambient worker cap, and the global parallel threshold — exactly the
+// pre-tuning heuristics.
+type Schedule struct {
+	// Kernel selects the variant: "" or "blocked"/"fast" runs the
+	// schedule-parameterized kernel, "naive" forces the seed reference.
+	Kernel string `json:"kernel,omitempty"`
+	// TileM/TileN/TileK size the register/cache blocking; 0 means the
+	// kernel's default. MatMul family: TileM is the output-row block fed to
+	// the multi-row SIMD micro-kernel, TileK the packed/cached panel depth.
+	TileM int `json:"tile_m,omitempty"`
+	TileN int `json:"tile_n,omitempty"`
+	TileK int `json:"tile_k,omitempty"`
+	// Workers caps goroutines for this dispatch; 0 means the ambient
+	// MaxWorkers cap, 1 forces serial.
+	Workers int `json:"workers,omitempty"`
+	// SerialBelow is the per-kernel serial-vs-parallel cutoff: chunking is
+	// skipped while the kernel's op-count estimate stays below it. 0 means
+	// the global parallelThreshold; 1 means "always parallelize".
+	SerialBelow int `json:"serial_below,omitempty"`
+}
+
+// String renders a compact schedule descriptor for span attributes and
+// benchmark reports, e.g. "blocked m4k256 w1".
+func (s Schedule) String() string {
+	kern := s.Kernel
+	if kern == "" {
+		kern = "default"
+	}
+	tiles := ""
+	if s.TileM > 0 {
+		tiles += fmt.Sprintf("m%d", s.TileM)
+	}
+	if s.TileN > 0 {
+		tiles += fmt.Sprintf("n%d", s.TileN)
+	}
+	if s.TileK > 0 {
+		tiles += fmt.Sprintf("k%d", s.TileK)
+	}
+	if tiles != "" {
+		tiles = " " + tiles
+	}
+	w := "w*"
+	if s.Workers > 0 {
+		w = fmt.Sprintf("w%d", s.Workers)
+	}
+	cut := ""
+	if s.SerialBelow > 0 {
+		cut = fmt.Sprintf(" cut%d", s.SerialBelow)
+	}
+	return fmt.Sprintf("%s%s %s%s", kern, tiles, w, cut)
+}
+
+// ScheduleSource resolves a tuned schedule for (op, dims) under the current
+// worker cap. A miss (ok=false) makes the kernel fall back to its default
+// schedule — the pre-tuning heuristics — so a partial table degrades
+// gracefully. Implementations must be safe for concurrent use.
+type ScheduleSource interface {
+	Schedule(op Op, dims [3]int, workers int) (Schedule, bool)
+}
+
+// scheduleSource holds the installed ScheduleSource (nil = none).
+var scheduleSource atomic.Value // of sourceBox
+
+// sourceBox wraps the interface so atomic.Value accepts changing concrete
+// types (including nil).
+type sourceBox struct{ src ScheduleSource }
+
+// SetScheduleSource installs the tuned-schedule source consulted by every
+// kernel dispatch (nil uninstalls it, restoring the default heuristics).
+// core.Config.TuneTablePath and the CLIs' -tune-table flags route here.
+func SetScheduleSource(src ScheduleSource) {
+	scheduleSource.Store(sourceBox{src: src})
+}
+
+// CurrentScheduleSource returns the installed schedule source (nil when
+// none). Benchmarks use it to temporarily pin schedules and restore the
+// table afterwards.
+func CurrentScheduleSource() ScheduleSource {
+	if box, ok := scheduleSource.Load().(sourceBox); ok {
+		return box.src
+	}
+	return nil
+}
+
+// scheduleFor resolves the schedule for one kernel dispatch and records it
+// in the per-op dispatch statistics.
+func scheduleFor(op Op, dims [3]int) Schedule {
+	if box, ok := scheduleSource.Load().(sourceBox); ok && box.src != nil {
+		if sch, ok := box.src.Schedule(op, dims, MaxWorkers()); ok {
+			recordDispatch(op, sch, true)
+			return sch
+		}
+	}
+	var sch Schedule // zero value = default variant + default heuristics
+	recordDispatch(op, sch, false)
+	return sch
+}
+
+// ScheduleFor reports the schedule the next dispatch of (op, dims) would
+// use and whether it came from the installed tuned table. Benchmarks use
+// it to label which schedule fired without re-deriving table lookups.
+func ScheduleFor(op Op, dims [3]int) (Schedule, bool) {
+	if box, ok := scheduleSource.Load().(sourceBox); ok && box.src != nil {
+		if sch, ok := box.src.Schedule(op, dims, MaxWorkers()); ok {
+			return sch, true
+		}
+	}
+	return Schedule{}, false
+}
+
+// opStats accumulates dispatch counts and the last schedule fired for one
+// op. last is stored as a Schedule value under the mutex-free atomic.
+type opStats struct {
+	tuned    atomic.Int64
+	fallback atomic.Int64
+	last     atomic.Value // of Schedule
+}
+
+var dispatchStats sync.Map // Op -> *opStats
+
+func recordDispatch(op Op, sch Schedule, tuned bool) {
+	v, ok := dispatchStats.Load(op)
+	if !ok {
+		v, _ = dispatchStats.LoadOrStore(op, &opStats{})
+	}
+	st := v.(*opStats)
+	if tuned {
+		st.tuned.Add(1)
+	} else {
+		st.fallback.Add(1)
+	}
+	st.last.Store(sch)
+}
+
+// OpDispatch is one op's dispatch statistics snapshot: how many kernel
+// launches resolved a tuned schedule vs fell back to the defaults, and the
+// schedule that fired last.
+type OpDispatch struct {
+	Op       Op
+	Tuned    int64
+	Fallback int64
+	Last     Schedule
+}
+
+// DispatchSnapshot returns per-op dispatch statistics sorted by op name.
+// The trainer and materializer diff consecutive snapshots to attach
+// which-schedule-fired attributes to their spans.
+func DispatchSnapshot() []OpDispatch {
+	var out []OpDispatch
+	dispatchStats.Range(func(k, v any) bool {
+		st := v.(*opStats)
+		d := OpDispatch{Op: k.(Op), Tuned: st.tuned.Load(), Fallback: st.fallback.Load()}
+		if last, ok := st.last.Load().(Schedule); ok {
+			d.Last = last
+		}
+		out = append(out, d)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Op < out[j].Op })
+	return out
+}
+
+// DispatchCounts sums tuned and fallback dispatches across all ops.
+func DispatchCounts() (tuned, fallback int64) {
+	for _, d := range DispatchSnapshot() {
+		tuned += d.Tuned
+		fallback += d.Fallback
+	}
+	return tuned, fallback
+}
+
+// WouldParallelize reports whether a dispatch under sch chunks [0,n)
+// across goroutines rather than running serially: the schedule's worker
+// count (or the ambient cap) must exceed one, the loop must be divisible,
+// and the work estimate must clear the schedule's serial cutoff (or the
+// global threshold when the schedule doesn't set one). Benchmarks use it
+// to decide whether a kernel's serial and dispatched paths even differ.
+func WouldParallelize(sch Schedule, n, work int) bool {
+	workers := sch.Workers
+	if limit := MaxWorkers(); workers <= 0 || workers > limit {
+		workers = limit
+	}
+	cutoff := sch.SerialBelow
+	if cutoff <= 0 {
+		cutoff = parallelThreshold
+	}
+	return work >= cutoff && workers > 1 && n > 1
+}
+
+// parallelFor is the schedule-aware sibling of Parallel: it splits [0,n)
+// into contiguous chunks under the schedule's worker count and
+// serial-vs-parallel cutoff instead of the global defaults. The callback
+// contract is identical to Parallel's — fn must write only chunk-disjoint
+// state, so results are bit-identical to a serial run (the chunkdisjoint
+// analyzer checks parallelFor callbacks too).
+func parallelFor(sch Schedule, n, work int, fn func(lo, hi int)) {
+	if !WouldParallelize(sch, n, work) {
+		fn(0, n)
+		return
+	}
+	workers := sch.Workers
+	if limit := MaxWorkers(); workers <= 0 || workers > limit {
+		workers = limit
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

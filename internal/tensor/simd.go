@@ -1,0 +1,30 @@
+package tensor
+
+// Portable scalar bodies of the SIMD micro-kernels. The assembly variants
+// must produce bit-identical results to these: one multiply then one add
+// per output element, ascending index order.
+
+func saxpyGeneric(dst, x []float32, a float32) {
+	x = x[:len(dst)]
+	for i := range dst {
+		dst[i] += a * x[i]
+	}
+}
+
+func saxpy4Generic(d0, d1, d2, d3, x []float32, a0, a1, a2, a3 float32) {
+	x = x[:len(d0)]
+	for i := range x {
+		v := x[i]
+		d0[i] += a0 * v
+		d1[i] += a1 * v
+		d2[i] += a2 * v
+		d3[i] += a3 * v
+	}
+}
+
+func vaddGeneric(dst, x []float32) {
+	x = x[:len(dst)]
+	for i := range dst {
+		dst[i] += x[i]
+	}
+}

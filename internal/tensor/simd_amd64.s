@@ -1,0 +1,207 @@
+// AVX2 micro-kernels behind the blocked matmul and cache-aware conv
+// variants. Every kernel preserves the scalar reference's float32
+// operation order exactly: per output element, each step is one multiply
+// then one add onto the running value (VMULPS + VADDPS, never FMA — a
+// fused multiply-add rounds once where the scalar code rounds twice, which
+// would break bit-identity with the naive kernels). SIMD lanes vectorize
+// across independent output columns, so no accumulation order changes.
+
+#include "textflag.h"
+
+// func saxpyAsm(dst, x *float32, n int, a float32)
+// dst[0:n] += a * x[0:n], one mul-then-add per element.
+TEXT ·saxpyAsm(SB), NOSPLIT, $0-28
+	MOVQ         dst+0(FP), DI
+	MOVQ         x+8(FP), SI
+	MOVQ         n+16(FP), CX
+	VBROADCASTSS a+24(FP), Y0
+
+loop32:
+	CMPQ    CX, $32
+	JL      loop8
+	VMOVUPS (SI), Y1
+	VMOVUPS 32(SI), Y2
+	VMOVUPS 64(SI), Y3
+	VMOVUPS 96(SI), Y4
+	VMULPS  Y0, Y1, Y1
+	VMULPS  Y0, Y2, Y2
+	VMULPS  Y0, Y3, Y3
+	VMULPS  Y0, Y4, Y4
+	VADDPS  (DI), Y1, Y1
+	VADDPS  32(DI), Y2, Y2
+	VADDPS  64(DI), Y3, Y3
+	VADDPS  96(DI), Y4, Y4
+	VMOVUPS Y1, (DI)
+	VMOVUPS Y2, 32(DI)
+	VMOVUPS Y3, 64(DI)
+	VMOVUPS Y4, 96(DI)
+	ADDQ    $128, SI
+	ADDQ    $128, DI
+	SUBQ    $32, CX
+	JMP     loop32
+
+loop8:
+	CMPQ    CX, $8
+	JL      tail
+	VMOVUPS (SI), Y1
+	VMULPS  Y0, Y1, Y1
+	VADDPS  (DI), Y1, Y1
+	VMOVUPS Y1, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $8, CX
+	JMP     loop8
+
+tail:
+	CMPQ   CX, $0
+	JLE    done
+	VMOVSS (SI), X1
+	VMULSS X0, X1, X1
+	VADDSS (DI), X1, X1
+	VMOVSS X1, (DI)
+	ADDQ   $4, SI
+	ADDQ   $4, DI
+	DECQ   CX
+	JMP    tail
+
+done:
+	VZEROUPPER
+	RET
+
+// func saxpy4Asm(d0, d1, d2, d3, x *float32, n int, a0, a1, a2, a3 float32)
+// Four simultaneous axpy rows sharing each load of x: d_r[0:n] += a_r * x[0:n].
+TEXT ·saxpy4Asm(SB), NOSPLIT, $0-64
+	MOVQ         d0+0(FP), DI
+	MOVQ         d1+8(FP), R8
+	MOVQ         d2+16(FP), R9
+	MOVQ         d3+24(FP), R10
+	MOVQ         x+32(FP), SI
+	MOVQ         n+40(FP), CX
+	VBROADCASTSS a0+48(FP), Y0
+	VBROADCASTSS a1+52(FP), Y1
+	VBROADCASTSS a2+56(FP), Y2
+	VBROADCASTSS a3+60(FP), Y3
+
+loop8:
+	CMPQ    CX, $8
+	JL      tail
+	VMOVUPS (SI), Y4
+	VMULPS  Y0, Y4, Y5
+	VADDPS  (DI), Y5, Y5
+	VMOVUPS Y5, (DI)
+	VMULPS  Y1, Y4, Y6
+	VADDPS  (R8), Y6, Y6
+	VMOVUPS Y6, (R8)
+	VMULPS  Y2, Y4, Y7
+	VADDPS  (R9), Y7, Y7
+	VMOVUPS Y7, (R9)
+	VMULPS  Y3, Y4, Y8
+	VADDPS  (R10), Y8, Y8
+	VMOVUPS Y8, (R10)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	ADDQ    $32, R8
+	ADDQ    $32, R9
+	ADDQ    $32, R10
+	SUBQ    $8, CX
+	JMP     loop8
+
+tail:
+	CMPQ   CX, $0
+	JLE    done
+	VMOVSS (SI), X4
+	VMULSS X0, X4, X5
+	VADDSS (DI), X5, X5
+	VMOVSS X5, (DI)
+	VMULSS X1, X4, X6
+	VADDSS (R8), X6, X6
+	VMOVSS X6, (R8)
+	VMULSS X2, X4, X7
+	VADDSS (R9), X7, X7
+	VMOVSS X7, (R9)
+	VMULSS X3, X4, X8
+	VADDSS (R10), X8, X8
+	VMOVSS X8, (R10)
+	ADDQ   $4, SI
+	ADDQ   $4, DI
+	ADDQ   $4, R8
+	ADDQ   $4, R9
+	ADDQ   $4, R10
+	DECQ   CX
+	JMP    tail
+
+done:
+	VZEROUPPER
+	RET
+
+// func vaddAsm(dst, x *float32, n int)
+// dst[0:n] += x[0:n], elementwise (independent lanes, no order change).
+TEXT ·vaddAsm(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ n+16(FP), CX
+
+loop32:
+	CMPQ    CX, $32
+	JL      loop8
+	VMOVUPS (SI), Y1
+	VMOVUPS 32(SI), Y2
+	VMOVUPS 64(SI), Y3
+	VMOVUPS 96(SI), Y4
+	VADDPS  (DI), Y1, Y1
+	VADDPS  32(DI), Y2, Y2
+	VADDPS  64(DI), Y3, Y3
+	VADDPS  96(DI), Y4, Y4
+	VMOVUPS Y1, (DI)
+	VMOVUPS Y2, 32(DI)
+	VMOVUPS Y3, 64(DI)
+	VMOVUPS Y4, 96(DI)
+	ADDQ    $128, SI
+	ADDQ    $128, DI
+	SUBQ    $32, CX
+	JMP     loop32
+
+loop8:
+	CMPQ    CX, $8
+	JL      tail
+	VMOVUPS (SI), Y1
+	VADDPS  (DI), Y1, Y1
+	VMOVUPS Y1, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $8, CX
+	JMP     loop8
+
+tail:
+	CMPQ   CX, $0
+	JLE    done
+	VMOVSS (SI), X1
+	VADDSS (DI), X1, X1
+	VMOVSS X1, (DI)
+	ADDQ   $4, SI
+	ADDQ   $4, DI
+	DECQ   CX
+	JMP    tail
+
+done:
+	VZEROUPPER
+	RET
+
+// func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL  eaxIn+0(FP), AX
+	MOVL  ecxIn+4(FP), CX
+	CPUID
+	MOVL  AX, eax+8(FP)
+	MOVL  BX, ebx+12(FP)
+	MOVL  CX, ecx+16(FP)
+	MOVL  DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	MOVL   $0, CX
+	XGETBV
+	MOVL   AX, eax+0(FP)
+	MOVL   DX, edx+4(FP)
+	RET

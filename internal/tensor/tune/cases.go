@@ -1,0 +1,105 @@
+package tune
+
+import (
+	"math/rand"
+
+	"nautilus/internal/tensor"
+)
+
+// DefaultCases enumerates the shapes the training hot path actually
+// dispatches: square/skinny/fat/large matmuls (forward, BT and AT
+// backward forms), conv lowerings at the mini-ResNet stem and block
+// geometries, the pooling family, and the elementwise/rowwise ops. Each
+// case's Dims mirror the kernel's own dispatch computation exactly —
+// they become the table entry's shape-class key.
+func DefaultCases() []Case {
+	rng := rand.New(rand.NewSource(42))
+	var cases []Case
+
+	addMatMuls := func(name string, m, k, n int) {
+		a := tensor.RandNormal(rng, 1, m, k)
+		b := tensor.RandNormal(rng, 1, k, n)
+		bt := tensor.RandNormal(rng, 1, n, k)
+		at := tensor.RandNormal(rng, 1, k, m)
+		cases = append(cases,
+			Case{Name: "matmul_" + name, Op: tensor.OpMatMul, Dims: [3]int{m, k, n},
+				Run: func() { tensor.MatMul(a, b) }},
+			Case{Name: "matmul_bt_" + name, Op: tensor.OpMatMulBT, Dims: [3]int{m, k, n},
+				Run: func() { tensor.MatMulBT(a, bt) }},
+			Case{Name: "matmul_at_" + name, Op: tensor.OpMatMulAT, Dims: [3]int{m, k, n},
+				Run: func() { tensor.MatMulAT(at, b) }},
+		)
+	}
+	addMatMuls("64", 64, 64, 64)                // small dense layers
+	addMatMuls("256", 256, 256, 256)            // mid square
+	addMatMuls("skinny_64x512x64", 64, 512, 64) // deep reduction, narrow output
+	addMatMuls("1024", 1024, 1024, 1024)        // large square (headline shape)
+	addMatMuls("conv_4096x72x16", 4096, 72, 16) // im2col-lowered conv matmul
+
+	// Mini-BERT training shapes (batch·seq rows × dim 32 trunk): the
+	// dense/attention/FFN matmuls the FTR/ATR mini workloads dispatch,
+	// forward and both backward transposes, at batch 16 and 32.
+	addMatMuls("bert_192x32x32", 192, 32, 32)   // QKV/attention proj, batch 16
+	addMatMuls("bert_192x32x64", 192, 32, 64)   // FFN up-projection
+	addMatMuls("bert_192x64x32", 192, 64, 32)   // FFN down-projection
+	addMatMuls("bert_192x128x32", 192, 128, 32) // concat-last-4 head projection
+	addMatMuls("bert_384x64x32", 384, 64, 32)   // batch-32 FFN down-projection
+
+	addConv := func(name string, batch, h, w, c int, g tensor.ConvGeom) {
+		x := tensor.RandNormal(rng, 1, batch, h, w, c)
+		oh, ow := g.OutH(), g.OutW()
+		rows := batch * oh * ow
+		colsDim := g.KH * g.KW * g.InC
+		colsT := tensor.Im2Col(x, g)
+		cases = append(cases,
+			Case{Name: "im2col_" + name, Op: tensor.OpIm2Col, Dims: [3]int{rows, colsDim, 0},
+				Run: func() { tensor.Im2Col(x, g) }},
+			Case{Name: "col2im_" + name, Op: tensor.OpCol2Im, Dims: [3]int{batch, oh * ow, colsDim},
+				Run: func() { tensor.Col2Im(colsT, batch, g) }},
+		)
+	}
+	// Mini-ResNet stem: 16x16x3 images, 3x3 stride-1 pad-1.
+	addConv("stem_16x16x16x3", 16, 16, 16, 3,
+		tensor.ConvGeom{InH: 16, InW: 16, InC: 3, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1})
+	// Block geometry: wider channels on a larger plane.
+	addConv("16x32x32x8", 16, 32, 32, 8,
+		tensor.ConvGeom{InH: 32, InW: 32, InC: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1})
+
+	{
+		batch, h, w, c := 16, 32, 32, 8
+		x := tensor.RandNormal(rng, 1, batch, h, w, c)
+		pool := tensor.ConvGeom{InH: h, InW: w, InC: c, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+		oh, ow := pool.OutH(), pool.OutW()
+		mp, arg := tensor.MaxPool2D(x, pool)
+		gap := tensor.GlobalAvgPool(x)
+		cases = append(cases,
+			Case{Name: "maxpool_16x32x32x8", Op: tensor.OpMaxPool,
+				Dims: [3]int{batch * oh * ow, c, pool.KH * pool.KW},
+				Run:  func() { tensor.MaxPool2D(x, pool) }},
+			Case{Name: "maxpool_back_16x32x32x8", Op: tensor.OpMaxPoolBack,
+				Dims: [3]int{batch, oh * ow * c, 0},
+				Run:  func() { tensor.MaxPool2DBackward(mp, arg, x.Shape()) }},
+			Case{Name: "gap_16x32x32x8", Op: tensor.OpGap,
+				Dims: [3]int{batch, h * w, c},
+				Run:  func() { tensor.GlobalAvgPool(x) }},
+			Case{Name: "gap_back_16x32x32x8", Op: tensor.OpGapBack,
+				Dims: [3]int{batch, h * w, c},
+				Run:  func() { tensor.GlobalAvgPoolBackward(gap, x.Shape()) }},
+		)
+	}
+
+	{
+		a := tensor.RandNormal(rng, 1, 256, 256)
+		b := tensor.RandNormal(rng, 1, 256, 256)
+		soft := tensor.RandNormal(rng, 1, 2048, 64)
+		cases = append(cases,
+			Case{Name: "add_256x256", Op: tensor.OpEltwise,
+				Dims: [3]int{256 * 256, 0, 0},
+				Run:  func() { tensor.Add(a, b) }},
+			Case{Name: "softmax_2048x64", Op: tensor.OpRowwise,
+				Dims: [3]int{2048, 64, 0},
+				Run:  func() { tensor.SoftmaxRows(soft) }},
+		)
+	}
+	return cases
+}

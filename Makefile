@@ -10,12 +10,15 @@ test:
 
 # nautilus-lint is the repo's own stdlib static-analysis suite
 # (internal/lint): the syntactic analyzers (allochygiene, determinism,
-# floateq, layerpurity, uncheckederr) plus the dataflow-engine analyzers
-# (arenaescape, spanleak, goroutinejoin, chunkdisjoint), the
-# interprocedural summary-aware analyzers (locksafe, ctxflow), and the
-# ignoreaudit stale-suppression check.
+# floateq, layerpurity, uncheckederr), the dataflow-engine analyzers
+# (arenaescape, spanleak, goroutinejoin, chunkdisjoint), the typestate
+# protocol analyzers (sessionorder, storelease), the interprocedural
+# summary-aware analyzers (locksafe, ctxflow), and the ignoreaudit
+# stale-suppression check. Runs warm through the incremental result cache
+# (.nautilus-lint-cache/) by default; set LINT_NOCACHE=1 to force a full
+# uncached sweep.
 lint:
-	$(GO) run ./cmd/nautilus-lint ./...
+	$(GO) run ./cmd/nautilus-lint $(if $(LINT_NOCACHE),,-cache) ./...
 
 # lint-fixtures re-runs the golden-fixture tests that pin every analyzer's
 # exact diagnostics (positions + messages) over testdata/src/violations,
@@ -38,7 +41,7 @@ check:
 	$(GO) test -race ./internal/opt/...
 	$(GO) test -race ./internal/tensor/... ./internal/graph/...
 	$(GO) test -race ./internal/storage/... ./internal/obs/...
-	$(GO) run ./cmd/nautilus-bench -exp obs,replan,calib,fusion,kernels -tune-table TUNE_table.json -baseline BENCH_baseline.json
+	$(GO) run ./cmd/nautilus-bench -exp obs,replan,calib,fusion,kernels,lint -tune-table TUNE_table.json -baseline BENCH_baseline.json
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -69,7 +72,7 @@ bench-json:
 # fresh run of the gated experiments. Run it after an intentional perf
 # change, eyeball the diff, and commit the new BENCH_baseline.json.
 bench-baseline:
-	$(GO) run ./cmd/nautilus-bench -exp obs,replan,calib,fusion,kernels -tune-table TUNE_table.json -write-baseline BENCH_baseline.json
+	$(GO) run ./cmd/nautilus-bench -exp obs,replan,calib,fusion,kernels,lint -tune-table TUNE_table.json -write-baseline BENCH_baseline.json
 
 # tune re-benchmarks every kernel shape class on this machine and
 # rewrites the committed schedule table. Run it after kernel changes or

@@ -294,6 +294,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		gated = append(gated, experiments.LintBaselineMetrics(r)...)
 		if err := experiments.PrintLintBench(os.Stdout, r); err != nil {
 			return err
 		}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	nautilus-lint [-json] [-tests=false] [-analyzers=spec] [packages...]
+//	nautilus-lint [-json] [-tests=false] [-analyzers=spec] [-cache] [-diff ref] [packages...]
 //
 // Package patterns are directories relative to the module root; a
 // trailing "/..." includes everything beneath. With no arguments it
@@ -14,14 +14,28 @@
 //
 //	{"findings": [...], "timings": [...], "packages": [...]}
 //
-// where timings carries each analyzer's wall time summed over the run and
-// packages carries per-package wall time.
+// where timings carries each analyzer's wall time summed over the run
+// (ssa_wall_ns is the share spent building SSA form) and packages carries
+// per-package wall time.
 //
 // -analyzers selects a subset: a comma-separated list of names to include
 // ("locksafe,ctxflow"), names prefixed with '-' to exclude from the suite
 // ("-allochygiene"), or a mix. -list shows the suite; summary-aware
 // analyzers (those consulting interprocedural function summaries) are
 // marked with '*'.
+//
+// -cache reuses per-package results across runs from -cache-dir (default
+// .nautilus-lint-cache at the module root): a package whose sources,
+// transitive module-internal imports, analyzer set, and tool sources are
+// all unchanged replays its stored findings without being parsed or
+// type-checked, so a warm run on an unchanged tree does no type-checking
+// at all. Output is byte-identical to an uncached run.
+//
+// -diff <git-ref> keeps only findings on lines changed since the ref
+// (computed from `git diff -U0 <ref>`): full packages are still analyzed
+// (and cached) for correctness, but untouched pre-existing findings don't
+// fail the run — the mode CI uses to gate pull requests on new findings
+// only.
 //
 // Suppress an intentional finding in source with
 // `//lint:ignore <analyzer> <reason>` on the offending line or the line
@@ -30,9 +44,10 @@
 //
 // Exit codes:
 //
-//	0  clean — no findings
-//	1  findings reported (human or JSON output)
-//	2  load or usage error (bad pattern, unknown analyzer, parse/type-check failure)
+//	0  clean — no findings (with -diff: none on changed lines)
+//	1  findings reported (with -diff: at least one on a changed line)
+//	2  load or usage error (bad pattern, unknown analyzer, parse/type-check
+//	   failure, bad git ref)
 package main
 
 import (
@@ -56,9 +71,12 @@ func main() {
 	tests := flag.Bool("tests", true, "also analyze in-package _test.go files")
 	list := flag.Bool("list", false, "list analyzers (summary-aware marked with '*') and exit")
 	spec := flag.String("analyzers", "", "comma-separated analyzer subset; prefix a name with '-' to exclude it")
+	useCache := flag.Bool("cache", false, "replay unchanged packages from the incremental result cache")
+	cacheDir := flag.String("cache-dir", ".nautilus-lint-cache", "cache directory (relative paths resolve against the module root)")
+	diffRef := flag.String("diff", "", "only report findings on lines changed since this git ref")
 	flag.Usage = func() {
 		fmt.Fprint(os.Stderr,
-			"usage: nautilus-lint [-json] [-tests=false] [-list] [-analyzers=spec] [packages...]\n"+
+			"usage: nautilus-lint [-json] [-tests=false] [-list] [-analyzers=spec] [-cache] [-diff ref] [packages...]\n"+
 				"exit codes: 0 no findings, 1 findings reported, 2 load/usage error\n")
 		flag.PrintDefaults()
 	}
@@ -90,11 +108,30 @@ func main() {
 		fatal(err)
 	}
 	loader.IncludeTests = *tests
-	pkgs, err := loader.Load(flag.Args()...)
-	if err != nil {
-		fatal(err)
+	var res lint.Result
+	if *useCache {
+		cache, err := lint.OpenCache(*cacheDir, loader, analyzers)
+		if err != nil {
+			fatal(err)
+		}
+		res, _, err = lint.AnalyzeCached(loader, cache, analyzers, flag.Args()...)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		pkgs, err := loader.Load(flag.Args()...)
+		if err != nil {
+			fatal(err)
+		}
+		res = lint.Analyze(pkgs, analyzers, loader.Fset)
 	}
-	res := lint.Analyze(pkgs, analyzers, loader.Fset)
+	if *diffRef != "" {
+		changed, err := lint.ChangedLines(loader.ModuleRoot, *diffRef)
+		if err != nil {
+			fatal(err)
+		}
+		res.Findings = lint.FilterByDiff(res.Findings, changed, loader.ModuleRoot)
+	}
 
 	if *jsonOut {
 		if res.Findings == nil {

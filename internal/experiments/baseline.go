@@ -229,3 +229,23 @@ func CalibBaselineMetrics(r *CalibResult) []BaselineMetric {
 	ms = appendMetric(ms, "calib.compute_samples", float64(r.ComputeSamples), true, 20)
 	return ms
 }
+
+// LintBaselineMetrics gates the incremental lint cache: a warm sweep must
+// replay the cold sweep's findings identically and markedly faster. The
+// speedup is capped at 10 before gating so the committed baseline encodes
+// the contract "warm is at least ~3x faster than cold" (cap 10, 70%
+// tolerance → floor 3x) instead of whatever a fast machine happened to
+// measure; warm_identical is emitted only when the replayed findings
+// matched, so a divergence trips the missing-metric regression.
+func LintBaselineMetrics(r *LintBenchResult) []BaselineMetric {
+	var ms []BaselineMetric
+	speedup := r.WarmSpeedup
+	if speedup > 10 {
+		speedup = 10
+	}
+	ms = appendMetric(ms, "lint.warm_speedup", speedup, true, 70)
+	if r.WarmIdentical {
+		ms = appendMetric(ms, "lint.warm_identical", 1, true, 0)
+	}
+	return ms
+}

@@ -2,7 +2,6 @@ package lint
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 )
 
@@ -12,22 +11,24 @@ import (
 // reachable afterwards is silent data corruption — the next batch
 // overwrites its storage in place.
 //
-// Value-origin tracking is a forward may-analysis over the function CFG:
+// The protocol (live→released, with tensor values derived from the scope)
+// is declared as a typestateSpec; the engine's simulation leg supplies the
+// forward may-analysis:
 //
 //   - origins are `s := arena.Scope()` results (and *tensor.Scope
 //     parameters);
-//   - a value becomes scope-tainted when it is assigned from an expression
-//     that mentions the scope or an already-tainted value (calls with the
-//     scope as allocator, method calls and field reads on tainted values,
+//   - a value becomes scope-derived when it is assigned from an expression
+//     that mentions the scope or an already-derived value (calls with the
+//     scope as allocator, method calls and field reads on derived values,
 //     composites) and its type can carry tensors;
 //   - `s.Release()` marks the scope released on the paths through it;
-//     assignment to a tracked variable kills its taint.
+//     assignment to a tracked variable kills its association.
 //
 // Two finding classes:
 //
-//   - use after Release: any use of a tainted value (or the scope itself)
+//   - use after Release: any use of a derived value (or the scope itself)
 //     on a path where its scope may already be released;
-//   - escape before Release: a tainted value stored into a struct field, a
+//   - escape before Release: a derived value stored into a struct field, a
 //     package-level variable, or sent on a channel, while a Release of its
 //     scope is still reachable downstream — the stored alias outlives the
 //     buffers. Handing a scope off through a channel without releasing it
@@ -46,96 +47,35 @@ var ArenaEscapeAnalyzer = &Analyzer{
 	Name:         "arenaescape",
 	Doc:          "flags arena-scoped tensors used after Scope.Release or escaping to fields/globals/channels that outlive the scope",
 	SummaryAware: true,
-	Run:          runArenaEscape,
+	Run:          func(p *Pass) { runTypestate(p, arenaEscapeSpec) },
 }
 
-func runArenaEscape(p *Pass) {
-	sums := p.Pkg.summaries()
-	for _, f := range p.Pkg.Files {
-		if p.InTestFile(f.Pos()) {
-			continue
-		}
-		funcBodies(f, func(fb funcBody) { arenaEscapeFunc(p, sums, fb) })
-	}
-}
-
-// arenaFact is the entry state of one CFG node: which scope variables are
-// live (and whether they may be released on some path here), and which
-// value variables are tainted by which scope.
-type arenaFact struct {
-	released map[types.Object]bool         // scope var → may be released
-	taint    map[types.Object]types.Object // value var → its scope var
-}
-
-func newArenaFact() *arenaFact {
-	return &arenaFact{released: map[types.Object]bool{}, taint: map[types.Object]types.Object{}}
-}
-
-func (a *arenaFact) clone() *arenaFact {
-	c := newArenaFact()
-	for k, v := range a.released {
-		c.released[k] = v
-	}
-	for k, v := range a.taint {
-		c.taint[k] = v
-	}
-	return c
-}
-
-// mergeFrom folds src into a (may-analysis union; released wins over not).
-func (a *arenaFact) mergeFrom(src *arenaFact) bool {
-	changed := false
-	for k, v := range src.released {
-		if cur, ok := a.released[k]; !ok || (v && !cur) {
-			a.released[k] = cur || v
-			changed = true
-		}
-	}
-	for k, v := range src.taint {
-		if _, ok := a.taint[k]; !ok {
-			a.taint[k] = v
-			changed = true
-		}
-	}
-	return changed
-}
-
-func arenaEscapeFunc(p *Pass, sums *summarySet, fb funcBody) {
-	info := p.Pkg.Info
-	cfg := buildCFG(fb.body)
-
-	// Seed: *tensor.Scope parameters are origins with unknown lifetime.
-	entry := newArenaFact()
-	if fb.typ.Params != nil {
-		for _, field := range fb.typ.Params.List {
-			for _, name := range field.Names {
-				obj := info.ObjectOf(name)
-				if obj != nil && namedType(obj.Type(), tensorPkgPath, "Scope") {
-					entry.released[obj] = false
-				}
-			}
-		}
-	}
-
-	transfer := func(n *cfgNode, in *arenaFact) *arenaFact {
-		out := in.clone()
-		arenaTransfer(p, sums, n, out)
-		return out
-	}
-	facts := forwardSolve(cfg, entry, transfer,
-		func(f *arenaFact) *arenaFact { return f.clone() },
-		func(dst, src *arenaFact) bool { return dst.mergeFrom(src) })
-
-	// Reporting sweep: one pass per node against its stable entry fact.
-	// Findings dedupe on position (the fixpoint already converged).
-	reported := map[token.Pos]bool{}
-	for _, n := range cfg.nodes {
-		in, ok := facts[n]
-		if !ok || n.stmt == nil {
-			continue
-		}
-		arenaReport(p, sums, cfg, n, in, reported)
-	}
+// arenaEscapeSpec declares the scope lifecycle. No obligation leg: a scope
+// that is never released is wasteful but not corrupting — the hazards are
+// uses and escapes past Release, which the simulation leg reports.
+var arenaEscapeSpec = &typestateSpec{
+	name:   "arenaescape",
+	origin: scopeOrigin,
+	valueType: func(p *Pass, t types.Type) bool {
+		return namedType(t, tensorPkgPath, "Scope")
+	},
+	states:     []string{"live", "released"},
+	start:      "live",
+	paramStart: "live",
+	events: []eventSpec{{
+		method: "Release",
+		fact:   func(f paramFacts) bool { return f.ReleasesScope },
+		to:     "released",
+	}},
+	derived: func(p *Pass, t types.Type) bool { return typeCarriesTensors(t) },
+	useInState: map[string]useMsgs{
+		"released": {
+			derivedMsg: "%s is backed by scope %s, which may already be released here; move the use before Release or copy the tensor out",
+			directMsg:  "scope %s may already be released here",
+		},
+	},
+	escapeEvent: "Release",
+	escapeMsg:   "%s is backed by scope %s but escapes via %s, and the scope is released before the function returns; copy it out of the scope first",
 }
 
 // scopeOrigin matches a call returning *tensor.Scope from a method named
@@ -145,276 +85,6 @@ func scopeOrigin(p *Pass, call *ast.CallExpr) bool {
 		return false
 	}
 	return namedType(p.Pkg.Info.TypeOf(call), tensorPkgPath, "Scope")
-}
-
-// arenaTransfer applies one node's effect to the fact in place.
-func arenaTransfer(p *Pass, sums *summarySet, n *cfgNode, f *arenaFact) {
-	info := p.Pkg.Info
-	if _, ok := n.stmt.(*ast.DeferStmt); ok {
-		// A deferred Release runs at function exit, not here; modeling it at
-		// the defer's position would poison every statement below it.
-		// releaseReachable credits it separately for the escape check.
-		return
-	}
-	for _, root := range headerNodes(n) {
-		// Release calls: s.Release() with a plain identifier receiver, or a
-		// delegation to a local helper that releases its scope argument.
-		shallowInspect(root, func(x ast.Node) bool {
-			call, ok := x.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if recv, ok := methodCallOn(call, "Release"); ok {
-				if obj := identObj(info, recv); obj != nil {
-					if _, tracked := f.released[obj]; tracked {
-						f.released[obj] = true
-					}
-				}
-			}
-			for obj := range f.released {
-				if sums.callDelegates(call, obj, func(pf paramFacts) bool { return pf.ReleasesScope }) {
-					f.released[obj] = true
-				}
-			}
-			return true
-		})
-	}
-
-	as, ok := n.stmt.(*ast.AssignStmt)
-	if !ok || as.Tok == token.ADD_ASSIGN || as.Tok == token.SUB_ASSIGN ||
-		as.Tok == token.MUL_ASSIGN || as.Tok == token.QUO_ASSIGN {
-		return
-	}
-	// RHS taint is judged against the pre-assignment state; single-RHS
-	// multi-LHS (v, err := call(...)) taints every tensor-carrying LHS.
-	rhsTaints := make([]types.Object, len(as.Rhs))
-	rhsOrigin := make([]bool, len(as.Rhs))
-	for i, r := range as.Rhs {
-		if call, ok := r.(*ast.CallExpr); ok && scopeOrigin(p, call) {
-			rhsOrigin[i] = true
-			continue
-		}
-		rhsTaints[i] = taintOf(info, r, f)
-	}
-	for i, l := range as.Lhs {
-		obj := identObj(info, l)
-		if obj == nil || obj.Name() == "_" {
-			continue
-		}
-		ri := i
-		if len(as.Rhs) == 1 {
-			ri = 0
-		}
-		// Kill first: any assignment severs the old association.
-		delete(f.taint, obj)
-		if _, wasScope := f.released[obj]; wasScope {
-			delete(f.released, obj)
-		}
-		switch {
-		case rhsOrigin[ri] && len(as.Rhs) == len(as.Lhs):
-			f.released[obj] = false
-		case rhsTaints[ri] != nil && typeCarriesTensors(obj.Type()):
-			f.taint[obj] = rhsTaints[ri]
-		}
-	}
-}
-
-// taintOf returns the scope object tainting expression e, or nil: e mentions
-// a tracked scope or a tainted value (skipping nested function literals).
-func taintOf(info *types.Info, e ast.Expr, f *arenaFact) types.Object {
-	var scope types.Object
-	shallowInspect(e, func(n ast.Node) bool {
-		if scope != nil {
-			return false
-		}
-		id, ok := n.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		obj := info.ObjectOf(id)
-		if obj == nil {
-			return true
-		}
-		if _, ok := f.released[obj]; ok {
-			scope = obj
-			return false
-		}
-		if s, ok := f.taint[obj]; ok {
-			scope = s
-			return false
-		}
-		return true
-	})
-	return scope
-}
-
-// arenaReport emits findings for one node given its entry fact.
-func arenaReport(p *Pass, sums *summarySet, cfg *funcCFG, n *cfgNode, in *arenaFact, reported map[token.Pos]bool) {
-	info := p.Pkg.Info
-	report := func(pos token.Pos, format string, args ...any) {
-		if !reported[pos] {
-			reported[pos] = true
-			p.Reportf(pos, format, args...)
-		}
-	}
-
-	// Use after Release: any mention of a tainted value (or released scope)
-	// whose scope may be released at entry. The defining assignment itself
-	// re-taints, so skip LHS positions.
-	lhs := map[ast.Node]bool{}
-	if as, ok := n.stmt.(*ast.AssignStmt); ok {
-		for _, l := range as.Lhs {
-			lhs[l] = true
-		}
-	}
-	for _, root := range headerNodes(n) {
-		shallowInspect(root, func(x ast.Node) bool {
-			if lhs[x] {
-				return false
-			}
-			id, ok := x.(*ast.Ident)
-			if !ok {
-				return true
-			}
-			obj := info.ObjectOf(id)
-			if obj == nil {
-				return true
-			}
-			if s, ok := in.taint[obj]; ok && in.released[s] {
-				report(id.Pos(), "%s is backed by scope %s, which may already be released here; move the use before Release or copy the tensor out", obj.Name(), s.Name())
-			} else if rel, ok := in.released[obj]; ok && rel && !isReleaseReceiver(n, id) {
-				report(id.Pos(), "scope %s may already be released here", obj.Name())
-			}
-			return true
-		})
-	}
-
-	// Escape before Release: a tainted value stored to a field, a package-
-	// level variable, or sent on a channel, with the scope's Release still
-	// reachable downstream.
-	escape := func(stored ast.Expr, pos token.Pos, how string) {
-		obj := storedTaintedObj(info, stored, in)
-		if obj == nil {
-			return
-		}
-		s := in.taint[obj]
-		if s == nil {
-			return
-		}
-		if releaseReachable(p, sums, cfg, n, s) {
-			report(pos, "%s is backed by scope %s but escapes via %s, and the scope is released before the function returns; copy it out of the scope first", obj.Name(), s.Name(), how)
-		}
-	}
-	switch st := n.stmt.(type) {
-	case *ast.AssignStmt:
-		for i, l := range st.Lhs {
-			ri := i
-			if len(st.Rhs) == 1 {
-				ri = 0
-			}
-			if _, ok := l.(*ast.SelectorExpr); ok {
-				escape(st.Rhs[ri], st.Pos(), "a struct field")
-				continue
-			}
-			if obj := identObj(info, l); obj != nil {
-				if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
-					escape(st.Rhs[ri], st.Pos(), "a package-level variable")
-				}
-			}
-		}
-	case *ast.SendStmt:
-		escape(st.Value, st.Pos(), "a channel send")
-	}
-}
-
-// isReleaseReceiver reports whether id is the receiver of the node's own
-// s.Release() call (which is a legitimate final use).
-func isReleaseReceiver(n *cfgNode, id *ast.Ident) bool {
-	found := false
-	for _, root := range headerNodes(n) {
-		shallowInspect(root, func(x ast.Node) bool {
-			call, ok := x.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if recv, ok := methodCallOn(call, "Release"); ok && recv == id {
-				found = true
-				return false
-			}
-			return true
-		})
-	}
-	return found
-}
-
-// storedTaintedObj unwraps the stored expression to a plain tainted
-// identifier (through parens and unary &).
-func storedTaintedObj(info *types.Info, e ast.Expr, f *arenaFact) types.Object {
-	for {
-		switch x := e.(type) {
-		case *ast.ParenExpr:
-			e = x.X
-			continue
-		case *ast.UnaryExpr:
-			if x.Op == token.AND {
-				e = x.X
-				continue
-			}
-		}
-		break
-	}
-	obj := identObj(info, e)
-	if obj == nil {
-		return nil
-	}
-	if _, ok := f.taint[obj]; !ok {
-		return nil
-	}
-	return obj
-}
-
-// releaseReachable reports whether a Release of scope s can execute after
-// node n: a plain Release (or a delegation to a local helper that releases
-// its scope argument) on a downstream node, or the deferred form of either
-// anywhere (defers run at function exit, which is always downstream).
-func releaseReachable(p *Pass, sums *summarySet, cfg *funcCFG, n *cfgNode, s types.Object) bool {
-	info := p.Pkg.Info
-	releasesScope := func(f paramFacts) bool { return f.ReleasesScope }
-	isRelease := func(x ast.Node) bool {
-		call, ok := x.(*ast.CallExpr)
-		if !ok {
-			return false
-		}
-		if recv, ok := methodCallOn(call, "Release"); ok && identObj(info, recv) == s {
-			return true
-		}
-		return sums.callDelegates(call, s, releasesScope)
-	}
-	for _, m := range cfg.nodes {
-		ds, ok := m.stmt.(*ast.DeferStmt)
-		if !ok {
-			continue
-		}
-		deferred := false
-		ast.Inspect(ds.Call, func(x ast.Node) bool {
-			if isRelease(x) {
-				deferred = true
-			}
-			return !deferred
-		})
-		if deferred {
-			return true
-		}
-	}
-	for m := range cfg.reachableFrom(n) {
-		if m.stmt == nil {
-			continue
-		}
-		if headerContains(m, isRelease) {
-			return true
-		}
-	}
-	return false
 }
 
 // typeCarriesTensors reports whether a value of type t can hold (directly

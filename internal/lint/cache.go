@@ -1,0 +1,346 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// cacheVersion invalidates every entry when the on-disk format changes.
+const cacheVersion = "v1"
+
+// lintSrcRel is the module-relative directory holding the analyzer
+// implementation; its source hash is part of every cache key, so editing
+// any analyzer (or the engine underneath it) invalidates the whole cache.
+const lintSrcRel = "internal/lint"
+
+// Cache is the on-disk incremental result store: one JSON entry per
+// package, keyed by a hash of everything that can change the package's
+// findings — the analyzer set, the tool's own sources, the Go version, the
+// loader configuration, and the package's sources together with the
+// sources of every module-internal package it (transitively) imports.
+//
+// A hit replays the stored findings without parsing or type-checking the
+// package; a warm `nautilus-lint -cache ./...` on an unchanged tree does
+// no type-checking at all. The key covers transitive module-internal deps
+// because analyzers see through imports (types, and one level of summary
+// facts come from them), so a dep edit can change a dependent's findings.
+// Keys are content hashes: results replay deterministically, and a stale
+// entry can never match.
+type Cache struct {
+	// Dir is the absolute cache directory (.nautilus-lint-cache by default).
+	Dir string
+
+	loader *Loader
+	prefix string // run configuration: version, toolchain, tool, analyzers, flags
+
+	srcHashes map[string]string   // package dir → source hash
+	deps      map[string][]string // package dir → module-internal import dirs
+	closures  map[string][]string // package dir → sorted transitive dep dirs
+}
+
+// OpenCache creates (if needed) and opens the cache directory. A relative
+// dir is taken relative to the module root; an empty dir selects
+// ".nautilus-lint-cache" at the module root.
+func OpenCache(dir string, l *Loader, analyzers []*Analyzer) (*Cache, error) {
+	if dir == "" {
+		dir = ".nautilus-lint-cache"
+	}
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(l.ModuleRoot, dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		Dir:       dir,
+		loader:    l,
+		srcHashes: map[string]string{},
+		deps:      map[string][]string{},
+		closures:  map[string][]string{},
+	}
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	toolHash, err := c.srcHash(filepath.Join(l.ModuleRoot, filepath.FromSlash(lintSrcRel)))
+	if err != nil {
+		// The analyzer sources are not where this module keeps them —
+		// degrade to version-only invalidation rather than failing.
+		toolHash = "no-tool-src"
+	}
+	c.prefix = strings.Join([]string{
+		cacheVersion,
+		runtime.Version(),
+		toolHash,
+		strings.Join(names, ","),
+		strconv.FormatBool(l.IncludeTests),
+		l.ModuleRoot,
+	}, "\x00")
+	return c, nil
+}
+
+// srcHash hashes one package directory's Go sources (memoized): file names
+// and contents, test files included — a test-file edit may change the
+// test-augmented type-check, and over-invalidating a dependent costs one
+// re-analysis while under-invalidating costs a wrong replay.
+func (c *Cache) srcHash(dir string) (string, error) {
+	if h, ok := c.srcHashes[dir]; ok {
+		return h, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s\x00%d\x00", name, len(b))
+		h.Write(b)
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	c.srcHashes[dir] = sum
+	return sum, nil
+}
+
+// importDirs returns the directories of the module-internal packages dir's
+// sources import (memoized). Imports are read with an ImportsOnly parse —
+// no type-checking — over every Go file, test files and build-constrained
+// variants included (an over-approximation of the compiled import set).
+func (c *Cache) importDirs(dir string) ([]string, error) {
+	if ds, ok := c.deps[dir]; ok {
+		return ds, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := c.loader
+	fset := token.NewFileSet()
+	seen := map[string]bool{}
+	var dirs []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path != l.ModulePath && !strings.HasPrefix(path, l.ModulePath+"/") {
+				continue
+			}
+			d := l.dirFor(path)
+			if d != dir && !seen[d] {
+				seen[d] = true
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	sort.Strings(dirs)
+	c.deps[dir] = dirs
+	return dirs, nil
+}
+
+// closure returns the sorted transitive module-internal import closure of
+// dir, dir itself included (memoized, cycle-safe).
+func (c *Cache) closure(dir string) ([]string, error) {
+	if cl, ok := c.closures[dir]; ok {
+		return cl, nil
+	}
+	seen := map[string]bool{}
+	var walk func(d string) error
+	walk = func(d string) error {
+		if seen[d] {
+			return nil
+		}
+		seen[d] = true
+		deps, err := c.importDirs(d)
+		if err != nil {
+			return err
+		}
+		for _, dep := range deps {
+			if err := walk(dep); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(dir); err != nil {
+		return nil, err
+	}
+	cl := make([]string, 0, len(seen))
+	for d := range seen {
+		cl = append(cl, d)
+	}
+	sort.Strings(cl)
+	c.closures[dir] = cl
+	return cl, nil
+}
+
+// Key computes the cache key for one package: the run-configuration prefix
+// plus (dir, source hash) for every directory in the package's transitive
+// module-internal import closure.
+func (c *Cache) Key(ref PackageRef) (string, error) {
+	cl, err := c.closure(ref.Dir)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00", c.prefix, ref.Path)
+	for _, d := range cl {
+		sh, err := c.srcHash(d)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s\x00%s\x00", d, sh)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// cacheEntry is the stored result for one package.
+type cacheEntry struct {
+	Key      string       `json:"key"`
+	Package  string       `json:"package"`
+	Findings []Diagnostic `json:"findings"`
+}
+
+// entryPath maps an import path to its entry file.
+func (c *Cache) entryPath(pkgPath string) string {
+	return filepath.Join(c.Dir, strings.ReplaceAll(pkgPath, "/", "__")+".json")
+}
+
+// Get returns the stored findings for the package if the stored key
+// matches — i.e. nothing that could change the findings has changed.
+func (c *Cache) Get(pkgPath, key string) ([]Diagnostic, bool) {
+	b, err := os.ReadFile(c.entryPath(pkgPath))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(b, &e) != nil || e.Key != key || e.Package != pkgPath {
+		return nil, false
+	}
+	return e.Findings, true
+}
+
+// Put stores the findings for one package under key. Writes go through a
+// temp file + rename so a crashed run never leaves a torn entry.
+func (c *Cache) Put(pkgPath, key string, findings []Diagnostic) error {
+	if findings == nil {
+		findings = []Diagnostic{}
+	}
+	b, err := json.Marshal(cacheEntry{Key: key, Package: pkgPath, Findings: findings})
+	if err != nil {
+		return err
+	}
+	dst := c.entryPath(pkgPath)
+	tmp := dst + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst)
+}
+
+// CacheStats summarizes one cached sweep.
+type CacheStats struct {
+	// Hits is the number of packages replayed from the cache.
+	Hits int
+	// Misses is the number of packages analyzed and stored.
+	Misses int
+}
+
+// AnalyzeCached is Analyze behind the incremental cache: patterns resolve
+// to packages without type-checking, unchanged packages replay their
+// stored findings, and only the misses are loaded, analyzed, and stored.
+// The merged findings are sorted exactly as Analyze sorts them, so warm
+// and cold runs print byte-identical output. Replayed packages report zero
+// wall time; Analyzers timings cover only the analyzed misses.
+func AnalyzeCached(l *Loader, c *Cache, analyzers []*Analyzer, patterns ...string) (Result, CacheStats, error) {
+	var res Result
+	var stats CacheStats
+
+	refs, err := l.ResolvePackages(patterns...)
+	if err != nil {
+		return res, stats, err
+	}
+	keys := map[string]string{}
+	var misses []PackageRef
+	for _, ref := range refs {
+		key, err := c.Key(ref)
+		if err != nil {
+			return res, stats, err
+		}
+		keys[ref.Path] = key
+		if findings, ok := c.Get(ref.Path, key); ok {
+			stats.Hits++
+			res.Findings = append(res.Findings, findings...)
+			res.Packages = append(res.Packages, PackageTiming{Package: ref.Path})
+			continue
+		}
+		stats.Misses++
+		misses = append(misses, ref)
+	}
+
+	if len(misses) > 0 {
+		var pkgs []*Package
+		dirToPath := map[string]string{}
+		for _, ref := range misses {
+			pkg, err := l.analysisPackage(ref.Path)
+			if err != nil {
+				return res, stats, err
+			}
+			pkgs = append(pkgs, pkg)
+			dirToPath[ref.Dir] = ref.Path
+		}
+		fresh := Analyze(pkgs, analyzers, l.Fset)
+		perPkg := map[string][]Diagnostic{}
+		for _, ref := range misses {
+			perPkg[ref.Path] = []Diagnostic{}
+		}
+		for _, d := range fresh.Findings {
+			if path, ok := dirToPath[filepath.Dir(d.File)]; ok {
+				perPkg[path] = append(perPkg[path], d)
+			}
+		}
+		for _, ref := range misses {
+			if err := c.Put(ref.Path, keys[ref.Path], perPkg[ref.Path]); err != nil {
+				return res, stats, err
+			}
+		}
+		res.Findings = append(res.Findings, fresh.Findings...)
+		res.Packages = append(res.Packages, fresh.Packages...)
+		res.Analyzers = fresh.Analyzers
+	} else {
+		res.Analyzers = make([]AnalyzerTiming, len(analyzers))
+		for i, a := range analyzers {
+			res.Analyzers[i] = AnalyzerTiming{Analyzer: a.Name}
+		}
+	}
+
+	SortDiagnostics(res.Findings)
+	sort.Slice(res.Packages, func(i, j int) bool { return res.Packages[i].Package < res.Packages[j].Package })
+	return res, stats, nil
+}

@@ -1,0 +1,154 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"nautilus/internal/lint"
+)
+
+// writeTempModule lays out a throwaway Go module for cache tests: two
+// packages where b imports a, and a floateq violation in each so every
+// package contributes at least one finding to replay.
+func writeTempModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.21\n",
+		"a/a.go": "package a\n\nfunc Eq(x, y float64) bool { return x == y }\n",
+		"b/b.go": "package b\n\nimport \"tmpmod/a\"\n\nfunc Use(x float64) bool { return a.Eq(x, 0.1) && x == 0.2 }\n",
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// sweep runs one AnalyzeCached pass with a fresh loader (a fresh loader is
+// what a new CLI process has — reusing one would hide type-check cost in
+// its memoization, not in the cache under test).
+func sweep(t *testing.T, root, cacheDir string, spec string) (lint.Result, lint.CacheStats) {
+	t.Helper()
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers, err := lint.SelectAnalyzers(lint.DefaultAnalyzers(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := lint.OpenCache(cacheDir, loader, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := lint.AnalyzeCached(loader, cache, analyzers, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, stats
+}
+
+// TestCacheWarmReplayIdentical pins the cache's core contract: a cold
+// sweep populates, a warm sweep replays every package without analyzing,
+// and the two produce identical findings in identical order.
+func TestCacheWarmReplayIdentical(t *testing.T) {
+	root := writeTempModule(t)
+
+	cold, coldStats := sweep(t, root, "", "")
+	if coldStats.Hits != 0 || coldStats.Misses != 2 {
+		t.Fatalf("cold stats = %+v, want 0 hits / 2 misses", coldStats)
+	}
+	if len(cold.Findings) == 0 {
+		t.Fatal("fixture module produced no findings; the replay test is vacuous")
+	}
+
+	warm, warmStats := sweep(t, root, "", "")
+	if warmStats.Hits != 2 || warmStats.Misses != 0 {
+		t.Fatalf("warm stats = %+v, want 2 hits / 0 misses", warmStats)
+	}
+	if !reflect.DeepEqual(cold.Findings, warm.Findings) {
+		t.Errorf("warm findings differ from cold:\n cold: %+v\n warm: %+v", cold.Findings, warm.Findings)
+	}
+}
+
+// TestCacheInvalidation: editing a package re-analyzes it and every
+// dependent, and only those.
+func TestCacheInvalidation(t *testing.T) {
+	root := writeTempModule(t)
+	if _, stats := sweep(t, root, "", ""); stats.Misses != 2 {
+		t.Fatalf("cold stats = %+v, want 2 misses", stats)
+	}
+
+	// Editing the leaf dependent b invalidates b alone.
+	bPath := filepath.Join(root, "b", "b.go")
+	b, err := os.ReadFile(bPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bPath, append(b, []byte("\n// edited\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, stats := sweep(t, root, "", ""); stats.Hits != 1 || stats.Misses != 1 {
+		t.Fatalf("after editing b: stats = %+v, want 1 hit / 1 miss", stats)
+	}
+
+	// Editing a invalidates a and its dependent b: b's key covers its
+	// transitive module-internal imports.
+	aPath := filepath.Join(root, "a", "a.go")
+	a, err := os.ReadFile(aPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(aPath, append(a, []byte("\n// edited\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, stats := sweep(t, root, "", ""); stats.Hits != 0 || stats.Misses != 2 {
+		t.Fatalf("after editing a: stats = %+v, want 0 hits / 2 misses", stats)
+	}
+}
+
+// TestCacheKeyedByAnalyzerSet: entries stored for one analyzer set must
+// not replay for another.
+func TestCacheKeyedByAnalyzerSet(t *testing.T) {
+	root := writeTempModule(t)
+	if _, stats := sweep(t, root, "", ""); stats.Misses != 2 {
+		t.Fatalf("cold stats = %+v, want 2 misses", stats)
+	}
+	res, stats := sweep(t, root, "", "floateq")
+	if stats.Hits != 0 || stats.Misses != 2 {
+		t.Fatalf("subset sweep stats = %+v, want 0 hits / 2 misses", stats)
+	}
+	for _, d := range res.Findings {
+		if d.Analyzer != "floateq" {
+			t.Errorf("subset sweep leaked finding from %s", d.Analyzer)
+		}
+	}
+}
+
+// TestCacheCorruptEntryIsMiss: a torn or garbage entry file must read as a
+// miss, never as a wrong replay.
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	root := writeTempModule(t)
+	cacheDir := filepath.Join(root, ".nautilus-lint-cache")
+	if _, stats := sweep(t, root, cacheDir, ""); stats.Misses != 2 {
+		t.Fatalf("cold stats = %+v, want 2 misses", stats)
+	}
+	entries, err := filepath.Glob(filepath.Join(cacheDir, "*.json"))
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("want 2 cache entries, got %v (err %v)", entries, err)
+	}
+	if err := os.WriteFile(entries[0], []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, stats := sweep(t, root, cacheDir, ""); stats.Hits != 1 || stats.Misses != 1 {
+		t.Fatalf("after corruption: stats = %+v, want 1 hit / 1 miss", stats)
+	}
+}

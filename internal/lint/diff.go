@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// LineRange is a closed range of new-side line numbers in a changed file.
+type LineRange struct {
+	Start, End int
+}
+
+// ChangedLines runs `git diff -U0 <ref> -- *.go` at root and returns the
+// changed new-side line ranges per repository-relative file path. A
+// deletion-only hunk contributes the single line at the deletion point, so
+// a finding sitting where code was removed still surfaces.
+func ChangedLines(root, ref string) (map[string][]LineRange, error) {
+	cmd := exec.Command("git", "diff", "-U0", ref, "--", "*.go")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return nil, fmt.Errorf("git diff %s: %s", ref, strings.TrimSpace(string(ee.Stderr)))
+		}
+		return nil, fmt.Errorf("git diff %s: %v", ref, err)
+	}
+	return parseUnifiedDiff(string(out)), nil
+}
+
+// hunkRe matches a unified-diff hunk header's new-side span: @@ -a[,b] +c[,d] @@.
+var hunkRe = regexp.MustCompile(`^@@ -\d+(?:,\d+)? \+(\d+)(?:,(\d+))? @@`)
+
+// parseUnifiedDiff extracts new-side line ranges from unified diff text.
+func parseUnifiedDiff(diff string) map[string][]LineRange {
+	changed := map[string][]LineRange{}
+	file := ""
+	for _, line := range strings.Split(diff, "\n") {
+		if rest, ok := strings.CutPrefix(line, "+++ "); ok {
+			rest = strings.TrimSuffix(rest, "\t") // git -c core.quotePath paths may carry a trailing tab
+			if rest == "/dev/null" {
+				file = "" // deleted file: no new-side lines to report on
+			} else {
+				file = strings.TrimPrefix(rest, "b/")
+			}
+			continue
+		}
+		m := hunkRe.FindStringSubmatch(line)
+		if m == nil || file == "" {
+			continue
+		}
+		start, _ := strconv.Atoi(m[1])
+		count := 1
+		if m[2] != "" {
+			count, _ = strconv.Atoi(m[2])
+		}
+		end := start + count - 1
+		if count == 0 {
+			// Deletion-only hunk: new side has no lines; keep the boundary
+			// line so findings at the splice point remain visible.
+			end = start
+		}
+		changed[file] = append(changed[file], LineRange{Start: start, End: end})
+	}
+	return changed
+}
+
+// FilterByDiff keeps only the findings whose position falls in a changed
+// line range. Finding paths are absolute; changed paths are relative to
+// root.
+func FilterByDiff(findings []Diagnostic, changed map[string][]LineRange, root string) []Diagnostic {
+	out := []Diagnostic{}
+	for _, d := range findings {
+		rel, err := filepath.Rel(root, d.File)
+		if err != nil {
+			continue
+		}
+		for _, r := range changed[filepath.ToSlash(rel)] {
+			if d.Line >= r.Start && d.Line <= r.End {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}

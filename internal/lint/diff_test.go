@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+const sampleDiff = `diff --git a/internal/core/planner.go b/internal/core/planner.go
+index 1111111..2222222 100644
+--- a/internal/core/planner.go
++++ b/internal/core/planner.go
+@@ -10,0 +11,3 @@ func NewPlanner(
++	a
++	b
++	c
+@@ -40 +43 @@ func (p *Planner) Replan(
++	x
+diff --git a/internal/opt/gone.go b/internal/opt/gone.go
+deleted file mode 100644
+index 3333333..0000000
+--- a/internal/opt/gone.go
++++ /dev/null
+@@ -1,5 +0,0 @@
+-gone
+diff --git a/internal/storage/tensorstore.go b/internal/storage/tensorstore.go
+index 4444444..5555555 100644
+--- a/internal/storage/tensorstore.go
++++ b/internal/storage/tensorstore.go
+@@ -100,2 +99,0 @@ func (s *TensorStore) Append(
+-old
+-old
+`
+
+func TestParseUnifiedDiff(t *testing.T) {
+	got := parseUnifiedDiff(sampleDiff)
+	want := map[string][]LineRange{
+		"internal/core/planner.go": {{Start: 11, End: 13}, {Start: 43, End: 43}},
+		// Deletion-only hunk keeps the splice line visible.
+		"internal/storage/tensorstore.go": {{Start: 99, End: 99}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseUnifiedDiff:\n got %+v\nwant %+v", got, want)
+	}
+	if _, ok := got["internal/opt/gone.go"]; ok {
+		t.Error("deleted file must contribute no new-side ranges")
+	}
+}
+
+func TestFilterByDiff(t *testing.T) {
+	root := filepath.FromSlash("/repo")
+	abs := func(rel string) string { return filepath.Join(root, filepath.FromSlash(rel)) }
+	changed := map[string][]LineRange{
+		"internal/core/planner.go": {{Start: 11, End: 13}},
+	}
+	findings := []Diagnostic{
+		{Analyzer: "sessionorder", File: abs("internal/core/planner.go"), Line: 11},
+		{Analyzer: "sessionorder", File: abs("internal/core/planner.go"), Line: 13},
+		{Analyzer: "sessionorder", File: abs("internal/core/planner.go"), Line: 14},
+		{Analyzer: "storelease", File: abs("internal/storage/tensorstore.go"), Line: 11},
+	}
+	got := FilterByDiff(findings, changed, root)
+	want := findings[:2]
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("FilterByDiff:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -85,15 +85,15 @@ func goroutineJoinFunc(info *types.Info, sums *summarySet, fb funcBody, report f
 // goLitCheck classifies a `go func(){...}()` launch by the literal's body.
 func goLitCheck(info *types.Info, sums *summarySet, cfg *funcCFG, fb funcBody, n *cfgNode, gs *ast.GoStmt, lit *ast.FuncLit, report func(pos token.Pos, format string, args ...any)) {
 	if wg := enclosingWaitGroupDone(info, lit, fb.body); wg != nil {
-		if !addBeforeLaunch(info, fb.body, wg, gs) {
+		if !eventPrecedes(fb.body, wgJoinProtocol.add, wg, gs.Pos(), identResolver(info)) {
 			report(gs.Pos(), "goroutine calls %s.Done but no %s.Add precedes the launch", wg.Name(), wg.Name())
-		} else if !waitJoins(info, sums, cfg, n, wg) {
+		} else if !eventJoins(info, sums, cfg, n, wgJoinProtocol.wait, wg) {
 			report(gs.Pos(), "goroutine joined by %s.Wait, but a path from the launch reaches return without waiting", wg.Name())
 		}
 		return
 	}
 	if wgf := fieldWaitGroupDone(info, lit); wgf != nil {
-		if !fieldAddBeforeLaunch(info, fb.body, wgf, gs) {
+		if !eventPrecedes(fb.body, wgJoinProtocol.add, wgf, gs.Pos(), fieldResolver(info)) {
 			report(gs.Pos(), "goroutine calls %s.Done but no %s.Add precedes the launch", wgf.Name(), wgf.Name())
 		}
 		// The Wait rides on the owning value's state — typically a Close
@@ -133,9 +133,9 @@ func goNamedCheck(info *types.Info, sums *summarySet, cfg *funcCFG, fb funcBody,
 		if wg == nil {
 			continue
 		}
-		if !addBeforeLaunch(info, fb.body, wg, gs) {
+		if !eventPrecedes(fb.body, wgJoinProtocol.add, wg, gs.Pos(), identResolver(info)) {
 			report(gs.Pos(), "goroutine %s calls %s.Done but no %s.Add precedes the launch", sum.fn.Name(), wg.Name(), wg.Name())
-		} else if !waitJoins(info, sums, cfg, n, wg) {
+		} else if !eventJoins(info, sums, cfg, n, wgJoinProtocol.wait, wg) {
 			report(gs.Pos(), "goroutine %s joined by %s.Wait, but a path from the launch reaches return without waiting", sum.fn.Name(), wg.Name())
 		}
 		return
@@ -275,77 +275,26 @@ func fieldWaitGroupDone(info *types.Info, lit *ast.FuncLit) *types.Var {
 
 // fieldAddBeforeLaunch reports whether wg.Add(...) on the same struct field
 // appears before the go statement in the enclosing body.
-func fieldAddBeforeLaunch(info *types.Info, body ast.Node, wg *types.Var, gs *ast.GoStmt) bool {
-	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		recv, ok := methodCallOn(call, "Add")
-		if ok && fieldObj(info, recv) == wg && call.Pos() < gs.Pos() {
-			found = true
-		}
-		return !found
-	})
-	return found
+// The Add-before-launch and Wait-joins judgments are instances of the
+// typestate engine's WaitGroup protocol helpers (eventPrecedes / eventJoins
+// over wgJoinProtocol in typestate.go); only the receiver resolvers —
+// local-variable vs struct-field WaitGroups — are declared here.
+
+// identResolver resolves a receiver expression to its local-variable
+// object.
+func identResolver(info *types.Info) func(ast.Expr) types.Object {
+	return func(e ast.Expr) types.Object { return identObj(info, e) }
 }
 
-// addBeforeLaunch reports whether wg.Add(...) appears before the go
-// statement in the enclosing body.
-func addBeforeLaunch(info *types.Info, body ast.Node, wg types.Object, gs *ast.GoStmt) bool {
-	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if found {
-			return false
+// fieldResolver resolves a receiver expression to the struct field it
+// selects (`e.wg` → the wg field), for WaitGroups owned by a value.
+func fieldResolver(info *types.Info) func(ast.Expr) types.Object {
+	return func(e ast.Expr) types.Object {
+		if v := fieldObj(info, e); v != nil {
+			return v
 		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		recv, ok := methodCallOn(call, "Add")
-		if ok && identObj(info, recv) == wg && call.Pos() < gs.Pos() {
-			found = true
-		}
-		return !found
-	})
-	return found
-}
-
-// waitJoins reports whether wg.Wait() runs on every path from the launch
-// node to exit (or is deferred anywhere in the function). A call handing
-// wg to a local function whose summary waits on it counts too.
-func waitJoins(info *types.Info, sums *summarySet, cfg *funcCFG, launch *cfgNode, wg types.Object) bool {
-	isWait := func(x ast.Node) bool {
-		call, ok := x.(*ast.CallExpr)
-		if !ok {
-			return false
-		}
-		if recv, ok := methodCallOn(call, "Wait"); ok && identObj(info, recv) == wg {
-			return true
-		}
-		return sums != nil && sums.callDelegates(call, wg, func(f paramFacts) bool { return f.WaitsWG })
+		return nil
 	}
-	for _, m := range cfg.nodes {
-		if ds, ok := m.stmt.(*ast.DeferStmt); ok {
-			deferred := false
-			ast.Inspect(ds.Call, func(x ast.Node) bool {
-				if isWait(x) {
-					deferred = true
-				}
-				return !deferred
-			})
-			if deferred {
-				return true
-			}
-		}
-	}
-	return cfg.mustPassFrom(launch, func(n *cfgNode) bool {
-		return headerContains(n, isWait)
-	})
 }
 
 // enclosingChannelActivity returns channel variables declared outside the

@@ -60,6 +60,9 @@ type Pass struct {
 	Fset     *token.FileSet
 
 	diags *[]Diagnostic
+	// ssaNs accumulates wall time this pass spent building SSA form
+	// (typestate.go charges it), split out in AnalyzerTiming.
+	ssaNs int64
 }
 
 // Reportf records a finding at pos.
@@ -108,7 +111,9 @@ func DefaultAnalyzers() []*Analyzer {
 		IgnoreAuditAnalyzer,
 		LayerPurityAnalyzer,
 		LockSafeAnalyzer,
+		SessionOrderAnalyzer,
 		SpanLeakAnalyzer,
+		StoreLeaseAnalyzer,
 		UncheckedErrAnalyzer,
 	}
 }
@@ -154,10 +159,13 @@ func SelectAnalyzers(all []*Analyzer, spec string) ([]*Analyzer, error) {
 }
 
 // AnalyzerTiming is one analyzer's wall time summed over every package of
-// a run, reported by RunTimed and the CLI's -json output.
+// a run, reported by RunTimed and the CLI's -json output. SSAWallNs is the
+// share of WallNs spent building SSA form (zero for analyzers that never
+// ask for it).
 type AnalyzerTiming struct {
-	Analyzer string `json:"analyzer"`
-	WallNs   int64  `json:"wall_ns"`
+	Analyzer  string `json:"analyzer"`
+	WallNs    int64  `json:"wall_ns"`
+	SSAWallNs int64  `json:"ssa_wall_ns"`
 }
 
 // PackageTiming is one package's wall time for the full analyzer sweep
@@ -203,6 +211,7 @@ func Analyze(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet) Result
 		sup     *suppressions
 		diags   []Diagnostic
 		wall    []time.Duration
+		ssa     []int64
 		elapsed time.Duration
 	}
 	runs := make([]*pkgRun, len(pkgs))
@@ -214,7 +223,7 @@ func Analyze(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet) Result
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			r := &pkgRun{sup: newSuppressions(), wall: make([]time.Duration, len(analyzers))}
+			r := &pkgRun{sup: newSuppressions(), wall: make([]time.Duration, len(analyzers)), ssa: make([]int64, len(analyzers))}
 			//lint:ignore determinism wall-clock measurement of analyzer runtime for -json timing output
 			pkgStart := time.Now()
 			r.sup.scan(pkg, fset, &r.diags)
@@ -225,6 +234,7 @@ func Analyze(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet) Result
 				a.Run(pass)
 				//lint:ignore determinism wall-clock measurement of analyzer runtime for -json timing output
 				r.wall[j] += time.Since(start)
+				r.ssa[j] += pass.ssaNs
 			}
 			//lint:ignore determinism wall-clock measurement of analyzer runtime for -json timing output
 			r.elapsed = time.Since(pkgStart)
@@ -235,6 +245,7 @@ func Analyze(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet) Result
 
 	var res Result
 	wall := make([]time.Duration, len(analyzers))
+	ssa := make([]int64, len(analyzers))
 	ran := analyzerNames(analyzers)
 	audit := hasAnalyzer(analyzers, IgnoreAuditAnalyzer.Name)
 	for i, pkg := range pkgs {
@@ -251,11 +262,25 @@ func Analyze(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet) Result
 		}
 		for j := range analyzers {
 			wall[j] += r.wall[j]
+			ssa[j] += r.ssa[j]
 		}
 		res.Packages = append(res.Packages, PackageTiming{Package: pkg.Path, WallNs: r.elapsed.Nanoseconds()})
 	}
-	sort.Slice(res.Findings, func(i, j int) bool {
-		a, b := res.Findings[i], res.Findings[j]
+	SortDiagnostics(res.Findings)
+	res.Analyzers = make([]AnalyzerTiming, len(analyzers))
+	for i, a := range analyzers {
+		res.Analyzers[i] = AnalyzerTiming{Analyzer: a.Name, WallNs: wall[i].Nanoseconds(), SSAWallNs: ssa[i]}
+	}
+	return res
+}
+
+// SortDiagnostics puts findings in the output order every entry point
+// shares: (file, line, analyzer, col, message). Cache replay merges stored
+// findings with fresh ones and re-sorts with this, so a warm run's output
+// is byte-identical to a cold run's.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
 		if a.File != b.File {
 			return a.File < b.File
 		}
@@ -270,11 +295,6 @@ func Analyze(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet) Result
 		}
 		return a.Message < b.Message
 	})
-	res.Analyzers = make([]AnalyzerTiming, len(analyzers))
-	for i, a := range analyzers {
-		res.Analyzers[i] = AnalyzerTiming{Analyzer: a.Name, WallNs: wall[i].Nanoseconds()}
-	}
-	return res
 }
 
 func hasAnalyzer(analyzers []*Analyzer, name string) bool {

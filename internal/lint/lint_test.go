@@ -334,7 +334,9 @@ func TestSummaryAwareMarking(t *testing.T) {
 		"ctxflow":       true,
 		"goroutinejoin": true,
 		"locksafe":      true,
+		"sessionorder":  true,
 		"spanleak":      true,
+		"storelease":    true,
 		"uncheckederr":  true,
 	}
 	for _, a := range lint.DefaultAnalyzers() {

@@ -176,12 +176,23 @@ func modulePath(gomod string) (string, error) {
 	return "", fmt.Errorf("lint: no module directive in %s", gomod)
 }
 
-// Load resolves the given patterns to module packages and type-checks
-// them (and, transitively, every module package they import). A pattern is
-// a directory, or a directory followed by "/..." to include every package
-// beneath it. Patterns are interpreted relative to the module root unless
-// absolute. The returned slice is sorted by import path.
-func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+// PackageRef names one module package resolved from a pattern, before any
+// parsing or type-checking has happened.
+type PackageRef struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the absolute directory holding its sources.
+	Dir string
+}
+
+// ResolvePackages maps the given patterns to module packages without
+// parsing or type-checking anything — the cheap half of Load, split out so
+// the incremental cache can decide which packages need a full analysis
+// before paying for one. A pattern is a directory, or a directory followed
+// by "/..." to include every package beneath it; patterns are interpreted
+// relative to the module root unless absolute. The result is deduplicated
+// and sorted by import path.
+func (l *Loader) ResolvePackages(patterns ...string) ([]PackageRef, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -208,7 +219,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		}
 	}
 
-	var out []*Package
+	var refs []PackageRef
 	seen := map[string]bool{}
 	for _, dir := range dirs {
 		path, err := l.importPathFor(dir)
@@ -219,13 +230,28 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 			continue
 		}
 		seen[path] = true
-		pkg, err := l.analysisPackage(path)
+		refs = append(refs, PackageRef{Path: path, Dir: l.dirFor(path)})
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].Path < refs[j].Path })
+	return refs, nil
+}
+
+// Load resolves the given patterns to module packages and type-checks
+// them (and, transitively, every module package they import). The returned
+// slice is sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	refs, err := l.ResolvePackages(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, ref := range refs {
+		pkg, err := l.analysisPackage(ref.Path)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, pkg)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
 }
 

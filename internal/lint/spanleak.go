@@ -2,7 +2,6 @@ package lint
 
 import (
 	"go/ast"
-	"go/types"
 )
 
 const obsPkgPath = "nautilus/internal/obs"
@@ -13,7 +12,9 @@ const obsPkgPath = "nautilus/internal/obs"
 // conformance report depends on — and because obs.Span.End is idempotent,
 // the fix (a defer, or an End on the missed branch) is always safe.
 //
-// A span variable counts as handled when:
+// The protocol (Start→End) is declared as a typestateSpec; the engine in
+// typestate.go supplies the path analysis. A span variable counts as
+// handled when:
 //
 //   - any defer in the function ends it (`defer sp.End()` directly, or a
 //     deferred closure whose body calls sp.End() — the trainer's
@@ -27,7 +28,10 @@ const obsPkgPath = "nautilus/internal/obs"
 //     to exit, so a panicking path with no defer fails this test — the
 //     span-on-panic-path case).
 //
-// A Start/Child result that is never bound at all is flagged outright.
+// A Start/Child result that is never bound at all is flagged outright, as
+// is a span re-bound before its End (the earlier span's only handle is
+// gone) and a span started inside a loop whose deferred End sits in the
+// same loop (the defer runs at function exit, not per iteration).
 // Test files are skipped: test spans die with the process.
 //
 // The interprocedural layer sharpens both directions: passing the span to
@@ -40,17 +44,22 @@ var SpanLeakAnalyzer = &Analyzer{
 	Name:         "spanleak",
 	Doc:          "flags obs spans started without End on every exit path (early returns, panics without defer, dropped span handles)",
 	SummaryAware: true,
-	Run:          runSpanLeak,
+	Run:          func(p *Pass) { runTypestate(p, spanLeakSpec) },
 }
 
-func runSpanLeak(p *Pass) {
-	sums := p.Pkg.summaries()
-	for _, f := range p.Pkg.Files {
-		if p.InTestFile(f.Pos()) {
-			continue
-		}
-		funcBodies(f, func(fb funcBody) { spanLeakFunc(p, sums, fb) })
-	}
+// spanLeakSpec declares the Start→End obligation. No simulation leg: a span
+// has no use-after-End hazard (End is idempotent), only the exit
+// obligation.
+var spanLeakSpec = &typestateSpec{
+	name:         "spanleak",
+	origin:       spanOrigin,
+	originLabel:  spanMethodName,
+	unboundMsg:   "span from %s is dropped without being ended; bind it and defer End",
+	terminal:     "End",
+	terminalFact: func(f paramFacts) bool { return f.EndsSpan },
+	leakMsg:      "span %s is not ended on every path to return; add defer %s.End() or end it on the missed branch",
+	overwriteMsg: "span %s is re-bound before being ended; the earlier span never reaches End — end it before re-binding",
+	deferLoopMsg: "span %s is started in a loop but its deferred End runs at function exit, not per iteration; end it at the end of the iteration",
 }
 
 // spanOrigin matches a call whose single result is *obs.Span from the
@@ -66,62 +75,6 @@ func spanOrigin(p *Pass, call *ast.CallExpr) bool {
 	return namedType(p.Pkg.Info.TypeOf(call), obsPkgPath, "Span")
 }
 
-func spanLeakFunc(p *Pass, sums *summarySet, fb funcBody) {
-	cfg := buildCFG(fb.body)
-	info := p.Pkg.Info
-	endsSpan := func(f paramFacts) bool { return f.EndsSpan }
-
-	// Dropped handles: a bare Start/Child call as its own statement.
-	for _, n := range cfg.nodes {
-		es, ok := n.stmt.(*ast.ExprStmt)
-		if !ok {
-			continue
-		}
-		if call, ok := es.X.(*ast.CallExpr); ok && spanOrigin(p, call) {
-			p.Reportf(call.Pos(), "span from %s is dropped without being ended; bind it and defer End", spanMethodName(call))
-		}
-	}
-
-	// Origins: sp := x.Start(...) / sp = x.Child(...) with a single plain
-	// identifier on the left.
-	type origin struct {
-		obj  types.Object
-		node *cfgNode
-		call *ast.CallExpr
-	}
-	var origins []origin
-	for _, n := range cfg.nodes {
-		as, ok := n.stmt.(*ast.AssignStmt)
-		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
-			continue
-		}
-		call, ok := as.Rhs[0].(*ast.CallExpr)
-		if !ok || !spanOrigin(p, call) {
-			continue
-		}
-		obj := identObj(info, as.Lhs[0])
-		if obj == nil || obj.Name() == "_" {
-			continue
-		}
-		origins = append(origins, origin{obj: obj, node: n, call: call})
-	}
-
-	for _, o := range origins {
-		if sums.deferredDischarge(fb.body, o.obj, "End", endsSpan) || objEscapes(info, sums, fb.body, o.obj) {
-			continue
-		}
-		endsAt := func(n *cfgNode) bool {
-			return headerContains(n, func(x ast.Node) bool {
-				call, ok := x.(*ast.CallExpr)
-				return ok && sums.dischargesAt(call, o.obj, "End", endsSpan)
-			})
-		}
-		if !cfg.mustPassFrom(o.node, endsAt) {
-			p.Reportf(o.call.Pos(), "span %s is not ended on every path to return; add defer %s.End() or end it on the missed branch", o.obj.Name(), o.obj.Name())
-		}
-	}
-}
-
 func spanMethodName(call *ast.CallExpr) string {
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 		return sel.Sel.Name
@@ -129,7 +82,7 @@ func spanMethodName(call *ast.CallExpr) string {
 	return "Start"
 }
 
-// The escape and deferred-End judgments moved to the shared summary layer
+// The escape and deferred-End judgments live in the shared summary layer
 // (objEscapes / deferredDischarge in summary.go), which credits delegation
 // to local helpers; only parentMap remains here.
 

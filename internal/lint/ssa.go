@@ -1,0 +1,640 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file adds a pruned-SSA value-flow layer on top of the statement-level
+// CFG (cfg.go): per-variable def-use chains, phi placement at join nodes,
+// and value origins that see through plain copies. The typestate protocol
+// engine (typestate.go) consumes it for three judgments the raw CFG cannot
+// make:
+//
+//   - whether an identifier use reaches back to a specific defining
+//     assignment (the error-guard exemption: `st, err := New(...)` followed
+//     by `if err != nil { return err }` only counts when that err is still
+//     the origin's err, not a reassigned one);
+//   - whether a tracked value is overwritten before its protocol completes
+//     (re-binding sp between Start and End silently drops the first span);
+//   - whether a method receiver is a pure copy of a tracked origin value,
+//     so `st2 := st; st2.Close()` discharges st's obligation.
+//
+// Construction is textbook pruned SSA, adapted to the statement CFG:
+//
+//   - predecessors derive from the CFG's successor edges, restricted to the
+//     nodes reachable from entry (statements after an unconditional return
+//     have no preds and take no part);
+//   - dominators via the Cooper-Harvey-Kennedy iterative algorithm over a
+//     reverse-postorder numbering;
+//   - dominance frontiers per Cooper's two-finger method;
+//   - phi placement at iterated dominance frontiers of each variable's def
+//     nodes, pruned by a per-variable backward liveness pass so dead joins
+//     get no phis;
+//   - renaming by dominator-tree DFS with per-variable value stacks, uses
+//     resolved against the stack before the statement's own defs push.
+//
+// Scope limits, consistent with the CFG's design: only plain local
+// variables participate. A variable is excluded ("unsafe") when its address
+// is taken, it is mentioned inside a function literal (the closure may
+// write it at any time), or it is mentioned inside a defer (which reads the
+// exit-time value, not the in-line one). Struct fields, globals, and named
+// types' method values never participate.
+
+// ssaValue is one SSA definition of a source variable.
+type ssaValue struct {
+	id   int
+	obj  types.Object
+	node *cfgNode // defining node; cfg entry for parameters and named results
+	rhs  ast.Expr // defining expression; nil for params, phis, zero-value decls
+	phi  bool
+	// args are a phi's operands, indexed by the owning node's pred order.
+	// An operand may be nil when the variable is not defined on that path
+	// (possible only along paths that cannot execute the use).
+	args []*ssaValue
+	// copyOf is the value this definition copies, when rhs is a plain
+	// identifier of another SSA-tracked variable.
+	copyOf *ssaValue
+}
+
+// resolvesTo reports whether v is target, a chain of pure copies of target,
+// or a phi all of whose operands resolve to target — i.e. the value is
+// target on every path reaching it.
+func (v *ssaValue) resolvesTo(target *ssaValue) bool {
+	return resolves(v, target, map[*ssaValue]bool{})
+}
+
+func resolves(v, target *ssaValue, seen map[*ssaValue]bool) bool {
+	for v != nil && !seen[v] {
+		if v == target {
+			return true
+		}
+		seen[v] = true
+		if v.copyOf != nil {
+			v = v.copyOf
+			continue
+		}
+		if v.phi {
+			for _, a := range v.args {
+				if a == nil || !resolves(a, target, seen) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	}
+	return v == target
+}
+
+// ssaFunc is the SSA form of one function body.
+type ssaFunc struct {
+	cfg    *funcCFG
+	preds  map[*cfgNode][]*cfgNode
+	idom   map[*cfgNode]*cfgNode
+	useDef map[*ast.Ident]*ssaValue // use ident → reaching definition
+	defVal map[*ast.Ident]*ssaValue // defining ident → the value it creates
+	defsBy map[types.Object][]*ssaValue
+	unsafe map[types.Object]bool // excluded variables (see file comment)
+	vals   []*ssaValue
+}
+
+// reachingDef returns the SSA value an identifier use reads, or nil for
+// uses of unsafe/unknown variables (and for defining occurrences).
+func (s *ssaFunc) reachingDef(id *ast.Ident) *ssaValue { return s.useDef[id] }
+
+// defValue returns the SSA value a defining identifier creates, or nil.
+func (s *ssaFunc) defValue(id *ast.Ident) *ssaValue { return s.defVal[id] }
+
+// defsOf returns every SSA definition of obj, in creation order.
+func (s *ssaFunc) defsOf(obj types.Object) []*ssaValue { return s.defsBy[obj] }
+
+// tracked reports whether obj participates in SSA at all.
+func (s *ssaFunc) tracked(obj types.Object) bool {
+	return obj != nil && len(s.defsBy[obj]) > 0 && !s.unsafe[obj]
+}
+
+// buildSSA constructs pruned SSA for one function body over its CFG.
+func buildSSA(info *types.Info, fb funcBody, cfg *funcCFG) *ssaFunc {
+	s := &ssaFunc{
+		cfg:    cfg,
+		preds:  map[*cfgNode][]*cfgNode{},
+		idom:   map[*cfgNode]*cfgNode{},
+		useDef: map[*ast.Ident]*ssaValue{},
+		defVal: map[*ast.Ident]*ssaValue{},
+		defsBy: map[types.Object][]*ssaValue{},
+		unsafe: map[types.Object]bool{},
+	}
+
+	rpo := s.reversePostorder()
+	order := map[*cfgNode]int{}
+	for i, n := range rpo {
+		order[n] = i
+	}
+	for _, n := range rpo {
+		seen := map[*cfgNode]bool{}
+		for _, succ := range n.succs {
+			if _, reach := order[succ]; !reach || seen[succ] {
+				continue
+			}
+			seen[succ] = true
+			s.preds[succ] = append(s.preds[succ], n)
+		}
+	}
+
+	vars := s.collectVars(info, fb, rpo)
+	if len(vars) == 0 {
+		return s
+	}
+	s.dominators(rpo, order)
+	df := s.frontiers(rpo)
+	liveIn := s.liveness(info, rpo, vars)
+	phis := s.placePhis(info, fb, rpo, vars, df, liveIn)
+	s.rename(info, fb, rpo, order, vars, phis)
+	return s
+}
+
+// reversePostorder returns the nodes reachable from entry in reverse
+// postorder (entry first).
+func (s *ssaFunc) reversePostorder() []*cfgNode {
+	var post []*cfgNode
+	seen := map[*cfgNode]bool{}
+	var walk func(n *cfgNode)
+	walk = func(n *cfgNode) {
+		seen[n] = true
+		for _, succ := range n.succs {
+			if !seen[succ] {
+				walk(succ)
+			}
+		}
+		post = append(post, n)
+	}
+	walk(s.cfg.entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// collectVars gathers the local variables eligible for SSA and records the
+// unsafe set. Eligible objects are *types.Var locals declared within the
+// body (parameters and named results included) that are assigned through
+// plain identifiers only.
+func (s *ssaFunc) collectVars(info *types.Info, fb funcBody, rpo []*cfgNode) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	var root ast.Node = fb.body
+	if fb.decl != nil {
+		root = fb.decl
+	} else if fb.lit != nil {
+		root = fb.lit
+	}
+	addObj := func(obj types.Object) {
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || !declaredWithin(obj, root) {
+			return
+		}
+		vars[obj] = true
+	}
+	for _, field := range paramFields(fb.typ) {
+		for _, name := range field.Names {
+			if obj := info.ObjectOf(name); obj != nil && name.Name != "_" {
+				addObj(obj)
+			}
+		}
+	}
+	for _, n := range rpo {
+		for _, site := range defSites(info, n) {
+			if site.obj != nil {
+				addObj(site.obj)
+			}
+		}
+	}
+
+	// Unsafe: address taken, mentioned in a function literal, or mentioned
+	// in a defer (defers observe exit-time values).
+	shallow := func(root ast.Node) {
+		ast.Inspect(root, func(x ast.Node) bool {
+			switch u := x.(type) {
+			case *ast.UnaryExpr:
+				if u.Op == token.AND {
+					if obj := identObj(info, u.X); obj != nil && vars[obj] {
+						s.unsafe[obj] = true
+					}
+				}
+			case *ast.FuncLit:
+				ast.Inspect(u.Body, func(y ast.Node) bool {
+					if id, ok := y.(*ast.Ident); ok {
+						if obj := info.ObjectOf(id); obj != nil && vars[obj] {
+							s.unsafe[obj] = true
+						}
+					}
+					return true
+				})
+				return false
+			case *ast.DeferStmt:
+				ast.Inspect(u.Call, func(y ast.Node) bool {
+					if id, ok := y.(*ast.Ident); ok {
+						if obj := info.ObjectOf(id); obj != nil && vars[obj] {
+							s.unsafe[obj] = true
+						}
+					}
+					return true
+				})
+				return false
+			}
+			return true
+		})
+	}
+	shallow(fb.body)
+	for obj := range s.unsafe {
+		delete(vars, obj)
+	}
+	return vars
+}
+
+func paramFields(typ *ast.FuncType) []*ast.Field {
+	var out []*ast.Field
+	if typ.Params != nil {
+		out = append(out, typ.Params.List...)
+	}
+	if typ.Results != nil {
+		out = append(out, typ.Results.List...)
+	}
+	return out
+}
+
+// dominators runs the Cooper-Harvey-Kennedy iterative algorithm.
+func (s *ssaFunc) dominators(rpo []*cfgNode, order map[*cfgNode]int) {
+	entry := s.cfg.entry
+	s.idom[entry] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, n := range rpo[1:] {
+			var newIdom *cfgNode
+			for _, p := range s.preds[n] {
+				if s.idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = s.intersect(p, newIdom, order)
+				}
+			}
+			if newIdom != nil && s.idom[n] != newIdom {
+				s.idom[n] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+func (s *ssaFunc) intersect(a, b *cfgNode, order map[*cfgNode]int) *cfgNode {
+	for a != b {
+		for order[a] > order[b] {
+			a = s.idom[a]
+		}
+		for order[b] > order[a] {
+			b = s.idom[b]
+		}
+	}
+	return a
+}
+
+// frontiers computes dominance frontiers (Cooper's two-finger walk).
+func (s *ssaFunc) frontiers(rpo []*cfgNode) map[*cfgNode][]*cfgNode {
+	df := map[*cfgNode][]*cfgNode{}
+	in := map[*cfgNode]map[*cfgNode]bool{}
+	for _, n := range rpo {
+		if len(s.preds[n]) < 2 {
+			continue
+		}
+		for _, p := range s.preds[n] {
+			for runner := p; runner != s.idom[n]; runner = s.idom[runner] {
+				if in[runner] == nil {
+					in[runner] = map[*cfgNode]bool{}
+				}
+				if !in[runner][n] {
+					in[runner][n] = true
+					df[runner] = append(df[runner], n)
+				}
+				if runner == s.idom[runner] {
+					break // entry
+				}
+			}
+		}
+	}
+	return df
+}
+
+// defSite is one variable definition inside a statement.
+type defSite struct {
+	obj types.Object
+	id  *ast.Ident
+	rhs ast.Expr // nil for zero-value declarations and updates
+}
+
+// defSites lists the variables a CFG node defines, in evaluation order.
+func defSites(info *types.Info, n *cfgNode) []defSite {
+	var out []defSite
+	add := func(e ast.Expr, rhs ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if obj := info.ObjectOf(id); obj != nil {
+			out = append(out, defSite{obj: obj, id: id, rhs: rhs})
+		}
+	}
+	switch st := n.stmt.(type) {
+	case *ast.AssignStmt:
+		switch st.Tok {
+		case token.DEFINE, token.ASSIGN:
+			for i, l := range st.Lhs {
+				var rhs ast.Expr
+				switch {
+				case len(st.Rhs) == len(st.Lhs):
+					rhs = st.Rhs[i]
+				case len(st.Rhs) == 1:
+					rhs = st.Rhs[0] // tuple assign: every LHS defined by the call
+				}
+				add(l, rhs)
+			}
+		default: // compound assignment: an update, rhs opaque
+			if len(st.Lhs) == 1 {
+				add(st.Lhs[0], nil)
+			}
+		}
+	case *ast.IncDecStmt:
+		add(st.X, nil)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if len(vs.Values) == len(vs.Names) {
+						rhs = vs.Values[i]
+					}
+					add(name, rhs)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		add(st.Key, nil)
+		add(st.Value, nil)
+	}
+	return out
+}
+
+// useIdents lists the identifier reads a CFG node performs, skipping the
+// node's own defining occurrences and nested function literals.
+func useIdents(info *types.Info, n *cfgNode) []*ast.Ident {
+	defs := map[*ast.Ident]bool{}
+	for _, d := range defSites(info, n) {
+		defs[d.id] = true
+	}
+	// Updates (x++, x += y) read the old value: their "def" ident is also a
+	// use. Plain assigns and declarations are not.
+	switch st := n.stmt.(type) {
+	case *ast.IncDecStmt:
+		delete(defs, st.X.(*ast.Ident))
+	case *ast.AssignStmt:
+		if st.Tok != token.DEFINE && st.Tok != token.ASSIGN && len(st.Lhs) == 1 {
+			if id, ok := st.Lhs[0].(*ast.Ident); ok {
+				delete(defs, id)
+			}
+		}
+	}
+	if _, isDefer := n.stmt.(*ast.DeferStmt); isDefer {
+		return nil // defer operands read at exit; their vars are unsafe anyway
+	}
+	var out []*ast.Ident
+	for _, root := range headerNodes(n) {
+		shallowInspect(root, func(x ast.Node) bool {
+			if sel, ok := x.(*ast.SelectorExpr); ok {
+				// Only the base expression is a read; the Sel ident names a
+				// field or method, never a local.
+				shallowInspect(sel.X, func(y ast.Node) bool {
+					if id, ok := y.(*ast.Ident); ok && !defs[id] {
+						out = append(out, id)
+					}
+					return true
+				})
+				return false
+			}
+			if id, ok := x.(*ast.Ident); ok && !defs[id] {
+				out = append(out, id)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// liveness computes per-variable live-in sets over the CFG (backward).
+func (s *ssaFunc) liveness(info *types.Info, rpo []*cfgNode, vars map[types.Object]bool) map[*cfgNode]map[types.Object]bool {
+	use := map[*cfgNode]map[types.Object]bool{}
+	def := map[*cfgNode]map[types.Object]bool{}
+	for _, n := range rpo {
+		u, d := map[types.Object]bool{}, map[types.Object]bool{}
+		for _, id := range useIdents(info, n) {
+			if obj := info.ObjectOf(id); obj != nil && vars[obj] {
+				u[obj] = true
+			}
+		}
+		for _, site := range defSites(info, n) {
+			if vars[site.obj] {
+				d[site.obj] = true
+			}
+		}
+		use[n], def[n] = u, d
+	}
+	liveIn := map[*cfgNode]map[types.Object]bool{}
+	for _, n := range rpo {
+		liveIn[n] = map[types.Object]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(rpo) - 1; i >= 0; i-- {
+			n := rpo[i]
+			for _, succ := range n.succs {
+				for obj := range liveIn[succ] {
+					if def[n][obj] || use[n][obj] {
+						continue
+					}
+					if !liveIn[n][obj] {
+						liveIn[n][obj] = true
+						changed = true
+					}
+				}
+			}
+			for obj := range use[n] {
+				if !liveIn[n][obj] {
+					liveIn[n][obj] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return liveIn
+}
+
+// placePhis inserts pruned phis at iterated dominance frontiers.
+func (s *ssaFunc) placePhis(info *types.Info, fb funcBody, rpo []*cfgNode,
+	vars map[types.Object]bool, df map[*cfgNode][]*cfgNode,
+	liveIn map[*cfgNode]map[types.Object]bool) map[*cfgNode][]*ssaValue {
+
+	defNodes := map[types.Object][]*cfgNode{}
+	for _, field := range paramFields(fb.typ) {
+		for _, name := range field.Names {
+			if obj := info.ObjectOf(name); obj != nil && vars[obj] {
+				defNodes[obj] = append(defNodes[obj], s.cfg.entry)
+			}
+		}
+	}
+	for _, n := range rpo {
+		for _, site := range defSites(info, n) {
+			if vars[site.obj] {
+				defNodes[site.obj] = append(defNodes[site.obj], n)
+			}
+		}
+	}
+
+	// Deterministic variable order.
+	objs := make([]types.Object, 0, len(defNodes))
+	for obj := range defNodes {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+
+	phis := map[*cfgNode][]*ssaValue{}
+	for _, obj := range objs {
+		placed := map[*cfgNode]bool{}
+		work := append([]*cfgNode{}, defNodes[obj]...)
+		for len(work) > 0 {
+			n := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, d := range df[n] {
+				if placed[d] || !liveIn[d][obj] {
+					continue
+				}
+				placed[d] = true
+				v := &ssaValue{id: len(s.vals), obj: obj, node: d, phi: true,
+					args: make([]*ssaValue, len(s.preds[d]))}
+				s.vals = append(s.vals, v)
+				phis[d] = append(phis[d], v)
+				work = append(work, d)
+			}
+		}
+	}
+	return phis
+}
+
+// rename walks the dominator tree assigning SSA values to every def and
+// resolving every use against the innermost reaching def.
+func (s *ssaFunc) rename(info *types.Info, fb funcBody, rpo []*cfgNode,
+	order map[*cfgNode]int, vars map[types.Object]bool, phis map[*cfgNode][]*ssaValue) {
+
+	children := map[*cfgNode][]*cfgNode{}
+	for _, n := range rpo[1:] {
+		if d := s.idom[n]; d != nil {
+			children[d] = append(children[d], n)
+		}
+	}
+	for _, kids := range children {
+		sort.Slice(kids, func(i, j int) bool { return order[kids[i]] < order[kids[j]] })
+	}
+
+	predIndex := map[*cfgNode]map[*cfgNode]int{}
+	for n, ps := range s.preds {
+		m := map[*cfgNode]int{}
+		for i, p := range ps {
+			m[p] = i
+		}
+		predIndex[n] = m
+	}
+
+	stack := map[types.Object][]*ssaValue{}
+	push := func(v *ssaValue) { stack[v.obj] = append(stack[v.obj], v) }
+	top := func(obj types.Object) *ssaValue {
+		st := stack[obj]
+		if len(st) == 0 {
+			return nil
+		}
+		return st[len(st)-1]
+	}
+
+	// Parameters and named results are defined at entry.
+	for _, field := range paramFields(fb.typ) {
+		for _, name := range field.Names {
+			obj := info.ObjectOf(name)
+			if obj == nil || !vars[obj] {
+				continue
+			}
+			v := &ssaValue{id: len(s.vals), obj: obj, node: s.cfg.entry}
+			s.vals = append(s.vals, v)
+			s.defsBy[obj] = append(s.defsBy[obj], v)
+			s.defVal[name] = v
+			push(v)
+		}
+	}
+
+	var walk func(n *cfgNode)
+	walk = func(n *cfgNode) {
+		var pushed []*ssaValue
+		record := func(v *ssaValue) {
+			s.defsBy[v.obj] = append(s.defsBy[v.obj], v)
+			push(v)
+			pushed = append(pushed, v)
+		}
+		for _, phi := range phis[n] {
+			record(phi)
+		}
+		for _, id := range useIdents(info, n) {
+			obj := info.ObjectOf(id)
+			if obj == nil || !vars[obj] {
+				continue
+			}
+			if v := top(obj); v != nil {
+				s.useDef[id] = v
+			}
+		}
+		for _, site := range defSites(info, n) {
+			if !vars[site.obj] {
+				continue
+			}
+			v := &ssaValue{id: len(s.vals), obj: site.obj, node: n, rhs: site.rhs}
+			s.vals = append(s.vals, v)
+			if site.rhs != nil {
+				if src := identObj(info, site.rhs); src != nil && vars[src] {
+					v.copyOf = top(src)
+				}
+			}
+			s.defVal[site.id] = v
+			record(v)
+		}
+		for _, succ := range n.succs {
+			idx, ok := predIndex[succ][n]
+			if !ok {
+				continue
+			}
+			for _, phi := range phis[succ] {
+				phi.args[idx] = top(phi.obj)
+			}
+		}
+		for _, kid := range children[n] {
+			walk(kid)
+		}
+		for _, v := range pushed {
+			st := stack[v.obj]
+			stack[v.obj] = st[:len(st)-1]
+		}
+	}
+	walk(s.cfg.entry)
+}

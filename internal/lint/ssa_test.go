@@ -1,0 +1,327 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// buildSSAFixture typechecks src (a complete file) and builds SSA for the
+// function named fn.
+func buildSSAFixture(t *testing.T, src, fn string) (*types.Info, *ssaFunc) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "ssa_test_src.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Name.Name != fn || fd.Body == nil {
+			continue
+		}
+		fb := funcBody{decl: fd, typ: fd.Type, body: fd.Body}
+		return info, buildSSA(info, fb, buildCFG(fd.Body))
+	}
+	t.Fatalf("no function %s in source", fn)
+	return nil, nil
+}
+
+// identAt finds the n-th occurrence (1-based) of an identifier named name.
+func identAt(t *testing.T, s *ssaFunc, info *types.Info, name string, n int) *ast.Ident {
+	t.Helper()
+	seen := 0
+	var found *ast.Ident
+	// Walk the CFG statements in node order for a deterministic scan.
+	var ids []*ast.Ident
+	for _, node := range s.cfg.nodes {
+		if node.stmt == nil {
+			continue
+		}
+		ast.Inspect(node.stmt, func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok && id.Name == name {
+				ids = append(ids, id)
+			}
+			return true
+		})
+	}
+	// Node order is not source order; sort by position.
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if ids[j].Pos() < ids[i].Pos() {
+				ids[i], ids[j] = ids[j], ids[i]
+			}
+		}
+	}
+	// Dedup (a header ident can appear under several nodes).
+	var uniq []*ast.Ident
+	for _, id := range ids {
+		if len(uniq) == 0 || uniq[len(uniq)-1] != id {
+			uniq = append(uniq, id)
+		}
+	}
+	for _, id := range uniq {
+		seen++
+		if seen == n {
+			found = id
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("occurrence %d of %q not found (saw %d)", n, name, seen)
+	}
+	return found
+}
+
+func TestSSADiamondPhi(t *testing.T) {
+	src := `package p
+func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	} else {
+		x = 3
+	}
+	return x
+}`
+	info, s := buildSSAFixture(t, src, "f")
+	use := identAt(t, s, info, "x", 4) // the return's x
+	v := s.reachingDef(use)
+	if v == nil {
+		t.Fatal("return x has no reaching def")
+	}
+	if !v.phi {
+		t.Fatalf("return x should read a phi, got %+v", v)
+	}
+	if len(v.args) != 2 {
+		t.Fatalf("phi has %d args, want 2", len(v.args))
+	}
+	d1 := s.defValue(identAt(t, s, info, "x", 2)) // x = 2
+	d2 := s.defValue(identAt(t, s, info, "x", 3)) // x = 3
+	if d1 == nil || d2 == nil {
+		t.Fatal("branch defs not recorded")
+	}
+	if v.resolvesTo(d1) || v.resolvesTo(d2) {
+		t.Fatal("diamond phi must not resolve to a single branch def")
+	}
+	got := map[*ssaValue]bool{}
+	for _, a := range v.args {
+		got[a] = true
+	}
+	if !got[d1] || !got[d2] {
+		t.Fatalf("phi args %v do not cover both branch defs", v.args)
+	}
+}
+
+func TestSSACopyChainResolves(t *testing.T) {
+	src := `package p
+func g() int { return 0 }
+func f(c bool) int {
+	a := g()
+	b := a
+	d := b
+	if c {
+		d = a
+	}
+	return d
+}`
+	info, s := buildSSAFixture(t, src, "f")
+	aDef := s.defValue(identAt(t, s, info, "a", 1))
+	dUse := s.reachingDef(identAt(t, s, info, "d", 3))
+	if aDef == nil || dUse == nil {
+		t.Fatal("missing defs")
+	}
+	// d's reaching value is a phi of (copy-of-copy-of-a, copy-of-a): all
+	// paths resolve to a.
+	if !dUse.resolvesTo(aDef) {
+		t.Fatal("phi over pure copies of a should resolve to a")
+	}
+}
+
+func TestSSAOverwriteSeparateDefs(t *testing.T) {
+	src := `package p
+func g() int { return 0 }
+func f() int {
+	a := g()
+	a = g()
+	return a
+}`
+	info, s := buildSSAFixture(t, src, "f")
+	obj := info.ObjectOf(identAt(t, s, info, "a", 1))
+	defs := s.defsOf(obj)
+	if len(defs) != 2 {
+		t.Fatalf("reassigned var has %d defs, want 2", len(defs))
+	}
+	use := s.reachingDef(identAt(t, s, info, "a", 3))
+	if use != defs[1] {
+		t.Fatal("return a should read the second def")
+	}
+	if use.resolvesTo(defs[0]) {
+		t.Fatal("second def must not resolve to the first")
+	}
+}
+
+func TestSSAUnsafeVarsExcluded(t *testing.T) {
+	src := `package p
+func sink(p *int) {}
+func f() int {
+	a := 1
+	sink(&a)
+	b := 2
+	go func() { _ = b }()
+	c := 3
+	return a + b + c
+}`
+	info, s := buildSSAFixture(t, src, "f")
+	aObj := info.ObjectOf(identAt(t, s, info, "a", 1))
+	bObj := info.ObjectOf(identAt(t, s, info, "b", 1))
+	cObj := info.ObjectOf(identAt(t, s, info, "c", 1))
+	if s.tracked(aObj) {
+		t.Fatal("address-taken var must be excluded from SSA")
+	}
+	if s.tracked(bObj) {
+		t.Fatal("closure-captured var must be excluded from SSA")
+	}
+	if !s.tracked(cObj) {
+		t.Fatal("plain local should be tracked")
+	}
+}
+
+func TestSSADeferMentionExcluded(t *testing.T) {
+	src := `package p
+func end(x int) {}
+func f() {
+	a := 1
+	defer end(a)
+	b := 2
+	_ = b
+}`
+	info, s := buildSSAFixture(t, src, "f")
+	aObj := info.ObjectOf(identAt(t, s, info, "a", 1))
+	bObj := info.ObjectOf(identAt(t, s, info, "b", 1))
+	if s.tracked(aObj) {
+		t.Fatal("defer-mentioned var must be excluded from SSA")
+	}
+	if !s.tracked(bObj) {
+		t.Fatal("plain local should be tracked")
+	}
+}
+
+func TestSSALoopPhi(t *testing.T) {
+	src := `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`
+	info, s := buildSSAFixture(t, src, "f")
+	ret := s.reachingDef(identAt(t, s, info, "s", 3))
+	if ret == nil || !ret.phi {
+		t.Fatalf("loop-carried s should reach the return via a phi, got %+v", ret)
+	}
+	// The phi must not resolve to the initial def alone: the loop body
+	// rebinds it.
+	init := s.defValue(identAt(t, s, info, "s", 1))
+	if ret.resolvesTo(init) {
+		t.Fatal("loop phi must not collapse to the pre-loop def")
+	}
+}
+
+func TestSSAParamsDefinedAtEntry(t *testing.T) {
+	src := `package p
+func f(a int) (out int) {
+	out = a
+	return out
+}`
+	info, s := buildSSAFixture(t, src, "f")
+	aUse := s.reachingDef(identAt(t, s, info, "a", 1))
+	if aUse == nil {
+		t.Fatal("param use has no reaching def")
+	}
+	if aUse.node != s.cfg.entry || aUse.rhs != nil || aUse.phi {
+		t.Fatal("param def should be the synthetic entry def")
+	}
+	outDef := s.defValue(identAt(t, s, info, "out", 1))
+	if outDef == nil || !outDef.resolvesTo(aUse) {
+		t.Fatal("out = a should be a copy of the param def")
+	}
+}
+
+func TestSSAPrunedPhiDeadAfterJoin(t *testing.T) {
+	src := `package p
+func g() int { return 0 }
+func f(c bool) int {
+	x := g()
+	if c {
+		x = g()
+	}
+	_ = x
+	y := g()
+	_ = y
+	if c {
+		y = g()
+	}
+	return 7
+}`
+	info, s := buildSSAFixture(t, src, "f")
+	// y is dead after the join (never used): pruned SSA places no phi.
+	yObj := info.ObjectOf(identAt(t, s, info, "y", 1))
+	for _, v := range s.defsOf(yObj) {
+		if v.phi {
+			t.Fatal("dead-after-join var must not get a phi (pruned SSA)")
+		}
+	}
+	// x is live at its use: the use reads a phi.
+	xUse := s.reachingDef(identAt(t, s, info, "x", 3))
+	if xUse == nil || !xUse.phi {
+		t.Fatal("live-at-join var should read a phi")
+	}
+}
+
+func TestSSATupleAssignDefs(t *testing.T) {
+	src := `package p
+func g() (int, error) { return 0, nil }
+func f() error {
+	v, err := g()
+	if err != nil {
+		return err
+	}
+	_ = v
+	return nil
+}`
+	info, s := buildSSAFixture(t, src, "f")
+	errDef := s.defValue(identAt(t, s, info, "err", 1))
+	if errDef == nil {
+		t.Fatal("tuple-bound err has no def")
+	}
+	guardUse := s.reachingDef(identAt(t, s, info, "err", 2))
+	if guardUse == nil || !guardUse.resolvesTo(errDef) {
+		t.Fatal("if err != nil should read the tuple def")
+	}
+	if errDef.rhs == nil {
+		t.Fatal("tuple def should record its rhs expression")
+	}
+	call, ok := errDef.rhs.(*ast.CallExpr)
+	if !ok {
+		t.Fatalf("tuple def rhs should be the call expression, got %T", errDef.rhs)
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || !strings.Contains(id.Name, "g") {
+		t.Fatalf("unexpected rhs call for err def")
+	}
+}

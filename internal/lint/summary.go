@@ -39,6 +39,9 @@ type paramFacts struct {
 	ReleasesScope bool
 	// WaitsWG: the *sync.WaitGroup argument is waited on on every path.
 	WaitsWG bool
+	// ClosesStore: the *storage.TensorStore argument is closed on every
+	// path — the delegated-cleanup half of the storelease protocol.
+	ClosesStore bool
 	// DonesWG: the function may call Done on the WaitGroup argument —
 	// the worker half of the launch protocol.
 	DonesWG bool
@@ -239,6 +242,7 @@ func (s *summarySet) optimisticInit(n *cgNode) *funcSummary {
 		sum.params[i].EndsSpan = namedType(t, obsPkgPath, "Span")
 		sum.params[i].ReleasesScope = namedType(t, tensorPkgPath, "Scope")
 		sum.params[i].WaitsWG = namedType(t, "sync", "WaitGroup")
+		sum.params[i].ClosesStore = namedType(t, storagePkgPath, "TensorStore")
 	}
 	sum.errNever, sum.errAlways = hasErrorResult(sig), hasErrorResult(sig)
 	return sum
@@ -276,6 +280,8 @@ func (s *summarySet) compute(n *cgNode) *funcSummary {
 			pf.EndsSpan = s.mustDischarge(cfg, body, obj, "End", func(f paramFacts) bool { return f.EndsSpan })
 		case namedType(t, tensorPkgPath, "Scope"):
 			pf.ReleasesScope = s.mustDischarge(cfg, body, obj, "Release", func(f paramFacts) bool { return f.ReleasesScope })
+		case namedType(t, storagePkgPath, "TensorStore"):
+			pf.ClosesStore = s.mustDischarge(cfg, body, obj, "Close", func(f paramFacts) bool { return f.ClosesStore })
 		case namedType(t, "sync", "WaitGroup"):
 			pf.WaitsWG = s.mustDischarge(cfg, body, obj, "Wait", func(f paramFacts) bool { return f.WaitsWG })
 			pf.DonesWG = callsMethodOnAnywhere(info, body, obj, "Done") ||

@@ -1,0 +1,58 @@
+package violations
+
+import (
+	"nautilus/internal/core"
+	"nautilus/internal/opt"
+)
+
+// sessionPlanBeforeReplan reads the plan before the first Replan has run:
+// the planner caches nothing yet, so the caller trains against a nil plan.
+func sessionPlanBeforeReplan() (*core.WorkloadPlan, error) {
+	p, err := core.NewPlanner(nil, nil, core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return p.Plan(), nil // want "sessionorder: planner p's Plan is read before any Replan; the plan is nil until the first Replan succeeds"
+}
+
+// sessionStaleRead stages growth on a caller-owned planner but reads the
+// plan without replanning: the staged rows are invisible to the plan.
+func sessionStaleRead(p *core.Planner, n int) *core.WorkloadPlan {
+	p.GrowData(n)
+	return p.Plan() // want "sessionorder: planner p has staged evolution events; call Replan before reading Plan"
+}
+
+// sessionFailedReplan discards Replan's error, then keeps using the session
+// as if the replan had landed.
+func sessionFailedReplan(p *core.Planner, n int) *core.WorkloadPlan {
+	wp, _, _ := p.Replan()
+	_ = wp
+	p.GrowData(n) // want "sessionorder: planner p is mutated after a Replan whose error was discarded; handle the error (or Replan again) first"
+	return p.Plan() // want "sessionorder: planner p's Plan is read after a Replan whose error was discarded; handle the error first"
+}
+
+// sessionReplanned is the clean protocol: evolution events staged, folded in
+// by a checked Replan, and only then is the plan read.
+func sessionReplanned(items []opt.WorkItem) (*core.WorkloadPlan, error) {
+	p, err := core.NewPlanner(items, nil, core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := p.Replan(); err != nil {
+		return nil, err
+	}
+	p.GrowData(len(items))
+	if _, _, err := p.Replan(); err != nil {
+		return nil, err
+	}
+	return p.Plan(), nil
+}
+
+// sessionSuppressed documents a deliberate pre-Replan read: the probe wants
+// the nil-plan sentinel of a fresh session.
+func sessionSuppressed(n int) *core.WorkloadPlan {
+	p, _ := core.NewPlanner(nil, nil, core.Config{})
+	_ = p.GrowData(n)
+	//lint:ignore sessionorder probing the staged session; the nil plan is the sentinel
+	return p.Plan()
+}

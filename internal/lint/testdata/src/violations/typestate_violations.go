@@ -1,0 +1,38 @@
+package violations
+
+import (
+	"nautilus/internal/obs"
+)
+
+// spanRebound drops the first span's only handle by re-binding it before
+// End: the phase1 span can never be ended.
+func spanRebound(tr *obs.Tracer) {
+	sp := tr.Start("phase1") // want "spanleak: span sp is re-bound before being ended; the earlier span never reaches End — end it before re-binding"
+	sp = tr.Start("phase2")
+	sp.End()
+}
+
+// spanDeferLoop defers End inside the starting loop: defers run at function
+// exit, so every iteration's span stays open until the walk finishes.
+func spanDeferLoop(tr *obs.Tracer, steps []string) {
+	for _, step := range steps {
+		sp := tr.Start(step) // want "spanleak: span sp is started in a loop but its deferred End runs at function exit, not per iteration; end it at the end of the iteration"
+		defer sp.End()
+	}
+}
+
+// spanPhase carries a span ended by its owner.
+type spanPhase struct {
+	sp *obs.Span
+}
+
+func (ph *spanPhase) finish() { ph.sp.End() }
+
+// spanFieldCompleted stores the span into a struct field: the obligation
+// transfers to the phase value, whose finish method ends it.
+func spanFieldCompleted(tr *obs.Tracer) *spanPhase {
+	ph := &spanPhase{}
+	sp := tr.Start("phase")
+	ph.sp = sp
+	return ph
+}
